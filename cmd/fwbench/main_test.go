@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func withArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = append([]string{"fwbench"}, args...)
+	return run()
+}
+
+func TestEffectivenessExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if code := withArgs(t, "-exp", "effectiveness", "-csv", dir); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "effectiveness.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestBDDExperiment(t *testing.T) {
+	if code := withArgs(t, "-exp", "bdd"); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestFig12SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 sweep is seconds-long")
+	}
+	dir := t.TempDir()
+	if code := withArgs(t, "-exp", "fig12", "-trials", "1", "-csv", dir); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig12.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestFig13SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig13 sweep is seconds-long")
+	}
+	if code := withArgs(t, "-exp", "fig13", "-trials", "1", "-maxn", "500"); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestBackToBackExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hundred-thousand-packet sweep")
+	}
+	dir := t.TempDir()
+	if code := withArgs(t, "-exp", "backtoback", "-csv", dir); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "backtoback.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if code := withArgs(t, "-exp", "warp"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

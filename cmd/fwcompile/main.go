@@ -1,0 +1,119 @@
+// Command fwcompile runs the structured-design tooling on a policy file:
+// it normalizes a policy through its FDD (construction + reduction +
+// compact rule generation, the method of the paper's reference [12]) and
+// optionally removes all redundant rules first ([19]). The output is an
+// equivalent, typically smaller policy.
+//
+// Usage:
+//
+//	fwcompile [-schema five|four|paper] [-compact] in.fw > out.fw
+//	fwcompile -fromfdd design.fdd > out.fw   # compile an FDD design (§7.2)
+//	fwcompile -tofdd in.fw > out.fdd         # export the reduced FDD
+//
+// -compact additionally runs complete redundancy removal on the generated
+// rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diversefw/internal/cli"
+	"diversefw/internal/fdd"
+	"diversefw/internal/gen"
+	"diversefw/internal/redundancy"
+	"diversefw/internal/rule"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("fwcompile", flag.ContinueOnError)
+	schemaName := fs.String("schema", "five", "packet schema: "+cli.SchemaNames())
+	compact := fs.Bool("compact", false, "also remove redundant rules from the generated policy")
+	stats := fs.Bool("stats", false, "print FDD statistics to stderr")
+	fromFDD := fs.Bool("fromfdd", false, "input is an FDD file, not a policy file")
+	toFDD := fs.Bool("tofdd", false, "output the reduced FDD instead of rules")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fwcompile [-schema name] [-compact] [-stats] [-fromfdd] [-tofdd] in > out")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	schema, err := cli.Schema(*schemaName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwcompile:", err)
+		return 2
+	}
+
+	var f *fdd.FDD
+	var inRules int
+	if *fromFDD {
+		in, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fwcompile:", err)
+			return 2
+		}
+		f, err = fdd.Unmarshal(in, schema)
+		in.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fwcompile:", err)
+			return 2
+		}
+	} else {
+		p, err := cli.LoadPolicy(schema, fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fwcompile:", err)
+			return 2
+		}
+		inRules = p.Size()
+		f, err = fdd.Construct(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fwcompile:", err)
+			return 2
+		}
+	}
+	if *stats {
+		st := f.Stats()
+		fmt.Fprintf(os.Stderr, "fwcompile: FDD: %d nodes, %d edges, %d paths, depth %d\n",
+			st.Nodes, st.Edges, st.Paths, st.Depth)
+	}
+	if *toFDD {
+		if err := fdd.Marshal(os.Stdout, f.Reduce()); err != nil {
+			fmt.Fprintln(os.Stderr, "fwcompile:", err)
+			return 2
+		}
+		return 0
+	}
+	out, err := gen.Generate(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwcompile:", err)
+		return 2
+	}
+	if *compact {
+		compacted, removed, err := redundancy.RemoveAll(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fwcompile:", err)
+			return 2
+		}
+		if len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "fwcompile: removed %d redundant rules\n", len(removed))
+		}
+		out = compacted
+	}
+	fmt.Fprintf(os.Stderr, "fwcompile: %d rules in, %d rules out\n", inRules, out.Size())
+	if err := rule.WritePolicy(os.Stdout, out); err != nil {
+		fmt.Fprintln(os.Stderr, "fwcompile:", err)
+		return 2
+	}
+	return 0
+}

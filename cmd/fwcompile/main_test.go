@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func withArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = append([]string{"fwcompile"}, args...)
+	return run()
+}
+
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	defer func() { os.Stdout = old }()
+	path := filepath.Join(t.TempDir(), "stdout")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	fn()
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+const policy = `
+src in 224.168.0.0/16 -> discard
+dst in 192.168.0.1 && dport in 25 && proto in tcp -> accept
+dst in 192.168.0.1 -> discard
+any -> accept
+`
+
+func TestCompileNormalizes(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.fw", policy)
+	out := captureStdout(t, func() {
+		if code := withArgs(t, "-stats", in); code != 0 {
+			t.Fatalf("exit = %d", code)
+		}
+	})
+	if !strings.Contains(out, "->") {
+		t.Fatalf("no rules in output:\n%s", out)
+	}
+	// With -compact too.
+	out = captureStdout(t, func() {
+		if code := withArgs(t, "-compact", in); code != 0 {
+			t.Fatalf("compact exit = %d", code)
+		}
+	})
+	if out == "" {
+		t.Fatal("no compacted output")
+	}
+}
+
+func TestCompileFDDRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.fw", policy)
+	fddText := captureStdout(t, func() {
+		if code := withArgs(t, "-tofdd", in); code != 0 {
+			t.Fatalf("tofdd exit = %d", code)
+		}
+	})
+	if !strings.HasPrefix(fddText, "fdd v1") {
+		t.Fatalf("bad fdd header:\n%s", fddText)
+	}
+	fddFile := writeFile(t, dir, "in.fdd", fddText)
+	rules := captureStdout(t, func() {
+		if code := withArgs(t, "-fromfdd", fddFile); code != 0 {
+			t.Fatalf("fromfdd exit = %d", code)
+		}
+	})
+	if !strings.Contains(rules, "224.168.0.0/16") {
+		t.Fatalf("expected the malicious block in the compiled rules:\n%s", rules)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if code := withArgs(t); code != 2 {
+		t.Fatalf("no args: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, filepath.Join(dir, "missing.fw")); code != 2 {
+		t.Fatalf("missing input: exit = %d, want 2", code)
+	}
+	partial := writeFile(t, dir, "partial.fw", "dport in 25 -> accept\n")
+	if code := withArgs(t, partial); code != 2 {
+		t.Fatalf("non-comprehensive: exit = %d, want 2", code)
+	}
+	badFDD := writeFile(t, dir, "bad.fdd", "not an fdd\n")
+	if code := withArgs(t, "-fromfdd", badFDD); code != 2 {
+		t.Fatalf("bad fdd: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func withArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = append([]string{"fwimpact"}, args...)
+	return run()
+}
+
+func TestImpactfulChange(t *testing.T) {
+	dir := t.TempDir()
+	before := writeFile(t, dir, "before.fw", `
+dst in 192.168.0.1 && dport in 25 -> accept
+any -> discard
+`)
+	after := writeFile(t, dir, "after.fw", `
+proto in udp -> discard
+dst in 192.168.0.1 && dport in 25 -> accept
+any -> discard
+`)
+	if code := withArgs(t, before, after); code != 1 {
+		t.Fatalf("exit = %d, want 1 (change has impact)", code)
+	}
+	if code := withArgs(t, "-rules", before, after); code != 1 {
+		t.Fatalf("-rules exit = %d, want 1", code)
+	}
+}
+
+func TestNoOpChange(t *testing.T) {
+	dir := t.TempDir()
+	text := "dst in 192.168.0.1 -> accept\nany -> discard\n"
+	before := writeFile(t, dir, "before.fw", text)
+	after := writeFile(t, dir, "after.fw", "dst in 192.168.0.1 -> accept\ndst in 192.168.0.1 && dport in 25 -> accept\nany -> discard\n")
+	// The inserted rule is fully shadowed: no functional impact.
+	if code := withArgs(t, before, after); code != 0 {
+		t.Fatalf("exit = %d, want 0 (no impact)", code)
+	}
+}
+
+func TestEditMode(t *testing.T) {
+	dir := t.TempDir()
+	before := writeFile(t, dir, "before.fw", `
+dst in 192.168.0.1 && dport in 25 -> accept
+any -> discard
+`)
+	// Impactful edit via flag.
+	if code := withArgs(t, "-edit", "insert 1: dport in 25 -> discard", before); code != 1 {
+		t.Fatalf("impactful edit: exit = %d, want 1", code)
+	}
+	// Cosmetic edit: append an unreachable rule.
+	if code := withArgs(t, "-edit", "append: dport in 25 -> accept", before); code != 0 {
+		t.Fatalf("cosmetic edit: exit = %d, want 0", code)
+	}
+	// Edit script file: blocking UDP above the mail rule kills UDP mail.
+	script := writeFile(t, dir, "edits.txt", "insert 1: proto in udp -> discard\nappend: any -> discard\n")
+	if code := withArgs(t, "-edits", script, before); code != 1 {
+		t.Fatalf("script edit: exit = %d, want 1", code)
+	}
+	// Errors.
+	if code := withArgs(t, "-edit", "zork", before); code != 2 {
+		t.Fatalf("bad edit: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, "-edit", "delete 99", before); code != 2 {
+		t.Fatalf("out-of-range edit: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, "-edits", filepath.Join(dir, "missing.txt"), before); code != 2 {
+		t.Fatalf("missing script: exit = %d, want 2", code)
+	}
+	// Edit mode takes exactly one positional.
+	if code := withArgs(t, "-edit", "delete 1", before, before); code != 2 {
+		t.Fatalf("two files in edit mode: exit = %d, want 2", code)
+	}
+}
+
+func TestImpactUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.fw", "any -> accept\n")
+	if code := withArgs(t); code != 2 {
+		t.Fatalf("no args: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, "-schema", "bogus", a, a); code != 2 {
+		t.Fatalf("bad schema: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, a, filepath.Join(dir, "nope.fw")); code != 2 {
+		t.Fatalf("missing file: exit = %d, want 2", code)
+	}
+}

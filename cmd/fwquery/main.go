@@ -1,0 +1,72 @@
+// Command fwquery runs firewall queries (the paper's reference [20])
+// against a policy file: exact, FDD-based answers to questions like
+// "which destination ports are accepted into the DMZ?".
+//
+// Usage:
+//
+//	fwquery [-schema five|four|paper] policy.fw 'select dport where dst in 10.0.0.0/8 decision accept'
+//
+// The query grammar is
+//
+//	select <field> [where <conjuncts>] decision <decision>
+//
+// with <conjuncts> in the rule file syntax ("src in 1.2.3.0/24 && proto
+// in tcp").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diversefw/internal/cli"
+	"diversefw/internal/query"
+	"diversefw/internal/rule"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("fwquery", flag.ContinueOnError)
+	schemaName := fs.String("schema", "five", "packet schema: "+cli.SchemaNames())
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fwquery [-schema name] policy.fw 'select <field> [where <cond>] decision <dec>'")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	schema, err := cli.Schema(*schemaName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwquery:", err)
+		return 2
+	}
+	p, err := cli.LoadPolicy(schema, fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwquery:", err)
+		return 2
+	}
+	q, err := query.Parse(schema, fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwquery:", err)
+		return 2
+	}
+	result, err := query.RunPolicy(p, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwquery:", err)
+		return 2
+	}
+	if result.Empty() {
+		fmt.Println("(empty)")
+		return 0
+	}
+	fmt.Println(rule.FormatValueSet(schema.Field(q.Select), result))
+	return 0
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func withArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = append([]string{"fwquery"}, args...)
+	return run()
+}
+
+func TestQueryRuns(t *testing.T) {
+	dir := t.TempDir()
+	fw := writeFile(t, dir, "p.fw", `
+dst in 192.168.0.1 && dport in 25 && proto in tcp -> accept
+any -> discard
+`)
+	if code := withArgs(t, fw, "select dport where dst in 192.168.0.1 decision accept"); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	// Empty result is still success.
+	if code := withArgs(t, fw, "select dport where src in 1.2.3.4 && proto in udp decision accept"); code != 0 {
+		t.Fatalf("empty result: exit = %d, want 0", code)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	dir := t.TempDir()
+	fw := writeFile(t, dir, "p.fw", "any -> accept\n")
+	if code := withArgs(t); code != 2 {
+		t.Fatalf("no args: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, fw, "gibberish"); code != 2 {
+		t.Fatalf("bad query: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, filepath.Join(dir, "missing.fw"), "select dport decision accept"); code != 2 {
+		t.Fatalf("missing file: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, "-schema", "zzz", fw, "select dport decision accept"); code != 2 {
+		t.Fatalf("bad schema: exit = %d, want 2", code)
+	}
+}

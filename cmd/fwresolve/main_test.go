@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func withArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = append([]string{"fwresolve"}, args...)
+	return run()
+}
+
+const teamA = `
+dst in 192.168.0.1 && dport in 25 -> accept
+src in 224.168.0.0/16 -> discard
+any -> accept
+`
+
+const teamB = `
+src in 224.168.0.0/16 -> discard
+dst in 192.168.0.1 && dport in 25 && proto in tcp -> accept
+dst in 192.168.0.1 -> discard
+any -> accept
+`
+
+func fixtures(t *testing.T) (a, b string) {
+	dir := t.TempDir()
+	return writeFile(t, dir, "a.fw", teamA), writeFile(t, dir, "b.fw", teamB)
+}
+
+func TestListMode(t *testing.T) {
+	a, b := fixtures(t)
+	if code := withArgs(t, a, b); code != 1 {
+		t.Fatalf("list with discrepancies: exit = %d, want 1", code)
+	}
+	// Equivalent inputs list cleanly.
+	if code := withArgs(t, a, a); code != 0 {
+		t.Fatalf("list equivalent: exit = %d, want 0", code)
+	}
+}
+
+func TestResolveAllMethods(t *testing.T) {
+	a, b := fixtures(t)
+	for _, method := range []string{"fdd", "a", "b"} {
+		if code := withArgs(t, "-decide", "1=discard,2=accept,3=discard", "-method", method, a, b); code != 0 {
+			t.Fatalf("method %s: exit = %d, want 0", method, code)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	a, b := fixtures(t)
+	cases := [][]string{
+		{"-decide", "1=discard", a, b},                     // incomplete
+		{"-decide", "banana", a, b},                        // malformed
+		{"-decide", "0=discard", a, b},                     // bad row
+		{"-decide", "1=zap,2=accept,3=discard", a, b},      // bad decision
+		{"-decide", "9=discard,1=a,2=a,3=a", a, b},         // out of range
+		{"-decide", "1=d,2=a,3=d", "-method", "zig", a, b}, // bad method
+		{a}, // usage
+	}
+	for _, args := range cases {
+		if code := withArgs(t, args...); code != 2 {
+			t.Fatalf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}

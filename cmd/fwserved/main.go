@@ -1,0 +1,58 @@
+// Command fwserved serves the firewall analyses over HTTP with JSON
+// bodies — policy diffing, change impact, auditing, and queries — so
+// CI pipelines and dashboards can call the comparison machinery without
+// shelling out.
+//
+// Usage:
+//
+//	fwserved [-addr :8080]
+//
+// Endpoints (all POST with JSON bodies; see internal/api for the types):
+//
+//	POST /v1/diff    {"schema":"five","a":"...","b":"..."}
+//	POST /v1/impact  {"schema":"five","before":"...","after":"..."}
+//	POST /v1/resolve {"schema":"five","a":"...","b":"...","decisions":{"1":"discard"}}
+//	POST /v1/audit   {"schema":"five","policy":"...","complete":true}
+//	POST /v1/query   {"schema":"five","policy":"...","query":"select ..."}
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"diversefw/internal/api"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("fwserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewServer(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "fwserved: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "fwserved:", err)
+		return 1
+	}
+	return 0
+}

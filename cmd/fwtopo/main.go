@@ -1,0 +1,112 @@
+// Command fwtopo computes end-to-end filtering behaviour across a
+// network of firewalls (the filtering-postures setting of references
+// [15] and [5]): given a topology file, it composes the policies along
+// the unique path between two zones, or compares two candidate
+// topologies' end-to-end behaviour — diverse design at the network level.
+//
+// Usage:
+//
+//	fwtopo [-schema five] topo.txt from to            # print the end-to-end policy
+//	fwtopo -diff other.txt topo.txt from to           # compare two topologies
+//
+// Policy paths inside a topology file are resolved relative to the file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"diversefw/internal/cli"
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/netmodel"
+	"diversefw/internal/rule"
+	"diversefw/internal/textio"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func loadTopology(schema *field.Schema, path string) (*netmodel.Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dir := filepath.Dir(path)
+	return netmodel.ParseTopology(f, schema, func(p string) (*rule.Policy, error) {
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, p)
+		}
+		return cli.LoadPolicy(schema, p)
+	})
+}
+
+func run() int {
+	fs := flag.NewFlagSet("fwtopo", flag.ContinueOnError)
+	schemaName := fs.String("schema", "five", "packet schema: "+cli.SchemaNames())
+	diffWith := fs.String("diff", "", "second topology file: compare end-to-end behaviours")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fwtopo [-schema name] [-diff other.txt] topo.txt from-zone to-zone")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 3 {
+		fs.Usage()
+		return 2
+	}
+	schema, err := cli.Schema(*schemaName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwtopo:", err)
+		return 2
+	}
+	top, err := loadTopology(schema, fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwtopo:", err)
+		return 2
+	}
+	from, to := fs.Arg(1), fs.Arg(2)
+	e2e, err := top.EndToEnd(from, to)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwtopo:", err)
+		return 2
+	}
+
+	if *diffWith == "" {
+		if err := rule.WritePolicy(os.Stdout, e2e); err != nil {
+			fmt.Fprintln(os.Stderr, "fwtopo:", err)
+			return 2
+		}
+		return 0
+	}
+
+	other, err := loadTopology(schema, *diffWith)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwtopo:", err)
+		return 2
+	}
+	otherE2E, err := other.EndToEnd(from, to)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwtopo:", err)
+		return 2
+	}
+	report, err := compare.Diff(e2e, otherE2E)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwtopo:", err)
+		return 2
+	}
+	if err := textio.WriteDiscrepancyTable(os.Stdout, schema, report.Discrepancies,
+		filepath.Base(fs.Arg(0)), filepath.Base(*diffWith)); err != nil {
+		fmt.Fprintln(os.Stderr, "fwtopo:", err)
+		return 2
+	}
+	if report.Equivalent() {
+		return 0
+	}
+	return 1
+}

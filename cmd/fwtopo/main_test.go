@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func withArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = append([]string{"fwtopo"}, args...)
+	return run()
+}
+
+func fixtures(t *testing.T) (dir string) {
+	dir = t.TempDir()
+	writeFile(t, dir, "gw.fw", `
+dst in 10.0.1.10 && dport in 443 && proto in tcp -> accept
+dst in 10.0.2.0/24 -> accept
+any -> discard
+`)
+	writeFile(t, dir, "inner.fw", `
+dst in 10.0.2.20 && dport in 5432 && proto in tcp -> accept
+any -> discard
+`)
+	writeFile(t, dir, "topo.txt", `
+# two-firewall network
+zone internet
+zone dmz
+zone lan
+link internet dmz forward=gw.fw backward=-
+link dmz lan forward=inner.fw
+`)
+	writeFile(t, dir, "flat.fw", `
+dst in 10.0.2.20 && dport in 5432 && proto in tcp -> accept
+any -> discard
+`)
+	writeFile(t, dir, "topo2.txt", `
+zone internet
+zone dmz
+zone lan
+link internet dmz forward=flat.fw
+link dmz lan
+`)
+	return dir
+}
+
+func TestEndToEndPolicy(t *testing.T) {
+	dir := fixtures(t)
+	topo := filepath.Join(dir, "topo.txt")
+	if code := withArgs(t, topo, "internet", "lan"); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestDiffTopologies(t *testing.T) {
+	dir := fixtures(t)
+	topo := filepath.Join(dir, "topo.txt")
+	topo2 := filepath.Join(dir, "topo2.txt")
+	// internet -> lan: both allow only the database flow; equivalent.
+	if code := withArgs(t, "-diff", topo2, topo, "internet", "lan"); code != 0 {
+		t.Fatalf("internet->lan diff exit = %d, want 0 (equivalent)", code)
+	}
+	// internet -> dmz: topo admits 443 to the web server, topo2 does not.
+	if code := withArgs(t, "-diff", topo2, topo, "internet", "dmz"); code != 1 {
+		t.Fatalf("internet->dmz diff exit = %d, want 1 (differs)", code)
+	}
+}
+
+func TestTopoErrors(t *testing.T) {
+	dir := fixtures(t)
+	topo := filepath.Join(dir, "topo.txt")
+	if code := withArgs(t); code != 2 {
+		t.Fatalf("no args: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, topo, "internet", "mars"); code != 2 {
+		t.Fatalf("unknown zone: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, filepath.Join(dir, "missing.txt"), "a", "b"); code != 2 {
+		t.Fatalf("missing topology: exit = %d, want 2", code)
+	}
+	bad := writeFile(t, dir, "bad.txt", "zonk internet\n")
+	if code := withArgs(t, bad, "a", "b"); code != 2 {
+		t.Fatalf("bad directive: exit = %d, want 2", code)
+	}
+	missing := writeFile(t, dir, "missingpolicy.txt", "zone a\nzone b\nlink a b forward=nope.fw\n")
+	if code := withArgs(t, missing, "a", "b"); code != 2 {
+		t.Fatalf("missing policy file: exit = %d, want 2", code)
+	}
+}

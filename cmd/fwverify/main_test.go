@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func withArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = append([]string{"fwverify"}, args...)
+	return run()
+}
+
+const theSpec = `
+require I in 0 && S in 224.168.0.0/16 -> discard   # malicious domain blocked
+require I in 0 && S in !224.168.0.0/16 && D in 192.168.0.1 && N in 25 -> accept  # mail works
+`
+
+func TestVerifyPassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	specFile := writeFile(t, dir, "spec.txt", theSpec)
+	good := writeFile(t, dir, "good.fw", `
+I in 0 && S in 224.168.0.0/16 -> discard
+I in 0 && D in 192.168.0.1 && N in 25 -> accept
+any -> accept
+`)
+	// Team A accepts malicious mail: violates property 1.
+	teamA := writeFile(t, dir, "teamA.fw", `
+I in 0 && D in 192.168.0.1 && N in 25 -> accept
+I in 0 && S in 224.168.0.0/16 -> discard
+any -> accept
+`)
+	if code := withArgs(t, "-schema", "paper", "-spec", specFile, good); code != 0 {
+		t.Fatalf("good policy: exit = %d, want 0", code)
+	}
+	if code := withArgs(t, "-schema", "paper", "-spec", specFile, teamA); code != 1 {
+		t.Fatalf("team A: exit = %d, want 1", code)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeFile(t, dir, "p.fw", "any -> accept\n")
+	if code := withArgs(t); code != 2 {
+		t.Fatalf("no args: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, good); code != 2 {
+		t.Fatalf("missing -spec: exit = %d, want 2", code)
+	}
+	if code := withArgs(t, "-spec", filepath.Join(dir, "nope.txt"), good); code != 2 {
+		t.Fatalf("missing spec file: exit = %d, want 2", code)
+	}
+	contradictory := writeFile(t, dir, "bad.txt", `
+require N in 25 -> accept
+require S in 224.168.0.0/16 -> discard
+`)
+	if code := withArgs(t, "-schema", "paper", "-spec", contradictory, good); code != 2 {
+		t.Fatalf("contradictory spec: exit = %d, want 2", code)
+	}
+	garbage := writeFile(t, dir, "garbage.txt", "zork\n")
+	if code := withArgs(t, "-spec", garbage, good); code != 2 {
+		t.Fatalf("garbage spec: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,114 @@
+// DMZ: diverse design lifted to a network of firewalls.
+//
+// Two architects design the same two-firewall network (internet -[gw]-
+// dmz -[inner]- lan) with the same intent: the DMZ web server is
+// reachable from the Internet on 443; the LAN database is reachable only
+// from the DMZ on 5432; nothing else enters. Architect 1 filters
+// everything at the gateway; architect 2 splits enforcement across the
+// two firewalls. The end-to-end behaviours are composed per zone pair and
+// compared exactly — agreement on internet->lan, and a pinpointed
+// difference at the DMZ boundary.
+//
+// Run with: go run ./examples/dmz
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/netmodel"
+	"diversefw/internal/rule"
+	"diversefw/internal/textio"
+)
+
+func mustPolicy(s *field.Schema, text string) *rule.Policy {
+	p, err := rule.ParsePolicyString(s, text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dmz: ")
+	s := field.IPv4FiveTuple()
+
+	const (
+		web = "10.0.1.10" // DMZ web server
+		db  = "10.0.2.20" // LAN database
+	)
+
+	// Architect 1: the gateway enforces everything; the inner firewall
+	// only guards the database.
+	gw1 := mustPolicy(s, `
+dst in `+web+` && dport in 443 && proto in tcp -> accept
+dst in `+db+` && dport in 5432 && proto in tcp -> accept # gateway passes it for the inner fw
+any -> discard
+`)
+	inner1 := mustPolicy(s, `
+src in 10.0.1.0/24 && dst in `+db+` && dport in 5432 && proto in tcp -> accept
+any -> discard
+`)
+
+	// Architect 2: the gateway only admits DMZ-bound web traffic; the
+	// inner firewall owns the database rule entirely.
+	gw2 := mustPolicy(s, `
+dst in `+web+` && dport in 443 && proto in tcp -> accept
+dst in 10.0.2.0/24 -> accept # architect 2 trusts the inner firewall for LAN-bound traffic
+any -> discard
+`)
+	inner2 := inner1.Clone()
+
+	build := func(gw, inner *rule.Policy) *netmodel.Topology {
+		top, err := netmodel.New(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, z := range []string{"internet", "dmz", "lan"} {
+			if err := top.AddZone(z); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := top.Connect("internet", "dmz", gw, nil); err != nil {
+			log.Fatal(err)
+		}
+		if err := top.Connect("dmz", "lan", inner, nil); err != nil {
+			log.Fatal(err)
+		}
+		return top
+	}
+	t1 := build(gw1, inner1)
+	t2 := build(gw2, inner2)
+
+	for _, pair := range [][2]string{{"internet", "lan"}, {"internet", "dmz"}, {"dmz", "lan"}} {
+		e1, err := t1.EndToEnd(pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		e2, err := t2.EndToEnd(pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := compare.Diff(e1, e2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s -> %s: ", pair[0], pair[1])
+		if report.Equivalent() {
+			fmt.Println("the two architectures behave identically")
+			continue
+		}
+		fmt.Printf("%d end-to-end discrepancies\n", len(report.Discrepancies))
+		if err := textio.WriteDiscrepancyTable(os.Stdout, s, report.Discrepancies, "architect 1", "architect 2"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\n(architect 2's gateway admits all LAN-bound traffic into the DMZ,")
+	fmt.Println("trusting the inner firewall — identical end to end, but a larger")
+	fmt.Println("DMZ attack surface. Exactly the kind of difference the comparison")
+	fmt.Println("phase is meant to put in front of both teams.)")
+}

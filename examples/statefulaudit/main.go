@@ -1,0 +1,132 @@
+// Stateful audit: diverse design applied to connection-tracking firewalls
+// plus query-based specification checks.
+//
+// Two teams write the new-traffic policy of a stateful gateway ("allow
+// established; then: inbound TCP mail to the server, DNS out, deny the
+// rest"). The Gouda-Liu stateful model reduces comparing the two stateful
+// firewalls to comparing their stateless sections over a schema extended
+// with the connection tag — so the ordinary pipeline finds the
+// discrepancies, each labeled new-vs-established. Firewall queries then
+// audit the agreed design against the specification.
+//
+// Run with: go run ./examples/statefulaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/query"
+	"diversefw/internal/rule"
+	"diversefw/internal/stateful"
+	"diversefw/internal/textio"
+)
+
+const (
+	mailServer = uint64(0xC0A80001) // 192.168.0.1
+	dnsServer  = uint64(0x08080808) // 8.8.8.8
+)
+
+// newTrafficPolicy builds a five-tuple policy from (dst, dport, proto,
+// decision) service entries plus a default.
+func servicePolicy(s *field.Schema, entries [][4]uint64, defDecision rule.Decision) *rule.Policy {
+	rules := make([]rule.Rule, 0, len(entries)+1)
+	for _, e := range entries {
+		pred := rule.FullPredicate(s)
+		pred[1] = interval.SetOf(e[0], e[0])
+		pred[3] = interval.SetOf(e[1], e[1])
+		pred[4] = interval.SetOf(e[2], e[2])
+		rules = append(rules, rule.Rule{Pred: pred, Decision: rule.Decision(e[3])})
+	}
+	rules = append(rules, rule.CatchAll(s, defDecision))
+	return rule.MustPolicy(s, rules)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("statefulaudit: ")
+	s := field.IPv4FiveTuple()
+
+	// Team A: mail (tcp/25) in, DNS (udp/53) to the resolver.
+	teamA := servicePolicy(s, [][4]uint64{
+		{mailServer, 25, 6, uint64(rule.Accept)},
+		{dnsServer, 53, 17, uint64(rule.Accept)},
+	}, rule.Discard)
+
+	// Team B: same intent, but forgot DNS and logs discarded traffic.
+	teamB := servicePolicy(s, [][4]uint64{
+		{mailServer, 25, 6, uint64(rule.Accept)},
+	}, rule.DiscardLog)
+
+	statelessA, err := stateful.TrackingPolicy(teamA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statelessB, err := stateful.TrackingPolicy(teamB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fwA, err := stateful.New(statelessA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fwB, err := stateful.New(statelessB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := stateful.Diff(fwA, fwB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discrepancies between the two stateful designs (%d):\n", len(report.Discrepancies))
+	if err := textio.WriteDiscrepancyTable(os.Stdout, statelessA.Schema, report.Discrepancies, "Team A", "Team B"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(the 'state' column shows every disagreement concerns new traffic;")
+	fmt.Println("both teams accept established connections)")
+
+	// Query-based audit of Team A's design (the [20] substrate): which
+	// destination ports accept *new* inbound traffic?
+	ext := statelessA.Schema
+	where := rule.FullPredicate(ext)
+	where[ext.IndexOf("state")] = interval.SetOf(stateful.TagNew, stateful.TagNew)
+	ports, err := query.RunPolicy(statelessA, query.Query{
+		Select:   ext.IndexOf("dport"),
+		Where:    where,
+		Decision: rule.Accept,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery: ports accepting NEW traffic in Team A's design: %s\n",
+		rule.FormatValueSet(ext.Field(ext.IndexOf("dport")), ports))
+
+	// Spec check: no new traffic to the mail server other than port 25.
+	pred := rule.FullPredicate(ext)
+	pred[ext.IndexOf("dst")] = interval.SetOf(mailServer, mailServer)
+	pred[ext.IndexOf("dport")] = ext.FullSet(ext.IndexOf("dport")).Subtract(interval.SetOf(25, 25))
+	pred[ext.IndexOf("state")] = interval.SetOf(stateful.TagNew, stateful.TagNew)
+	w, err := query.VerifyPolicy(statelessA, pred, rule.Discard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if w == nil {
+		fmt.Println("spec check: non-mail new traffic to the mail server is always discarded ✓")
+	} else {
+		fmt.Printf("spec check FAILED: witness %v gets %v\n", w.Packet, w.Decision)
+	}
+
+	// And the stateful engine in action: the DNS reply only passes after
+	// the forward query established state.
+	client := uint64(0x0A000007)
+	reply := rule.Packet{dnsServer, client, 53, 40000, 17}
+	forward := rule.Packet{client, dnsServer, 40000, 53, 17}
+	d1, _ := fwA.Process(reply)
+	d2, _ := fwA.Process(forward)
+	d3, _ := fwA.Process(reply)
+	fmt.Printf("\nconnection tracking: unsolicited reply %v, query %v, tracked reply %v\n", d1, d2, d3)
+}

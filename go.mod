@@ -1,0 +1,3 @@
+module diversefw
+
+go 1.22

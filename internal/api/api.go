@@ -1,0 +1,190 @@
+// Package api defines the JSON wire types and conversions for the
+// analysis service (cmd/fwserved): policy diffing, change impact,
+// auditing, and queries over HTTP. Policies travel as the same text
+// format the tools read; results carry field values in the human-readable
+// notation of the reports (CIDR blocks, port ranges, "!..." complements).
+package api
+
+import (
+	"fmt"
+
+	"diversefw/internal/anomaly"
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/impact"
+	"diversefw/internal/rule"
+)
+
+// DiffRequest asks for all functional discrepancies between two policies.
+type DiffRequest struct {
+	// Schema selects the packet schema: five, four, or paper.
+	Schema string `json:"schema"`
+	// A and B are policies in the rule text format.
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// Discrepancy is one region of disagreement with both decisions.
+type Discrepancy struct {
+	// Fields maps field names to value sets in rule text notation.
+	Fields map[string]string `json:"fields"`
+	A      string            `json:"a"`
+	B      string            `json:"b"`
+}
+
+// DiffResponse reports the comparison result.
+type DiffResponse struct {
+	Equivalent    bool          `json:"equivalent"`
+	Discrepancies []Discrepancy `json:"discrepancies,omitempty"`
+	// Timing breaks the pipeline into the paper's three phases, in
+	// milliseconds.
+	ConstructMillis float64 `json:"constructMillis"`
+	ShapeMillis     float64 `json:"shapeMillis"`
+	CompareMillis   float64 `json:"compareMillis"`
+}
+
+// ImpactRequest asks for the functional impact of a policy change. The
+// after policy is given either verbatim (After) or as an edit script
+// applied to the before policy (Edits — one edit per entry in the
+// fwimpact edit syntax, see docs/FORMATS.md); exactly one of the two.
+type ImpactRequest struct {
+	Schema string   `json:"schema"`
+	Before string   `json:"before"`
+	After  string   `json:"after,omitempty"`
+	Edits  []string `json:"edits,omitempty"`
+}
+
+// Attribution explains one impacted region.
+type Attribution struct {
+	Region Discrepancy `json:"region"`
+	// BeforeRule and AfterRule are 1-based indices of the first-match
+	// rules deciding the region on each side.
+	BeforeRule int `json:"beforeRule"`
+	AfterRule  int `json:"afterRule"`
+}
+
+// ImpactResponse reports a change-impact analysis.
+type ImpactResponse struct {
+	NoImpact     bool          `json:"noImpact"`
+	Attributions []Attribution `json:"attributions,omitempty"`
+}
+
+// AuditRequest asks for single-policy findings.
+type AuditRequest struct {
+	Schema string `json:"schema"`
+	Policy string `json:"policy"`
+	// Complete additionally runs the semantic redundancy check.
+	Complete bool `json:"complete"`
+}
+
+// Finding is one audit result.
+type Finding struct {
+	Kind string `json:"kind"`
+	// Rules lists the 1-based indices involved.
+	Rules []int `json:"rules"`
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// AuditResponse lists audit findings.
+type AuditResponse struct {
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// ResolveRequest runs the resolution phase over HTTP: diff two policies,
+// apply the agreed decisions, and return the generated final firewall.
+// Decisions maps 1-based discrepancy row numbers (as returned by
+// /v1/diff for the same pair — the row order is deterministic) to the
+// agreed decision ("accept", "discard", ...); every row must be resolved.
+type ResolveRequest struct {
+	Schema    string            `json:"schema"`
+	A         string            `json:"a"`
+	B         string            `json:"b"`
+	Decisions map[string]string `json:"decisions"`
+	// Method is "fdd" (Method 1, default), "a", or "b" (Method 2).
+	Method string `json:"method,omitempty"`
+}
+
+// ResolveResponse carries the verified final firewall.
+type ResolveResponse struct {
+	// Policy is the final firewall in the policy text format, verified
+	// against the resolved semantics before being returned.
+	Policy string `json:"policy"`
+	// Rows is the number of discrepancies that were resolved.
+	Rows int `json:"rows"`
+}
+
+// QueryRequest runs a firewall query.
+type QueryRequest struct {
+	Schema string `json:"schema"`
+	Policy string `json:"policy"`
+	// Query is the textual form: "select <field> [where <cond>] decision <dec>".
+	Query string `json:"query"`
+}
+
+// QueryResponse carries the projected value set in text notation.
+type QueryResponse struct {
+	Values string `json:"values"`
+	Empty  bool   `json:"empty"`
+}
+
+// Error is the JSON error body for non-2xx responses.
+type Error struct {
+	Message string `json:"error"`
+}
+
+// ConvertDiscrepancy renders a pipeline discrepancy into wire form.
+func ConvertDiscrepancy(schema *field.Schema, d compare.Discrepancy) Discrepancy {
+	out := Discrepancy{
+		Fields: make(map[string]string, schema.NumFields()),
+		A:      d.A.String(),
+		B:      d.B.String(),
+	}
+	for fi, s := range d.Pred {
+		f := schema.Field(fi)
+		out.Fields[f.Name] = rule.FormatValueSet(f, s)
+	}
+	return out
+}
+
+// ConvertReport renders a full comparison report.
+func ConvertReport(schema *field.Schema, r *compare.Report) DiffResponse {
+	resp := DiffResponse{
+		Equivalent:      r.Equivalent(),
+		ConstructMillis: float64(r.Timing.Construct.Microseconds()) / 1000,
+		ShapeMillis:     float64(r.Timing.Shape.Microseconds()) / 1000,
+		CompareMillis:   float64(r.Timing.Compare.Microseconds()) / 1000,
+	}
+	for _, d := range r.Discrepancies {
+		resp.Discrepancies = append(resp.Discrepancies, ConvertDiscrepancy(schema, d))
+	}
+	return resp
+}
+
+// ConvertImpact renders an impact analysis.
+func ConvertImpact(im *impact.Impact) ImpactResponse {
+	resp := ImpactResponse{NoImpact: im.None()}
+	for _, a := range im.Attribute() {
+		resp.Attributions = append(resp.Attributions, Attribution{
+			Region:     ConvertDiscrepancy(im.Before.Schema, a.Discrepancy),
+			BeforeRule: a.BeforeRule + 1,
+			AfterRule:  a.AfterRule + 1,
+		})
+	}
+	return resp
+}
+
+// ConvertAnomalies renders audit anomalies.
+func ConvertAnomalies(p *rule.Policy, as []anomaly.Anomaly) []Finding {
+	out := make([]Finding, 0, len(as))
+	for _, a := range as {
+		out = append(out, Finding{
+			Kind:  a.Kind.String(),
+			Rules: []int{a.I + 1, a.J + 1},
+			Detail: fmt.Sprintf("%s (rule %d: %s; rule %d: %s)",
+				a.Kind, a.I+1, rule.FormatRule(p.Schema, p.Rules[a.I]),
+				a.J+1, rule.FormatRule(p.Schema, p.Rules[a.J])),
+		})
+	}
+	return out
+}

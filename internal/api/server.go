@@ -1,0 +1,326 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"diversefw/internal/anomaly"
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/impact"
+	"diversefw/internal/query"
+	"diversefw/internal/redundancy"
+	"diversefw/internal/resolve"
+	"diversefw/internal/rule"
+)
+
+// maxBodyBytes bounds request bodies; the largest real-life policies the
+// paper discusses (a few thousand rules) fit comfortably.
+const maxBodyBytes = 4 << 20
+
+// Server exposes the analyses over HTTP with JSON bodies.
+type Server struct {
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler tree.
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.health)
+	s.mux.HandleFunc("/v1/diff", s.diff)
+	s.mux.HandleFunc("/v1/impact", s.impact)
+	s.mux.HandleFunc("/v1/audit", s.audit)
+	s.mux.HandleFunc("/v1/query", s.query)
+	s.mux.HandleFunc("/v1/resolve", s.resolve)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var _ http.Handler = (*Server)(nil)
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decodeInto reads a JSON request body.
+func decodeInto(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// schemaByName resolves the wire schema name.
+func schemaByName(name string) (*field.Schema, error) {
+	switch name {
+	case "", "five":
+		return field.IPv4FiveTuple(), nil
+	case "four":
+		return field.FourTuple(), nil
+	case "paper":
+		return field.PaperExample(), nil
+	default:
+		return nil, fmt.Errorf("unknown schema %q", name)
+	}
+}
+
+func parsePolicy(schema *field.Schema, text, what string) (*rule.Policy, error) {
+	p, err := rule.ParsePolicyString(schema, text)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", what, err)
+	}
+	return p, nil
+}
+
+func (s *Server) diff(w http.ResponseWriter, r *http.Request) {
+	var req DiffRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pa, err := parsePolicy(schema, req.A, "policy a")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pb, err := parsePolicy(schema, req.B, "policy b")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	report, err := compare.Diff(pa, pb)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConvertReport(schema, report))
+}
+
+func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
+	var req ImpactRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	before, err := parsePolicy(schema, req.Before, "before")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.After != "") == (len(req.Edits) > 0) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("provide exactly one of after and edits"))
+		return
+	}
+	var after *rule.Policy
+	if req.After != "" {
+		after, err = parsePolicy(schema, req.After, "after")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		edits := make([]impact.Edit, 0, len(req.Edits))
+		for i, line := range req.Edits {
+			e, err := impact.ParseEdit(schema, line)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("edit %d: %v", i+1, err))
+				return
+			}
+			edits = append(edits, e)
+		}
+		after, err = impact.Apply(before, edits)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	im, err := impact.Analyze(before, after)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConvertImpact(im))
+}
+
+func (s *Server) audit(w http.ResponseWriter, r *http.Request) {
+	var req AuditRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := parsePolicy(schema, req.Policy, "policy")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	resp := AuditResponse{Findings: ConvertAnomalies(p, anomaly.Detect(p))}
+
+	shadowed, err := anomaly.CompletelyShadowed(p)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	for _, i := range shadowed {
+		resp.Findings = append(resp.Findings, Finding{
+			Kind:   "never-first-match",
+			Rules:  []int{i + 1},
+			Detail: fmt.Sprintf("rule %d is never a first match: %s", i+1, rule.FormatRule(schema, p.Rules[i])),
+		})
+	}
+
+	if req.Complete {
+		_, removed, err := redundancy.RemoveAll(p)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		for _, i := range removed {
+			resp.Findings = append(resp.Findings, Finding{
+				Kind:   "redundant",
+				Rules:  []int{i + 1},
+				Detail: fmt.Sprintf("rule %d is semantically redundant: %s", i+1, rule.FormatRule(schema, p.Rules[i])),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := parsePolicy(schema, req.Policy, "policy")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := query.Parse(schema, req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	result, err := query.RunPolicy(p, q)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := QueryResponse{Empty: result.Empty()}
+	if !resp.Empty {
+		resp.Values = rule.FormatValueSet(schema.Field(q.Select), result)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) {
+	var req ResolveRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pa, err := parsePolicy(schema, req.A, "policy a")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pb, err := parsePolicy(schema, req.B, "policy b")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := resolve.NewPlan(pa, pb)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	for key, decText := range req.Decisions {
+		row, err := strconv.Atoi(key)
+		if err != nil || row < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad decision row %q", key))
+			return
+		}
+		dec, err := rule.ParseDecision(decText)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := plan.Resolve(row-1, dec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if !plan.Resolved() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d discrepancies, not all resolved", len(plan.Report.Discrepancies)))
+		return
+	}
+	var final *rule.Policy
+	switch req.Method {
+	case "", "fdd", "1":
+		final, err = plan.Method1()
+	case "a":
+		final, err = plan.Method2(true)
+	case "b":
+		final, err = plan.Method2(false)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if err := plan.Verify(final); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResolveResponse{
+		Policy: rule.FormatPolicy(final),
+		Rows:   len(plan.Report.Discrepancies),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header can only be logged; for these small
+	// bodies they do not occur in practice.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, Error{Message: err.Error()})
+}

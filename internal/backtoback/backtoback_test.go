@@ -1,0 +1,106 @@
+package backtoback
+
+import (
+	"testing"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+	s := field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt})
+	other := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Accept)})
+	if _, err := Run(paper.TeamA(), other, 10, 1, Uniform); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+	if _, err := Run(paper.TeamA(), paper.TeamB(), 10, 1, Strategy(9)); err == nil {
+		t.Fatal("unknown strategy should fail")
+	}
+}
+
+// TestUniformSamplingMissesSliverRegions is the paper's incompleteness
+// argument in numbers: all three Table 3 regions require D to equal one
+// specific address out of 2^32, so uniform testing with a realistic
+// budget finds none of them.
+func TestUniformSamplingMissesSliverRegions(t *testing.T) {
+	t.Parallel()
+	pa, pb := paper.TeamA(), paper.TeamB()
+	report, err := compare.Diff(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pa, pb, 50000, 7, Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, total := Coverage(report, res)
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+	if found != 0 {
+		// Astronomically unlikely (P < 50000 * 2^-32 per region).
+		t.Fatalf("uniform sampling hit %d sliver regions", found)
+	}
+}
+
+// TestBiasedSamplingFindsSome: rule-aware test generation does hit the
+// regions — but the witnesses are point samples, not region descriptions,
+// and completeness is still not guaranteed.
+func TestBiasedSamplingFindsSome(t *testing.T) {
+	t.Parallel()
+	pa, pb := paper.TeamA(), paper.TeamB()
+	report, err := compare.Diff(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pa, pb, 5000, 7, Biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, total := Coverage(report, res)
+	if found == 0 {
+		t.Fatal("biased sampling should find at least one region")
+	}
+	if found > total {
+		t.Fatalf("found %d > total %d", found, total)
+	}
+	// Every witness must be a genuine disagreement inside some region.
+	for _, w := range res.Witnesses {
+		inRegion := false
+		for _, d := range report.Discrepancies {
+			if d.Pred.Matches(w) {
+				inRegion = true
+				break
+			}
+		}
+		if !inRegion {
+			t.Fatalf("witness %v outside every exact region", w)
+		}
+	}
+}
+
+func TestEquivalentPoliciesProduceNoWitnesses(t *testing.T) {
+	t.Parallel()
+	a := paper.TeamA()
+	res, err := Run(a, a.Clone(), 2000, 3, Biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Witnesses) != 0 {
+		t.Fatalf("equivalent policies produced %d witnesses", len(res.Witnesses))
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	t.Parallel()
+	if Uniform.String() != "uniform" || Biased.String() != "biased" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(9).String() != "strategy#9" {
+		t.Fatal("unknown strategy name wrong")
+	}
+}

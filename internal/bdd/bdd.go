@@ -1,0 +1,445 @@
+// Package bdd implements a reduced ordered binary decision diagram
+// (ROBDD) engine and a bit-blasted firewall encoding — the alternative
+// design the paper evaluates and rejects in Section 7.5.
+//
+// The paper's argument: BDDs can compute the discrepancy set of two
+// firewalls (encode each as the Boolean function "packet is accepted",
+// XOR them), but every BDD node tests a single *bit* of a packet, so the
+// output is not human readable, and flattening it to rule-like cubes
+// explodes — millions of bit-level rules for firewalls whose FDD-based
+// diff is a handful of rows. This package exists to reproduce that
+// comparison quantitatively (see the BDD baseline benchmark).
+//
+// The engine is a classic hash-consed ROBDD with an apply cache, built
+// only on the standard library.
+package bdd
+
+import (
+	"fmt"
+	"math"
+
+	"diversefw/internal/field"
+	"diversefw/internal/rule"
+)
+
+// Node is an index into the manager's node table. The terminals are 0
+// (false) and 1 (true).
+type Node int32
+
+// False and True are the terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable index; terminals use math.MaxInt32
+	lo, hi Node
+}
+
+const terminalLevel = math.MaxInt32
+
+// Manager owns the node table and operation caches for one variable
+// ordering.
+type Manager struct {
+	numVars int
+	nodes   []nodeData
+	unique  map[nodeData]Node
+	apply   map[applyKey]Node
+	notMemo map[Node]Node
+}
+
+type applyKey struct {
+	op   byte
+	a, b Node
+}
+
+// NewManager returns a manager for functions over numVars Boolean
+// variables, ordered by index (variable 0 at the top).
+func NewManager(numVars int) *Manager {
+	m := &Manager{
+		numVars: numVars,
+		nodes: []nodeData{
+			{level: terminalLevel}, // False
+			{level: terminalLevel}, // True
+		},
+		unique:  make(map[nodeData]Node),
+		apply:   make(map[applyKey]Node),
+		notMemo: make(map[Node]Node),
+	}
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the number of live nodes (including both terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// mk returns the canonical node (level, lo, hi), applying the ROBDD
+// reduction rules.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := nodeData{level: level, lo: lo, hi: hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = n
+	return n
+}
+
+// Var returns the function of the single variable i.
+func (m *Manager) Var(i int) Node {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0, %d)", i, m.numVars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
+
+// Not returns the complement of n.
+func (m *Manager) Not(n Node) Node {
+	switch n {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := m.notMemo[n]; ok {
+		return r
+	}
+	d := m.nodes[n]
+	r := m.mk(d.level, m.Not(d.lo), m.Not(d.hi))
+	m.notMemo[n] = r
+	return r
+}
+
+const (
+	opAnd byte = iota + 1
+	opOr
+	opXor
+)
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b Node) Node { return m.applyOp(opAnd, a, b) }
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b Node) Node { return m.applyOp(opOr, a, b) }
+
+// Xor returns a ⊕ b — for two policy encodings, the set of packets they
+// disagree on.
+func (m *Manager) Xor(a, b Node) Node { return m.applyOp(opXor, a, b) }
+
+func (m *Manager) applyOp(op byte, a, b Node) Node {
+	// Terminal cases.
+	switch op {
+	case opAnd:
+		if a == False || b == False {
+			return False
+		}
+		if a == True {
+			return b
+		}
+		if b == True {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opOr:
+		if a == True || b == True {
+			return True
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opXor:
+		if a == b {
+			return False
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == True {
+			return m.Not(b)
+		}
+		if b == True {
+			return m.Not(a)
+		}
+	}
+	// Normalize commutative operands for cache hits.
+	if a > b {
+		a, b = b, a
+	}
+	key := applyKey{op: op, a: a, b: b}
+	if r, ok := m.apply[key]; ok {
+		return r
+	}
+	da, db := m.nodes[a], m.nodes[b]
+	level := da.level
+	if db.level < level {
+		level = db.level
+	}
+	alo, ahi := a, a
+	if da.level == level {
+		alo, ahi = da.lo, da.hi
+	}
+	blo, bhi := b, b
+	if db.level == level {
+		blo, bhi = db.lo, db.hi
+	}
+	r := m.mk(level, m.applyOp(op, alo, blo), m.applyOp(op, ahi, bhi))
+	m.apply[key] = r
+	return r
+}
+
+// Eval evaluates the function under the assignment (true bits of each
+// variable index).
+func (m *Manager) Eval(n Node, assignment []bool) bool {
+	for n != False && n != True {
+		d := m.nodes[n]
+		if assignment[d.level] {
+			n = d.hi
+		} else {
+			n = d.lo
+		}
+	}
+	return n == True
+}
+
+// CubeCount returns the number of cubes (paths to the true terminal) —
+// the number of bit-level "rules" the function flattens to. This is the
+// quantity that explodes in Section 7.5. Saturates at MaxFloat64.
+func (m *Manager) CubeCount(n Node) float64 {
+	memo := make(map[Node]float64)
+	var count func(n Node) float64
+	count = func(n Node) float64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		d := m.nodes[n]
+		c := count(d.lo) + count(d.hi)
+		memo[n] = c
+		return c
+	}
+	return count(n)
+}
+
+// SatFraction returns the fraction of the 2^numVars assignments that
+// satisfy the function.
+func (m *Manager) SatFraction(n Node) float64 {
+	memo := make(map[Node]float64)
+	var frac func(n Node) float64
+	frac = func(n Node) float64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if f, ok := memo[n]; ok {
+			return f
+		}
+		d := m.nodes[n]
+		f := (frac(d.lo) + frac(d.hi)) / 2
+		memo[n] = f
+		return f
+	}
+	return frac(n)
+}
+
+// NodeCount returns the number of distinct nodes reachable from n.
+func (m *Manager) NodeCount(n Node) int {
+	seen := make(map[Node]bool)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n == False || n == True || seen[n] {
+			return
+		}
+		seen[n] = true
+		d := m.nodes[n]
+		walk(d.lo)
+		walk(d.hi)
+	}
+	walk(n)
+	return len(seen) + 2
+}
+
+// Encoder bit-blasts packets of a schema into BDD variables, field by
+// field in schema order, most significant bit first.
+type Encoder struct {
+	M      *Manager
+	Schema *field.Schema
+	// bits[f] lists the variable indices of field f, MSB first.
+	bits [][]int
+}
+
+// NewEncoder allocates variables for every bit of every field.
+func NewEncoder(schema *field.Schema) *Encoder {
+	var bits [][]int
+	total := 0
+	for i := 0; i < schema.NumFields(); i++ {
+		w := bitWidth(schema.Domain(i).Hi)
+		fieldBits := make([]int, w)
+		for b := 0; b < w; b++ {
+			fieldBits[b] = total + b
+		}
+		bits = append(bits, fieldBits)
+		total += w
+	}
+	return &Encoder{M: NewManager(total), Schema: schema, bits: bits}
+}
+
+// bitWidth returns the number of bits needed to represent hi.
+func bitWidth(hi uint64) int {
+	w := 0
+	for v := hi; v > 0; v >>= 1 {
+		w++
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// FieldBits returns the variable indices of field f, MSB first.
+func (e *Encoder) FieldBits(f int) []int {
+	out := make([]int, len(e.bits[f]))
+	copy(out, e.bits[f])
+	return out
+}
+
+// Interval returns the BDD of "field f's value lies in [lo, hi]".
+func (e *Encoder) Interval(f int, lo, hi uint64) Node {
+	ge := e.bound(f, lo, true)
+	le := e.bound(f, hi, false)
+	return e.M.And(ge, le)
+}
+
+// bound builds v >= bound (ge=true) or v <= bound (ge=false) over the
+// field's bits, MSB first.
+func (e *Encoder) bound(f int, bound uint64, ge bool) Node {
+	bits := e.bits[f]
+	w := len(bits)
+	var rec func(i int) Node
+	rec = func(i int) Node {
+		if i == w {
+			return True // equal so far: >= and <= both hold
+		}
+		b := bound >> uint(w-1-i) & 1
+		v := e.M.Var(bits[i])
+		if ge {
+			if b == 1 {
+				// Need bit set to stay >=; if set, compare remaining.
+				return e.M.And(v, rec(i+1))
+			}
+			// Bit clear in bound: set bit makes v greater; clear continues.
+			return e.M.Or(v, rec(i+1))
+		}
+		if b == 1 {
+			// Bit set in bound: clear bit makes v smaller; set continues.
+			return e.M.Or(e.M.Not(v), rec(i+1))
+		}
+		return e.M.And(e.M.Not(v), rec(i+1))
+	}
+	return rec(0)
+}
+
+// EncodePredicate returns the BDD of the rule predicate (conjunction over
+// fields).
+func (e *Encoder) EncodePredicate(pred rule.Predicate) Node {
+	out := True
+	for f, s := range pred {
+		fieldNode := False
+		for _, iv := range s.Intervals() {
+			fieldNode = e.M.Or(fieldNode, e.Interval(f, iv.Lo, iv.Hi))
+		}
+		out = e.M.And(out, fieldNode)
+	}
+	return out
+}
+
+// EncodePolicy returns the BDD of "the policy's first-match decision
+// satisfies accept". First-match is translated with the standard
+// remainder construction: rule i contributes pred_i ∧ ¬(pred_1 ∨ ... ∨
+// pred_{i-1}).
+func (e *Encoder) EncodePolicy(p *rule.Policy, accept func(rule.Decision) bool) (Node, error) {
+	if !p.Schema.Equal(e.Schema) {
+		return False, fmt.Errorf("bdd: policy schema does not match encoder")
+	}
+	result := False
+	covered := False
+	for _, r := range p.Rules {
+		pred := e.EncodePredicate(r.Pred)
+		firstMatch := e.M.And(pred, e.M.Not(covered))
+		if accept(r.Decision) {
+			result = e.M.Or(result, firstMatch)
+		}
+		covered = e.M.Or(covered, pred)
+	}
+	if covered != True {
+		return False, fmt.Errorf("bdd: policy is not comprehensive")
+	}
+	return result, nil
+}
+
+// DiffResult summarizes a BDD-based comparison of two policies.
+type DiffResult struct {
+	// Diff is the BDD of packets on which the two policies disagree.
+	Diff Node
+	// Cubes is the number of bit-level rules the diff flattens to — the
+	// figure to hold against the FDD pipeline's row count.
+	Cubes float64
+	// Nodes is the size of the diff BDD.
+	Nodes int
+	// Fraction is the share of the packet space in disagreement.
+	Fraction float64
+}
+
+// DiffPolicies encodes both policies and XORs them. Policies with more
+// than two distinct decisions are compared on their accept/discard
+// projection (the BDD baseline cannot express multi-valued decisions
+// without one BDD per decision — another practical drawback the paper
+// notes).
+func DiffPolicies(pa, pb *rule.Policy) (*Encoder, *DiffResult, error) {
+	if !pa.Schema.Equal(pb.Schema) {
+		return nil, nil, fmt.Errorf("bdd: schemas differ")
+	}
+	e := NewEncoder(pa.Schema)
+	isAccept := func(d rule.Decision) bool { return d == rule.Accept || d == rule.AcceptLog }
+	na, err := e.EncodePolicy(pa, isAccept)
+	if err != nil {
+		return nil, nil, err
+	}
+	nb, err := e.EncodePolicy(pb, isAccept)
+	if err != nil {
+		return nil, nil, err
+	}
+	diff := e.M.Xor(na, nb)
+	return e, &DiffResult{
+		Diff:     diff,
+		Cubes:    e.M.CubeCount(diff),
+		Nodes:    e.M.NodeCount(diff),
+		Fraction: e.M.SatFraction(diff),
+	}, nil
+}

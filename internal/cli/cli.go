@@ -1,0 +1,93 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// the named schema registry and policy-file loading.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"diversefw/internal/field"
+	"diversefw/internal/iptables"
+	"diversefw/internal/rule"
+)
+
+// schemas maps the names accepted by the tools' -schema flag.
+var schemas = map[string]func() *field.Schema{
+	"five":  field.IPv4FiveTuple,
+	"four":  field.FourTuple,
+	"paper": field.PaperExample,
+}
+
+// SchemaNames lists the accepted -schema values.
+func SchemaNames() string {
+	names := make([]string, 0, len(schemas))
+	for n := range schemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Schema resolves a -schema flag value.
+func Schema(name string) (*field.Schema, error) {
+	mk, ok := schemas[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown schema %q (have: %s)", name, SchemaNames())
+	}
+	return mk(), nil
+}
+
+// LoadPolicy reads a policy file in the rule text format.
+func LoadPolicy(schema *field.Schema, path string) (*rule.Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := rule.ParsePolicy(schema, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// LoadPolicyFormat reads a policy file in the given format: "text" (the
+// rule DSL, any schema) or "iptables" (one chain of an iptables-save dump,
+// five-tuple schema only).
+func LoadPolicyFormat(schema *field.Schema, path, format, chain string) (*rule.Policy, error) {
+	switch strings.ToLower(format) {
+	case "", "text":
+		return LoadPolicy(schema, path)
+	case "iptables":
+		if !schema.Equal(field.IPv4FiveTuple()) {
+			return nil, fmt.Errorf("iptables input requires -schema five")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		p, err := iptables.Import(f, chain)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("unknown input format %q (have: text, iptables)", format)
+	}
+}
+
+// SavePolicy writes a policy file in the rule text format.
+func SavePolicy(path string, p *rule.Policy) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rule.WritePolicy(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

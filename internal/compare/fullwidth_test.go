@@ -1,0 +1,62 @@
+package compare
+
+import (
+	"math"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// TestFullWidth64BitDomain runs the entire pipeline over a field whose
+// domain is all of uint64 — the arithmetic edge where naive hi+1 or
+// count computations overflow. Construction, shaping, comparison, and
+// merging must all survive values at MaxUint64.
+func TestFullWidth64BitDomain(t *testing.T) {
+	t.Parallel()
+	max := uint64(math.MaxUint64)
+	s := field.MustSchema(
+		field.Field{Name: "wide", Domain: interval.MustNew(0, max), Kind: field.KindInt},
+		field.Field{Name: "tag", Domain: interval.MustNew(0, 1), Kind: field.KindInt},
+	)
+	pa := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(max-9, max), s.FullSet(1)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.Accept),
+	})
+	pb := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(max-4, max), interval.SetOf(1, 1)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.Accept),
+	})
+
+	report, err := Diff(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Equivalent() {
+		t.Fatal("policies differ at the top of the domain")
+	}
+	// Exhaustive check across the interesting band and both tags.
+	for v := max - 20; ; v++ {
+		for tag := uint64(0); tag <= 1; tag++ {
+			pkt := rule.Packet{v, tag}
+			da, _, _ := pa.Decide(pkt)
+			db, _, _ := pb.Decide(pkt)
+			hit := false
+			for _, d := range report.Discrepancies {
+				if d.Pred.Matches(pkt) {
+					hit = true
+					if d.A != da || d.B != db {
+						t.Fatalf("decisions wrong at %v", pkt)
+					}
+				}
+			}
+			if hit != (da != db) {
+				t.Fatalf("coverage wrong at %v", pkt)
+			}
+		}
+		if v == max {
+			break
+		}
+	}
+}

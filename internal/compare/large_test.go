@@ -1,0 +1,72 @@
+package compare
+
+import (
+	"testing"
+
+	"diversefw/internal/packet"
+	"diversefw/internal/synth"
+)
+
+// TestLargeRealLifePipeline runs the full pipeline at the paper's
+// real-life scale (the 661-rule firewall of Section 8.2.1) with heavy
+// oracle validation. Guarded by -short because it takes a few seconds.
+func TestLargeRealLifePipeline(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("large-scale pipeline test")
+	}
+	base := synth.RealLife(661, 1)
+	perturbed, stats := synth.Perturb(base, 20, 7)
+	if stats.Selected == 0 {
+		t.Fatal("perturbation selected nothing")
+	}
+	report, err := Diff(base, perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := packet.NewSampler(base.Schema, 5)
+	for i := 0; i < 20000; i++ {
+		pkt := sm.BiasedPair(base, perturbed)
+		da, _ := packet.Oracle(base, pkt)
+		db, _ := packet.Oracle(perturbed, pkt)
+		hit := 0
+		for k := range report.Discrepancies {
+			if report.Discrepancies[k].Pred.Matches(pkt) {
+				hit++
+				if report.Discrepancies[k].A != da || report.Discrepancies[k].B != db {
+					t.Fatalf("region decisions wrong for %v", pkt)
+				}
+			}
+		}
+		if hit > 1 {
+			t.Fatalf("packet %v in %d regions (must be disjoint)", pkt, hit)
+		}
+		if (hit == 1) != (da != db) {
+			t.Fatalf("coverage wrong for %v: hit=%d da=%v db=%v", pkt, hit, da, db)
+		}
+	}
+	t.Logf("661-rule pipeline: %d regions, %d paths, %v total",
+		len(report.Discrepancies), report.PathsCompared, report.Timing.Total())
+}
+
+// TestLargeSyntheticPairShortCircuit checks the 3,000-rule headline case
+// stays within the paper's performance envelope (well under a minute even
+// on slow CI; the paper reports < 5 s, and EXPERIMENTS.md records ours).
+func TestLargeSyntheticPairShortCircuit(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("large-scale pipeline test")
+	}
+	pa := synth.Synthetic(synth.Config{Rules: 3000, Seed: 1})
+	pb := synth.Synthetic(synth.Config{Rules: 3000, Seed: 2})
+	report, err := Diff(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Equivalent() {
+		t.Fatal("independent 3000-rule policies should differ")
+	}
+	if report.Timing.Total().Seconds() > 60 {
+		t.Fatalf("3000-rule comparison took %v; expected seconds", report.Timing.Total())
+	}
+}

@@ -1,0 +1,95 @@
+package compare
+
+import (
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/packet"
+	"diversefw/internal/rule"
+)
+
+// TestMultiDecisionPipeline checks the paper's claim (Section 2) that the
+// method supports any number of decisions, not just accept/discard: a
+// four-valued decision set (accept, discard, and their logging variants)
+// flows through construction, shaping, and comparison, and discrepancy
+// rows distinguish "accept" from "accept-log".
+func TestMultiDecisionPipeline(t *testing.T) {
+	t.Parallel()
+	s := field.MustSchema(
+		field.Field{Name: "x", Domain: interval.MustNew(0, 99), Kind: field.KindInt},
+	)
+	pa := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(0, 24)}, Decision: rule.Accept},
+		{Pred: rule.Predicate{interval.SetOf(25, 49)}, Decision: rule.AcceptLog},
+		{Pred: rule.Predicate{interval.SetOf(50, 74)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.DiscardLog),
+	})
+	pb := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(0, 49)}, Decision: rule.Accept}, // drops the logging
+		{Pred: rule.Predicate{interval.SetOf(50, 74)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.DiscardLog),
+	})
+
+	report, err := Diff(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one discrepancy: [25,49] accept-log vs accept. The logging
+	// difference is a functional discrepancy even though both accept.
+	if len(report.Discrepancies) != 1 {
+		t.Fatalf("got %d rows:\n%+v", len(report.Discrepancies), report.Discrepancies)
+	}
+	d := report.Discrepancies[0]
+	if !d.Pred[0].Equal(interval.SetOf(25, 49)) {
+		t.Fatalf("region = %v", d.Pred[0])
+	}
+	if d.A != rule.AcceptLog || d.B != rule.Accept {
+		t.Fatalf("decisions = %v/%v", d.A, d.B)
+	}
+
+	// Exhaustive agreement elsewhere.
+	for v := uint64(0); v <= 99; v++ {
+		pkt := rule.Packet{v}
+		da, _ := packet.Oracle(pa, pkt)
+		db, _ := packet.Oracle(pb, pkt)
+		if (da != db) != d.Pred.Matches(pkt) {
+			t.Fatalf("coverage wrong at %d", v)
+		}
+	}
+}
+
+// TestCustomDecisionValues exercises decisions outside the standard four
+// (e.g. "route to quarantine VLAN" = decision #7).
+func TestCustomDecisionValues(t *testing.T) {
+	t.Parallel()
+	s := field.MustSchema(
+		field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt},
+	)
+	quarantine := rule.Decision(7)
+	pa := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(0, 4)}, Decision: quarantine},
+		rule.CatchAll(s, rule.Accept),
+	})
+	pb := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Accept)})
+
+	report, err := Diff(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Discrepancies) != 1 {
+		t.Fatalf("got %d rows", len(report.Discrepancies))
+	}
+	if report.Discrepancies[0].A != quarantine || report.Discrepancies[0].B != rule.Accept {
+		t.Fatalf("decisions = %v/%v", report.Discrepancies[0].A, report.Discrepancies[0].B)
+	}
+
+	// Decisions beyond the pair-encoding range are rejected cleanly.
+	huge := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Decision(1<<20))})
+	if _, err := Diff(huge, pb); err == nil {
+		t.Fatal("oversized decision should be rejected")
+	}
+	if _, err := Diff(pb, huge); err == nil {
+		t.Fatal("oversized decision on the second policy should be rejected")
+	}
+}

@@ -1,0 +1,171 @@
+package compare
+
+import (
+	"math/rand"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/packet"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func TestDiffNValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := DiffN([]*rule.Policy{paper.TeamA()}); err == nil {
+		t.Fatal("one policy should fail")
+	}
+	s := field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt})
+	other := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Accept)})
+	if _, err := DiffN([]*rule.Policy{paper.TeamA(), other}); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+}
+
+// TestDiffNMatchesPairwiseForTwo: with N = 2 the direct comparison must
+// find exactly the pairwise discrepancies (the paper's Table 3).
+func TestDiffNMatchesPairwiseForTwo(t *testing.T) {
+	t.Parallel()
+	nrep, err := DiffN([]*rule.Policy{paper.TeamA(), paper.TeamB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nrep.Discrepancies) != 3 {
+		t.Fatalf("got %d rows, want 3:\n%+v", len(nrep.Discrepancies), nrep.Discrepancies)
+	}
+	want := paper.ExpectedDiscrepancies()
+	for _, w := range want {
+		found := false
+		for _, g := range nrep.Discrepancies {
+			if g.Decisions[0] == w.DecisionA && g.Decisions[1] == w.DecisionB && predsEqual(g.Pred, w.Pred) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing row %v", w.Pred)
+		}
+	}
+}
+
+// TestDiffNThreeTeams: the combined diagram carries all three decisions,
+// verified region by region against the oracle.
+func TestDiffNThreeTeams(t *testing.T) {
+	t.Parallel()
+	policies := []*rule.Policy{paper.TeamA(), paper.TeamB(), paper.AgreedFirewall()}
+	nrep, err := DiffN(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrep.Equivalent() {
+		t.Fatal("the three versions are not all equal")
+	}
+	sm := packet.NewSampler(policies[0].Schema, 43)
+	for i := 0; i < 4000; i++ {
+		pkt := sm.BiasedPair(policies[0], policies[1])
+		var decs [3]rule.Decision
+		agree := true
+		for k, p := range policies {
+			decs[k], _ = packet.Oracle(p, pkt)
+			if decs[k] != decs[0] {
+				agree = false
+			}
+		}
+		var hit *NDiscrepancy
+		for k := range nrep.Discrepancies {
+			if nrep.Discrepancies[k].Pred.Matches(pkt) {
+				if hit != nil {
+					t.Fatalf("packet %v in two regions", pkt)
+				}
+				hit = &nrep.Discrepancies[k]
+			}
+		}
+		if (hit != nil) == agree {
+			t.Fatalf("packet %v: agree=%v but region hit=%v", pkt, agree, hit != nil)
+		}
+		if hit != nil {
+			for k := range policies {
+				if hit.Decisions[k] != decs[k] {
+					t.Fatalf("packet %v: region says %v, oracle %v for policy %d",
+						pkt, hit.Decisions[k], decs[k], k)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffNAllEquivalent(t *testing.T) {
+	t.Parallel()
+	a := paper.AgreedFirewall()
+	nrep, err := DiffN([]*rule.Policy{a, a.Clone(), a.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nrep.Equivalent() {
+		t.Fatalf("identical policies reported %d discrepancies", len(nrep.Discrepancies))
+	}
+}
+
+// TestDiffNAgainstCrossCompare: a region appears in the direct N-way
+// output iff some pair disagrees there — checked by sampling on random
+// policies.
+func TestDiffNAgainstCrossCompare(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(83))
+	schema := field.MustSchema(
+		field.Field{Name: "a", Domain: interval.MustNew(0, 31), Kind: field.KindInt},
+		field.Field{Name: "b", Domain: interval.MustNew(0, 31), Kind: field.KindInt},
+	)
+	randPolicy := func() *rule.Policy {
+		n := 1 + r.Intn(5)
+		rules := make([]rule.Rule, 0, n+1)
+		for i := 0; i < n; i++ {
+			pred := make(rule.Predicate, 2)
+			for fi := 0; fi < 2; fi++ {
+				lo := uint64(r.Intn(32))
+				hi := lo + uint64(r.Intn(32-int(lo)))
+				pred[fi] = interval.SetOf(lo, hi)
+			}
+			d := rule.Accept
+			if r.Intn(2) == 0 {
+				d = rule.Discard
+			}
+			rules = append(rules, rule.Rule{Pred: pred, Decision: d})
+		}
+		rules = append(rules, rule.CatchAll(schema, rule.Accept))
+		return rule.MustPolicy(schema, rules)
+	}
+	for trial := 0; trial < 10; trial++ {
+		policies := []*rule.Policy{randPolicy(), randPolicy(), randPolicy(), randPolicy()}
+		nrep, err := DiffN(policies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exhaustive over the small space.
+		for x := uint64(0); x <= 31; x++ {
+			for y := uint64(0); y <= 31; y++ {
+				pkt := rule.Packet{x, y}
+				first, _ := packet.Oracle(policies[0], pkt)
+				agree := true
+				for _, p := range policies[1:] {
+					d, _ := packet.Oracle(p, pkt)
+					if d != first {
+						agree = false
+						break
+					}
+				}
+				inRegion := false
+				for _, d := range nrep.Discrepancies {
+					if d.Pred.Matches(pkt) {
+						inRegion = true
+						break
+					}
+				}
+				if inRegion == agree {
+					t.Fatalf("trial %d packet %v: agree=%v inRegion=%v", trial, pkt, agree, inRegion)
+				}
+			}
+		}
+	}
+}

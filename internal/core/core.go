@@ -1,0 +1,154 @@
+// Package core is the public facade of the diverse firewall design
+// library: it orchestrates the paper's three-phase method (design,
+// comparison, resolution) across any number of teams and exposes the
+// change-impact entry points.
+//
+// A Session collects the versions produced in the design phase — as rule
+// sequences or directly as FDDs (Section 7.2) — cross-compares them
+// (Section 7.3), and produces resolution plans whose Method1/Method2
+// outputs are the final, unanimously agreed firewall (Section 6).
+package core
+
+import (
+	"fmt"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/fdd"
+	"diversefw/internal/field"
+	"diversefw/internal/gen"
+	"diversefw/internal/impact"
+	"diversefw/internal/resolve"
+	"diversefw/internal/rule"
+)
+
+// Version is one team's design.
+type Version struct {
+	Name   string
+	Policy *rule.Policy
+}
+
+// Session is a diverse firewall design workflow over one schema.
+type Session struct {
+	schema   *field.Schema
+	versions []Version
+}
+
+// NewSession starts a session for designs over the schema.
+func NewSession(schema *field.Schema) (*Session, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("core: nil schema")
+	}
+	return &Session{schema: schema}, nil
+}
+
+// AddVersion registers a team's design given as a rule sequence. The
+// policy must be comprehensive; this is validated eagerly so a bad design
+// is rejected at submission, not mid-comparison.
+func (s *Session) AddVersion(name string, p *rule.Policy) error {
+	if name == "" {
+		return fmt.Errorf("core: version needs a name")
+	}
+	if p == nil || !p.Schema.Equal(s.schema) {
+		return fmt.Errorf("core: version %q does not use the session schema", name)
+	}
+	for _, v := range s.versions {
+		if v.Name == name {
+			return fmt.Errorf("core: duplicate version name %q", name)
+		}
+	}
+	if _, err := fdd.Construct(p); err != nil {
+		return fmt.Errorf("core: version %q: %w", name, err)
+	}
+	s.versions = append(s.versions, Version{Name: name, Policy: p})
+	return nil
+}
+
+// AddVersionFDD registers a design produced directly as an FDD (the
+// structured design style of Section 7.2): the diagram is converted to an
+// equivalent rule sequence with the generator and then registered like any
+// other version. The diagram may test fields in any order — Section 7.2's
+// "two ordered FDDs in a different order" case is handled by generating
+// rules from the diagram and reconstructing in the session's field order.
+func (s *Session) AddVersionFDD(name string, f *fdd.FDD) error {
+	if f == nil {
+		return fmt.Errorf("core: nil FDD for version %q", name)
+	}
+	if !f.Schema.Equal(s.schema) {
+		return fmt.Errorf("core: version %q does not use the session schema", name)
+	}
+	if err := f.CheckSemanticInvariants(); err != nil {
+		return fmt.Errorf("core: version %q: %w", name, err)
+	}
+	p, err := gen.Generate(f)
+	if err != nil {
+		return fmt.Errorf("core: version %q: %w", name, err)
+	}
+	return s.AddVersion(name, p)
+}
+
+// Versions returns the registered versions in submission order.
+func (s *Session) Versions() []Version {
+	out := make([]Version, len(s.versions))
+	copy(out, s.versions)
+	return out
+}
+
+// Compare runs the comparison phase: every pair of versions is compared
+// and all functional discrepancies reported (Sections 2 and 7.3).
+func (s *Session) Compare() ([]compare.PairReport, error) {
+	if len(s.versions) < 2 {
+		return nil, fmt.Errorf("core: need at least two versions, have %d", len(s.versions))
+	}
+	policies := make([]*rule.Policy, len(s.versions))
+	for i, v := range s.versions {
+		policies[i] = v.Policy
+	}
+	return compare.CrossCompare(policies)
+}
+
+// CompareDirect runs the direct N-way comparison of Section 7.3: one
+// combined decision diagram whose rows carry every team's decision, built
+// by folding versions in one at a time instead of comparing all pairs.
+func (s *Session) CompareDirect() (*compare.NReport, error) {
+	if len(s.versions) < 2 {
+		return nil, fmt.Errorf("core: need at least two versions, have %d", len(s.versions))
+	}
+	policies := make([]*rule.Policy, len(s.versions))
+	for i, v := range s.versions {
+		policies[i] = v.Policy
+	}
+	return compare.DiffN(policies)
+}
+
+// AllEquivalent reports whether every pair of versions is functionally
+// identical — the state after a successful resolution phase.
+func (s *Session) AllEquivalent() (bool, error) {
+	reports, err := s.Compare()
+	if err != nil {
+		return false, err
+	}
+	for _, pr := range reports {
+		if !pr.Report.Equivalent() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Plan starts the resolution phase for the version pair (i, j).
+func (s *Session) Plan(i, j int) (*resolve.Plan, error) {
+	if i < 0 || i >= len(s.versions) || j < 0 || j >= len(s.versions) || i == j {
+		return nil, fmt.Errorf("core: invalid version pair (%d, %d)", i, j)
+	}
+	return resolve.NewPlan(s.versions[i].Policy, s.versions[j].Policy)
+}
+
+// Diff compares two firewalls directly — the comparison phase as a
+// standalone operation.
+func Diff(a, b *rule.Policy) (*compare.Report, error) { return compare.Diff(a, b) }
+
+// AnalyzeChange computes the impact of a policy change — the functional
+// discrepancies between the firewall before and after (Section 1.3).
+func AnalyzeChange(before, after *rule.Policy) (*impact.Impact, error) {
+	return impact.Analyze(before, after)
+}

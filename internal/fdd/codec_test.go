@@ -1,0 +1,147 @@
+package fdd
+
+import (
+	"strings"
+	"testing"
+
+	"diversefw/internal/packet"
+	"diversefw/internal/paper"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamB()
+	f, err := Construct(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Marshal(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(strings.NewReader(sb.String()), p.Schema)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, sb.String())
+	}
+	// Same semantics on biased samples.
+	sm := packet.NewSampler(p.Schema, 9)
+	for i := 0; i < 2000; i++ {
+		pkt := sm.Biased(p)
+		want, _ := f.Decide(pkt)
+		got, ok := g.Decide(pkt)
+		if !ok || got != want {
+			t.Fatalf("round trip changed semantics on %v: %v vs %v", pkt, got, want)
+		}
+	}
+}
+
+func TestMarshalSharesSubgraphs(t *testing.T) {
+	t.Parallel()
+	f, err := Construct(paper.TeamB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Marshal(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	// The reduced diagram shares terminals; the file must contain exactly
+	// as many node/terminal lines as distinct nodes.
+	st := f.Stats()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	defs := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "node ") || strings.HasPrefix(l, "terminal ") {
+			defs++
+		}
+	}
+	if defs != st.Nodes {
+		t.Fatalf("file defines %d nodes, diagram has %d", defs, st.Nodes)
+	}
+}
+
+func TestUnmarshalHandwritten(t *testing.T) {
+	t.Parallel()
+	text := `
+fdd v1
+# a hand-written diagram over the paper schema, testing D before I
+root 0
+node 0 D
+edge 0 192.168.0.1 1
+edge 0 !192.168.0.1 3
+node 1 I
+edge 1 0 2
+edge 1 1 3
+terminal 2 discard
+terminal 3 accept
+`
+	f, err := Unmarshal(strings.NewReader(text), paper.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pkt  []uint64
+		want string
+	}{
+		{[]uint64{0, 5, paper.Gamma, 25, 0}, "discard"},
+		{[]uint64{1, 5, paper.Gamma, 25, 0}, "accept"},
+		{[]uint64{0, 5, 7, 25, 0}, "accept"},
+	}
+	for _, c := range cases {
+		got, ok := f.Decide(c.pkt)
+		if !ok || got.String() != c.want {
+			t.Fatalf("packet %v: got %v (ok=%v), want %s", c.pkt, got, ok, c.want)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no header", "root 0\nterminal 0 accept\n"},
+		{"bad header", "fdd v9\nroot 0\nterminal 0 accept\n"},
+		{"no root", "fdd v1\nterminal 0 accept\n"},
+		{"undefined root", "fdd v1\nroot 7\nterminal 0 accept\n"},
+		{"duplicate id", "fdd v1\nroot 0\nterminal 0 accept\nterminal 0 discard\n"},
+		{"unknown field", "fdd v1\nroot 0\nnode 0 XX\nterminal 1 accept\nedge 0 * 1\n"},
+		{"unknown directive", "fdd v1\nroot 0\nwat 0\nterminal 0 accept\n"},
+		{"edge from terminal", "fdd v1\nroot 0\nterminal 0 accept\nterminal 1 accept\nedge 0 * 1\n"},
+		{"edge to undefined", "fdd v1\nroot 0\nnode 0 I\nedge 0 * 9\n"},
+		{"bad values", "fdd v1\nroot 0\nnode 0 I\nterminal 1 accept\nedge 0 zork 1\n"},
+		{"incomplete", "fdd v1\nroot 0\nnode 0 I\nterminal 1 accept\nedge 0 0 1\n"},
+		{"overlapping", "fdd v1\nroot 0\nnode 0 I\nterminal 1 accept\nedge 0 0-1 1\nedge 0 1 1\n"},
+		{"cyclic", "fdd v1\nroot 0\nnode 0 I\nnode 1 S\nedge 0 * 1\nedge 1 * 0\n"},
+		{"bad decision", "fdd v1\nroot 0\nterminal 0 zork\n"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := Unmarshal(strings.NewReader(c.text), paper.Schema()); err == nil {
+				t.Fatalf("should fail:\n%s", c.text)
+			}
+		})
+	}
+}
+
+func TestUnmarshalOrderedDiagramPassesStrictCheck(t *testing.T) {
+	t.Parallel()
+	f, err := Construct(paper.TeamA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Marshal(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(strings.NewReader(sb.String()), paper.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("ordered diagram should pass the strict check: %v", err)
+	}
+}

@@ -1,0 +1,504 @@
+// Package fdd implements Firewall Decision Diagrams and the paper's
+// construction algorithm (Section 3, Fig. 7).
+//
+// An FDD over fields F_1..F_d is a rooted acyclic diagram. Each
+// nonterminal node is labeled with a field and its outgoing edges are
+// labeled with disjoint value sets that together cover the field's domain
+// (consistency + completeness); each terminal node is labeled with a
+// decision. Every packet follows exactly one decision path, so an FDD is a
+// total function from packets to decisions — the canonical semantic form a
+// sequential first-match policy is converted into before shaping and
+// comparison.
+package fdd
+
+import (
+	"fmt"
+	"sort"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// TerminalField marks terminal nodes in Node.Field.
+const TerminalField = -1
+
+// Node is an FDD node. A terminal node has Field == TerminalField and a
+// Decision; a nonterminal node has a schema field index and outgoing
+// edges.
+type Node struct {
+	Field    int
+	Decision rule.Decision
+	Edges    []*Edge
+}
+
+// Edge is a labeled outgoing edge.
+type Edge struct {
+	Label interval.Set
+	To    *Node
+}
+
+// IsTerminal reports whether the node is a terminal (decision) node.
+func (n *Node) IsTerminal() bool { return n.Field == TerminalField }
+
+// Terminal returns a new terminal node.
+func Terminal(d rule.Decision) *Node {
+	return &Node{Field: TerminalField, Decision: d}
+}
+
+// FDD pairs a root node with its schema.
+type FDD struct {
+	Schema *field.Schema
+	Root   *Node
+}
+
+// Construct builds an FDD equivalent to the policy using the paper's
+// construction algorithm: rules are appended one at a time to a partial
+// FDD. The result is kept in reduced (hash-consed DAG) form, which is
+// semantically identical to the paper's tree and exponentially smaller on
+// realistic inputs. It fails if the policy is not comprehensive (some
+// packet matches no rule), because the result would violate the
+// completeness property.
+func Construct(p *rule.Policy) (*FDD, error) {
+	f, _, err := ConstructEffective(p)
+	return f, err
+}
+
+// ConstructEffective is Construct but also reports, per rule, whether the
+// rule contributed any region of the packet space — i.e. whether some
+// packet's first match is that rule. Rules with effective[i] == false are
+// upward redundant (the basis of the redundancy substrate).
+func ConstructEffective(p *rule.Policy) (f *FDD, effective []bool, err error) {
+	if p.Size() == 0 {
+		return nil, nil, fmt.Errorf("fdd: cannot construct from an empty policy")
+	}
+	effective = make([]bool, p.Size())
+	root := buildPath(p.Schema, p.Rules[0].Pred, 0, p.Rules[0].Decision)
+	effective[0] = true
+	f = &FDD{Schema: p.Schema, Root: root}
+	for i := 1; i < p.Size(); i++ {
+		r := p.Rules[i]
+		var added bool
+		f.Root, added = appendRule(p.Schema, f.Root, r.Pred, 0, r.Decision)
+		effective[i] = added
+		// Appending shares subgraphs copy-on-write, so the diagram is a
+		// DAG; hash-consing it periodically keeps its size near the
+		// reduced form throughout construction instead of only at the end.
+		if i%reduceEvery == 0 {
+			f.Root = f.Reduce().Root
+		}
+	}
+	f.Root = f.Reduce().Root
+	if err := f.checkComplete(); err != nil {
+		return nil, nil, fmt.Errorf("fdd: policy is not comprehensive: %w", err)
+	}
+	return f, effective, nil
+}
+
+// reduceEvery is how many appended rules pass between incremental
+// reductions during construction.
+const reduceEvery = 32
+
+// buildPath builds the decision path for conjuncts pred[k..] ending in a
+// terminal labeled d (the partial FDD of a single rule).
+func buildPath(schema *field.Schema, pred rule.Predicate, k int, d rule.Decision) *Node {
+	if k == len(pred) {
+		return Terminal(d)
+	}
+	return &Node{
+		Field: k,
+		Edges: []*Edge{{Label: pred[k], To: buildPath(schema, pred, k+1, d)}},
+	}
+}
+
+// appendRule implements APPEND of Fig. 7: merge rule conjuncts pred[k..]
+// with decision d into the partial FDD rooted at v. It returns the new
+// root of the subgraph and reports whether any new region of the packet
+// space received decision d — false means every packet matching the rule
+// already matched an earlier rule.
+//
+// Unlike the paper's in-place formulation, this version is copy-on-write:
+// existing nodes are never mutated, so subgraphs can be shared instead of
+// deep-copied when an edge splits (case 3), and appending works directly
+// on reduced DAGs whose paths skip full-domain fields. The constructed
+// diagram is semantically identical to Fig. 7's output.
+func appendRule(schema *field.Schema, v *Node, pred rule.Predicate, k int, d rule.Decision) (*Node, bool) {
+	if k == len(pred) {
+		// All fields consumed: the existing first-match decision wins.
+		return v, false
+	}
+	s := pred[k]
+
+	// A terminal or a node labeled with a later field covers field k
+	// implicitly with the full domain: split that implicit edge on S.
+	if v.IsTerminal() || v.Field > k {
+		if s.Equal(schema.FullSet(k)) {
+			return appendRule(schema, v, pred, k+1, d)
+		}
+		inside, added := appendRule(schema, v, pred, k+1, d)
+		if !added {
+			return v, false
+		}
+		return &Node{Field: k, Edges: []*Edge{
+			{Label: schema.FullSet(k).Subtract(s), To: v},
+			{Label: s, To: inside},
+		}}, true
+	}
+
+	covered := interval.Set{}
+	for _, e := range v.Edges {
+		covered = covered.Union(e.Label)
+	}
+	out := &Node{Field: v.Field, Edges: make([]*Edge, 0, len(v.Edges)+2)}
+	added := false
+
+	// Uncovered part of S: packets here match none of the earlier rules,
+	// so they get the new rule's decision path.
+	if rest := s.Subtract(covered); !rest.Empty() {
+		out.Edges = append(out.Edges, &Edge{
+			Label: rest,
+			To:    buildPath(schema, pred, k+1, d),
+		})
+		added = true
+	}
+
+	for _, e := range v.Edges {
+		common := e.Label.Intersect(s)
+		switch {
+		case common.Empty():
+			// Case 1: S ∩ I(e) = ∅ — the edge is unaffected.
+			out.Edges = append(out.Edges, &Edge{Label: e.Label, To: e.To})
+		case common.Equal(e.Label):
+			// Case 2: I(e) ⊆ S — append the rest of the rule below e.
+			child, chAdded := appendRule(schema, e.To, pred, k+1, d)
+			out.Edges = append(out.Edges, &Edge{Label: e.Label, To: child})
+			added = added || chAdded
+		default:
+			// Case 3: split e; the outside part keeps the old subgraph
+			// (shared, not copied — nothing mutates it), the inside part
+			// gets the appended version.
+			child, chAdded := appendRule(schema, e.To, pred, k+1, d)
+			out.Edges = append(out.Edges, &Edge{Label: e.Label.Subtract(s), To: e.To})
+			out.Edges = append(out.Edges, &Edge{Label: common, To: child})
+			added = added || chAdded
+		}
+	}
+	if !added {
+		// No terminal changed anywhere below: the append was a no-op, so
+		// keep the original (possibly shared) node.
+		return v, false
+	}
+	return out, true
+}
+
+// copySubgraph deep-copies the subgraph rooted at n.
+func copySubgraph(n *Node) *Node {
+	if n.IsTerminal() {
+		return Terminal(n.Decision)
+	}
+	out := &Node{Field: n.Field, Edges: make([]*Edge, len(n.Edges))}
+	for i, e := range n.Edges {
+		out.Edges[i] = &Edge{Label: e.Label, To: copySubgraph(e.To)}
+	}
+	return out
+}
+
+// Copy deep-copies the subgraph rooted at n. The shaping algorithm's
+// subgraph-replication operation is built on it.
+func (n *Node) Copy() *Node { return copySubgraph(n) }
+
+// Clone returns a deep copy of the FDD.
+func (f *FDD) Clone() *FDD {
+	return &FDD{Schema: f.Schema, Root: copySubgraph(f.Root)}
+}
+
+// Decide returns the decision for the packet by following its unique
+// decision path. ok is false only if the diagram is incomplete (a partial
+// FDD) and the packet falls off it.
+func (f *FDD) Decide(pkt rule.Packet) (rule.Decision, bool) {
+	n := f.Root
+	for !n.IsTerminal() {
+		v := pkt[n.Field]
+		next := (*Node)(nil)
+		for _, e := range n.Edges {
+			if e.Label.Contains(v) {
+				next = e.To
+				break
+			}
+		}
+		if next == nil {
+			return 0, false
+		}
+		n = next
+	}
+	return n.Decision, true
+}
+
+// Rules returns f.rules — one rule per decision path (Section 2). Fields
+// not labeling any node on a path get their full domain. The rules are
+// mutually disjoint and jointly cover the packet space, so they form an
+// order-independent policy equivalent to f.
+func (f *FDD) Rules() []rule.Rule {
+	var out []rule.Rule
+	pred := rule.FullPredicate(f.Schema)
+	f.walkPaths(f.Root, pred, func(p rule.Predicate, d rule.Decision) {
+		out = append(out, rule.Rule{Pred: p.Clone(), Decision: d})
+	})
+	return out
+}
+
+// walkPaths visits every decision path, calling fn with the accumulated
+// predicate and terminal decision. pred is reused; fn must clone if it
+// keeps the value.
+func (f *FDD) walkPaths(n *Node, pred rule.Predicate, fn func(rule.Predicate, rule.Decision)) {
+	if n.IsTerminal() {
+		fn(pred, n.Decision)
+		return
+	}
+	saved := pred[n.Field]
+	for _, e := range n.Edges {
+		pred[n.Field] = e.Label
+		f.walkPaths(e.To, pred, fn)
+	}
+	pred[n.Field] = saved
+}
+
+// NumPaths counts decision paths (what Theorem 1 bounds by (2n-1)^d).
+func (f *FDD) NumPaths() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n.IsTerminal() {
+			return 1
+		}
+		total := 0
+		for _, e := range n.Edges {
+			total += count(e.To)
+		}
+		return total
+	}
+	return count(f.Root)
+}
+
+// Stats describes the size of an FDD.
+type Stats struct {
+	Nodes     int
+	Edges     int
+	Terminals int
+	Paths     int
+	Depth     int
+}
+
+// Stats computes size statistics in one traversal. Shared nodes (in
+// reduced, DAG-shaped FDDs) are counted once.
+func (f *FDD) Stats() Stats {
+	var st Stats
+	seen := make(map[*Node]bool)
+	var walk func(n *Node, depth int) int
+	walk = func(n *Node, depth int) int {
+		if !seen[n] {
+			seen[n] = true
+			st.Nodes++
+			if n.IsTerminal() {
+				st.Terminals++
+			}
+			st.Edges += len(n.Edges)
+		}
+		if depth > st.Depth {
+			st.Depth = depth
+		}
+		if n.IsTerminal() {
+			return 1
+		}
+		paths := 0
+		for _, e := range n.Edges {
+			paths += walk(e.To, depth+1)
+		}
+		return paths
+	}
+	st.Paths = walk(f.Root, 0)
+	return st
+}
+
+// checkComplete verifies that every node's outgoing edges cover the whole
+// field domain (the completeness property).
+func (f *FDD) checkComplete() error {
+	seen := make(map[*Node]bool)
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.IsTerminal() || seen[n] {
+			return nil
+		}
+		seen[n] = true
+		union := interval.Set{}
+		for _, e := range n.Edges {
+			union = union.Union(e.Label)
+		}
+		if !union.Equal(f.Schema.FullSet(n.Field)) {
+			return fmt.Errorf("node labeled %s covers only %v of %v",
+				f.Schema.Field(n.Field).Name, union, f.Schema.Domain(n.Field))
+		}
+		for _, e := range n.Edges {
+			if err := walk(e.To); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(f.Root)
+}
+
+// CheckInvariants verifies all FDD properties from Section 2: a single
+// root, edge labels that are nonempty subsets of the node's field domain,
+// consistency (disjoint sibling edges), completeness (edges cover the
+// domain), no repeated field on a decision path, and — because all FDDs
+// built by this package are ordered — strictly ascending field indices
+// along every path.
+func (f *FDD) CheckInvariants() error {
+	return f.check(true)
+}
+
+// CheckSemanticInvariants is CheckInvariants without the ordering
+// requirement: it accepts any valid FDD, including diagrams a design team
+// built with a different field order (Section 7.2). Such diagrams still
+// have well-defined semantics (Decide, Rules, Generate all work); only
+// the shaping algorithm needs ordered input, which Construct restores.
+func (f *FDD) CheckSemanticInvariants() error {
+	return f.check(false)
+}
+
+func (f *FDD) check(ordered bool) error {
+	if f.Root == nil {
+		return fmt.Errorf("fdd: nil root")
+	}
+	// Shared subgraphs are revisited once per distinct (path-context)
+	// pair, not once per path — without this memo a small adversarial
+	// DAG (e.g. from an untrusted FDD file) could force exponentially
+	// many walks.
+	type ctx struct {
+		lastField int
+		seen      uint64
+	}
+	validated := make(map[*Node]map[ctx]bool)
+	var walk func(n *Node, lastField int, seen uint64) error
+	walk = func(n *Node, lastField int, seen uint64) error {
+		c := ctx{lastField: lastField, seen: seen}
+		if !ordered {
+			c.lastField = -1 // order-independent checks only depend on seen
+		}
+		if validated[n][c] {
+			return nil
+		}
+		if validated[n] == nil {
+			validated[n] = make(map[ctx]bool)
+		}
+		validated[n][c] = true
+		if n.IsTerminal() {
+			if n.Decision <= 0 {
+				return fmt.Errorf("fdd: terminal with invalid decision %d", int(n.Decision))
+			}
+			if len(n.Edges) != 0 {
+				return fmt.Errorf("fdd: terminal with outgoing edges")
+			}
+			return nil
+		}
+		if n.Field < 0 || n.Field >= f.Schema.NumFields() || n.Field >= 64 {
+			return fmt.Errorf("fdd: node with invalid field index %d", n.Field)
+		}
+		if ordered && n.Field <= lastField {
+			return fmt.Errorf("fdd: field %s repeats or violates order on a path",
+				f.Schema.Field(n.Field).Name)
+		}
+		if seen&(1<<uint(n.Field)) != 0 {
+			return fmt.Errorf("fdd: field %s repeats on a decision path",
+				f.Schema.Field(n.Field).Name)
+		}
+		seen |= 1 << uint(n.Field)
+		if len(n.Edges) == 0 {
+			return fmt.Errorf("fdd: nonterminal node with no edges")
+		}
+		domain := f.Schema.FullSet(n.Field)
+		union := interval.Set{}
+		for _, e := range n.Edges {
+			if e.Label.Empty() {
+				return fmt.Errorf("fdd: empty edge label at field %s", f.Schema.Field(n.Field).Name)
+			}
+			if !domain.ContainsSet(e.Label) {
+				return fmt.Errorf("fdd: edge label %v outside domain %v", e.Label, f.Schema.Domain(n.Field))
+			}
+			if union.Overlaps(e.Label) {
+				return fmt.Errorf("fdd: overlapping sibling edges at field %s (consistency)",
+					f.Schema.Field(n.Field).Name)
+			}
+			union = union.Union(e.Label)
+		}
+		if !union.Equal(domain) {
+			return fmt.Errorf("fdd: edges at field %s cover %v, not the domain %v (completeness)",
+				f.Schema.Field(n.Field).Name, union, f.Schema.Domain(n.Field))
+		}
+		for _, e := range n.Edges {
+			if err := walk(e.To, n.Field, seen); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(f.Root, -1, 0)
+}
+
+// Simplify returns an equivalent simple FDD (Definition 4.3): an outgoing
+// directed tree in which every edge is labeled with a single interval.
+// Multi-interval edges are split, with the subgraph below copied for each
+// extra interval; edges of every node are then sorted by interval start.
+// This is the required input form for the shaping algorithm.
+func (f *FDD) Simplify() *FDD {
+	var simplify func(n *Node) *Node
+	simplify = func(n *Node) *Node {
+		if n.IsTerminal() {
+			return Terminal(n.Decision)
+		}
+		out := &Node{Field: n.Field}
+		for _, e := range n.Edges {
+			for _, iv := range e.Label.Intervals() {
+				out.Edges = append(out.Edges, &Edge{
+					Label: interval.SetFromInterval(iv),
+					To:    simplify(e.To),
+				})
+			}
+		}
+		sortEdges(out.Edges)
+		return out
+	}
+	return &FDD{Schema: f.Schema, Root: simplify(f.Root)}
+}
+
+// sortEdges orders edges by the start of their (single) first interval.
+func sortEdges(edges []*Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, _ := edges[i].Label.Min()
+		b, _ := edges[j].Label.Min()
+		return a < b
+	})
+}
+
+// IsSimple reports whether the FDD is simple: every edge carries exactly
+// one interval and no node is shared (tree shape).
+func (f *FDD) IsSimple() bool {
+	seen := make(map[*Node]bool)
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if seen[n] {
+			return false // shared node: not a tree
+		}
+		seen[n] = true
+		for _, e := range n.Edges {
+			if e.Label.NumIntervals() != 1 {
+				return false
+			}
+			if !walk(e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(f.Root)
+}

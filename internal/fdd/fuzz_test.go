@@ -1,0 +1,44 @@
+package fdd
+
+import (
+	"strings"
+	"testing"
+
+	"diversefw/internal/paper"
+)
+
+// FuzzUnmarshal checks that the FDD file parser never panics (including
+// on cyclic or inconsistent diagrams) and that anything it accepts passes
+// the semantic invariants and re-marshals.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		"fdd v1\nroot 0\nterminal 0 accept\n",
+		"fdd v1\nroot 0\nnode 0 I\nedge 0 0 1\nedge 0 1 2\nterminal 1 accept\nterminal 2 discard\n",
+		"fdd v1\nroot 0\nnode 0 S\nedge 0 224.168.0.0/16 1\nedge 0 !224.168.0.0/16 2\nterminal 1 discard\nterminal 2 accept\n",
+		"fdd v1\nroot 0\nnode 0 I\nnode 1 S\nedge 0 * 1\nedge 1 * 0\n", // cycle
+		"fdd v1\nroot 9\n",
+		"root 0\nterminal 0 accept\n",
+		"fdd v1\nroot 0\nnode 0 I\nedge 0 0-1 1\nedge 0 1 1\nterminal 1 accept\n", // overlap
+		"# comment only\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := paper.Schema()
+	f.Fuzz(func(t *testing.T, text string) {
+		fd, err := Unmarshal(strings.NewReader(text), schema)
+		if err != nil {
+			return
+		}
+		if err := fd.CheckSemanticInvariants(); err != nil {
+			t.Fatalf("accepted diagram violates invariants: %v\n%q", err, text)
+		}
+		var sb strings.Builder
+		if err := Marshal(&sb, fd); err != nil {
+			t.Fatalf("accepted diagram failed to marshal: %v", err)
+		}
+		if _, err := Unmarshal(strings.NewReader(sb.String()), schema); err != nil {
+			t.Fatalf("marshalled diagram failed to reparse: %v\n%s", err, sb.String())
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package fdd
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/packet"
+	"diversefw/internal/rule"
+)
+
+// policyArg is a quick.Generator producing a random comprehensive policy
+// over a 3-field schema with domain [0, 63] per field.
+type policyArg struct {
+	p *rule.Policy
+}
+
+func quickSchema() *field.Schema {
+	return field.MustSchema(
+		field.Field{Name: "a", Domain: interval.MustNew(0, 63), Kind: field.KindInt},
+		field.Field{Name: "b", Domain: interval.MustNew(0, 63), Kind: field.KindInt},
+		field.Field{Name: "c", Domain: interval.MustNew(0, 63), Kind: field.KindInt},
+	)
+}
+
+func (policyArg) Generate(r *rand.Rand, _ int) reflect.Value {
+	schema := quickSchema()
+	n := 1 + r.Intn(10)
+	rules := make([]rule.Rule, 0, n+1)
+	for i := 0; i < n; i++ {
+		pred := make(rule.Predicate, 3)
+		for fi := 0; fi < 3; fi++ {
+			switch r.Intn(4) {
+			case 0:
+				pred[fi] = schema.FullSet(fi)
+			case 1:
+				// Multi-interval set.
+				lo1 := uint64(r.Intn(30))
+				hi1 := lo1 + uint64(r.Intn(10))
+				lo2 := hi1 + 2 + uint64(r.Intn(10))
+				hi2 := lo2 + uint64(r.Intn(10))
+				if hi2 > 63 {
+					hi2 = 63
+				}
+				if lo2 > 63 {
+					pred[fi] = interval.SetOf(lo1, hi1)
+				} else {
+					pred[fi] = interval.NewSet(interval.MustNew(lo1, hi1), interval.MustNew(lo2, hi2))
+				}
+			default:
+				lo := uint64(r.Intn(64))
+				hi := lo + uint64(r.Intn(64-int(lo)))
+				pred[fi] = interval.SetOf(lo, hi)
+			}
+		}
+		d := rule.Accept
+		if r.Intn(2) == 0 {
+			d = rule.Discard
+		}
+		rules = append(rules, rule.Rule{Pred: pred, Decision: d})
+	}
+	rules = append(rules, rule.CatchAll(schema, rule.DiscardLog))
+	return reflect.ValueOf(policyArg{p: rule.MustPolicy(schema, rules)})
+}
+
+var _ quick.Generator = policyArg{}
+
+// TestPropQuickConstructInvariants: every constructed FDD satisfies the
+// full invariant set and decides like the first-match oracle.
+func TestPropQuickConstructInvariants(t *testing.T) {
+	t.Parallel()
+	f := func(a policyArg, seed int64) bool {
+		fd, err := Construct(a.p)
+		if err != nil {
+			t.Logf("construct: %v", err)
+			return false
+		}
+		if err := fd.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		sm := packet.NewSampler(a.p.Schema, seed)
+		for i := 0; i < 50; i++ {
+			pkt := sm.Biased(a.p)
+			want, _ := packet.Oracle(a.p, pkt)
+			got, ok := fd.Decide(pkt)
+			if !ok || got != want {
+				t.Logf("packet %v: %v vs %v", pkt, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropQuickRulesRoundTrip: extracting f.rules and constructing again
+// yields an equivalent diagram (the rules are a faithful, order-free
+// representation).
+func TestPropQuickRulesRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(a policyArg, seed int64) bool {
+		fd, err := Construct(a.p)
+		if err != nil {
+			return false
+		}
+		back, err := rule.NewPolicy(a.p.Schema, fd.Rules())
+		if err != nil {
+			t.Logf("rules invalid: %v", err)
+			return false
+		}
+		fd2, err := Construct(back)
+		if err != nil {
+			t.Logf("reconstruct: %v", err)
+			return false
+		}
+		sm := packet.NewSampler(a.p.Schema, seed)
+		for i := 0; i < 50; i++ {
+			pkt := sm.Biased(a.p)
+			d1, _ := fd.Decide(pkt)
+			d2, _ := fd2.Decide(pkt)
+			if d1 != d2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropQuickReduceIdempotent: reduction is idempotent and size
+// monotone.
+func TestPropQuickReduceIdempotent(t *testing.T) {
+	t.Parallel()
+	f := func(a policyArg) bool {
+		fd, err := Construct(a.p)
+		if err != nil {
+			return false
+		}
+		r1 := fd.Reduce()
+		r2 := r1.Reduce()
+		if r2.Stats().Nodes != r1.Stats().Nodes {
+			t.Logf("reduce not idempotent: %d -> %d nodes", r1.Stats().Nodes, r2.Stats().Nodes)
+			return false
+		}
+		return r1.Stats().Nodes <= fd.Stats().Nodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropQuickCodecRoundTrip: Marshal/Unmarshal preserves semantics for
+// arbitrary constructed diagrams.
+func TestPropQuickCodecRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(a policyArg, seed int64) bool {
+		fd, err := Construct(a.p)
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		if err := Marshal(&sb, fd); err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		back, err := Unmarshal(strings.NewReader(sb.String()), a.p.Schema)
+		if err != nil {
+			t.Logf("unmarshal: %v\n%s", err, sb.String())
+			return false
+		}
+		sm := packet.NewSampler(a.p.Schema, seed)
+		for i := 0; i < 50; i++ {
+			pkt := sm.Biased(a.p)
+			d1, _ := fd.Decide(pkt)
+			d2, ok := back.Decide(pkt)
+			if !ok || d1 != d2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

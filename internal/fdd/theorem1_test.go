@@ -1,0 +1,104 @@
+package fdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/packet"
+	"diversefw/internal/rule"
+)
+
+// randSimplePolicy builds a comprehensive policy of n random simple rules
+// over d fields with domain [0, 99] each, ending in a catch-all.
+func randSimplePolicy(r *rand.Rand, n, d int) *rule.Policy {
+	fields := make([]field.Field, d)
+	names := []string{"a", "b", "c", "e", "f", "g"}
+	for i := 0; i < d; i++ {
+		fields[i] = field.Field{Name: names[i], Domain: interval.MustNew(0, 99), Kind: field.KindInt}
+	}
+	schema := field.MustSchema(fields...)
+
+	rules := make([]rule.Rule, 0, n)
+	for i := 0; i < n-1; i++ {
+		pred := make(rule.Predicate, d)
+		for fi := 0; fi < d; fi++ {
+			if r.Intn(3) == 0 {
+				pred[fi] = schema.FullSet(fi)
+				continue
+			}
+			lo := uint64(r.Intn(100))
+			hi := lo + uint64(r.Intn(100-int(lo)))
+			pred[fi] = interval.SetOf(lo, hi)
+		}
+		dec := rule.Accept
+		if r.Intn(2) == 0 {
+			dec = rule.Discard
+		}
+		rules = append(rules, rule.Rule{Pred: pred, Decision: dec})
+	}
+	rules = append(rules, rule.CatchAll(schema, rule.Accept))
+	return rule.MustPolicy(schema, rules)
+}
+
+// TestTheorem1PathBound checks the paper's Theorem 1: an FDD constructed
+// from n simple rules over d fields has at most (2n-1)^d decision paths.
+func TestTheorem1PathBound(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(8)
+		d := 1 + r.Intn(3)
+		p := randSimplePolicy(r, n, d)
+		f, err := Construct(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 1
+		for i := 0; i < d; i++ {
+			bound *= 2*n - 1
+		}
+		if got := f.NumPaths(); got > bound {
+			t.Fatalf("n=%d d=%d: %d paths exceeds Theorem 1 bound %d", n, d, got, bound)
+		}
+	}
+}
+
+// TestPropConstructMatchesOracle fuzzes construction against the brute
+// force first-match oracle on random policies.
+func TestPropConstructMatchesOracle(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		p := randSimplePolicy(r, 2+r.Intn(12), 1+r.Intn(3))
+		f, err := Construct(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sm := packet.NewSampler(p.Schema, int64(trial))
+		for i := 0; i < 300; i++ {
+			pkt := sm.Biased(p)
+			want, _ := packet.Oracle(p, pkt)
+			got, ok := f.Decide(pkt)
+			if !ok || got != want {
+				t.Fatalf("trial %d packet %v: fdd %v (ok=%v), oracle %v", trial, pkt, got, ok, want)
+			}
+		}
+		// Reduce and Simplify must preserve semantics too.
+		red, simple := f.Reduce(), f.Simplify()
+		for i := 0; i < 100; i++ {
+			pkt := sm.Biased(p)
+			want, _ := packet.Oracle(p, pkt)
+			if got, ok := red.Decide(pkt); !ok || got != want {
+				t.Fatalf("trial %d: Reduce broke semantics on %v", trial, pkt)
+			}
+			if got, ok := simple.Decide(pkt); !ok || got != want {
+				t.Fatalf("trial %d: Simplify broke semantics on %v", trial, pkt)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package field
+
+import (
+	"testing"
+
+	"diversefw/internal/interval"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	t.Parallel()
+	ok := Field{Name: "a", Domain: interval.MustNew(0, 9), Kind: KindInt}
+	cases := []struct {
+		name   string
+		fields []Field
+		ok     bool
+	}{
+		{"valid", []Field{ok}, true},
+		{"empty", nil, false},
+		{"unnamed", []Field{{Domain: interval.MustNew(0, 9), Kind: KindInt}}, false},
+		{"duplicate", []Field{ok, ok}, false},
+		{"nonzero lo", []Field{{Name: "b", Domain: interval.MustNew(1, 9), Kind: KindInt}}, false},
+		{"bad kind", []Field{{Name: "b", Domain: interval.MustNew(0, 9)}}, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := NewSchema(c.fields...)
+			if (err == nil) != c.ok {
+				t.Fatalf("err = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema with no fields should panic")
+		}
+	}()
+	MustSchema()
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	t.Parallel()
+	s := MustSchema(
+		Field{Name: "x", Domain: interval.MustNew(0, 3), Kind: KindInt},
+		Field{Name: "y", Domain: interval.MustNew(0, 7), Kind: KindInt},
+	)
+	if s.NumFields() != 2 {
+		t.Fatalf("NumFields = %d", s.NumFields())
+	}
+	if s.Field(0).Name != "x" || s.Field(1).Name != "y" {
+		t.Fatal("field order wrong")
+	}
+	if s.IndexOf("y") != 1 || s.IndexOf("zzz") != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if s.Domain(1) != interval.MustNew(0, 7) {
+		t.Fatal("Domain wrong")
+	}
+	if !s.FullSet(0).Equal(interval.SetOf(0, 3)) {
+		t.Fatal("FullSet wrong")
+	}
+	fs := s.Fields()
+	fs[0].Name = "mutated"
+	if s.Field(0).Name != "x" {
+		t.Fatal("Fields() must return a copy")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	t.Parallel()
+	a := PaperExample()
+	b := PaperExample()
+	if !a.Equal(b) {
+		t.Fatal("identical schemas should be equal")
+	}
+	if a.Equal(nil) {
+		t.Fatal("schema should not equal nil")
+	}
+	if a.Equal(IPv4FiveTuple()) {
+		t.Fatal("different schemas should not be equal")
+	}
+	if !a.Equal(a) {
+		t.Fatal("schema should equal itself")
+	}
+}
+
+func TestStandardSchemas(t *testing.T) {
+	t.Parallel()
+	five := IPv4FiveTuple()
+	if five.NumFields() != 5 {
+		t.Fatalf("five-tuple has %d fields", five.NumFields())
+	}
+	if five.Domain(0).Hi != 1<<32-1 {
+		t.Fatal("src domain should be 32-bit")
+	}
+	if five.Domain(3).Hi != 65535 {
+		t.Fatal("dport domain should be 16-bit")
+	}
+
+	paper := PaperExample()
+	if paper.NumFields() != 5 {
+		t.Fatalf("paper schema has %d fields", paper.NumFields())
+	}
+	if paper.Domain(0) != interval.MustNew(0, 1) {
+		t.Fatal("interface domain should be [0,1]")
+	}
+	if paper.Domain(4) != interval.MustNew(0, 1) {
+		t.Fatal("protocol domain should be [0,1]")
+	}
+	if paper.IndexOf("S") != 1 || paper.IndexOf("N") != 3 {
+		t.Fatal("paper field order wrong")
+	}
+
+	four := FourTuple()
+	if four.NumFields() != 4 {
+		t.Fatalf("four-tuple has %d fields", four.NumFields())
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	t.Parallel()
+	s := MustSchema(Field{Name: "x", Domain: interval.MustNew(0, 3), Kind: KindInt})
+	if got := s.String(); got != "(x:[0, 3])" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package gen generates a compact sequence of rules from an FDD — the
+// structured firewall design method of the paper's reference [12]
+// ("Structured Firewall Design", Gouda & Liu), which Section 6's
+// resolution Method 1 uses to turn a corrected FDD back into a deployable
+// firewall.
+//
+// The pipeline is reduction (fdd.Reduce), marking, and generation:
+//
+//   - Marking designates, at each nonterminal node, one outgoing edge
+//     whose generated rules will be emitted last with the field
+//     unconstrained ("all"). First-match semantics make this sound: every
+//     packet belonging to a sibling edge has already matched one of the
+//     sibling's rules. Marking the edge that would otherwise multiply the
+//     most rules (many intervals x big subtree) minimizes the output.
+//   - Generation walks the marked FDD depth-first, emitting one simple
+//     rule per (interval choice x downstream rule), non-marked edges
+//     first, marked edge last.
+//
+// The generated firewall is equivalent to the FDD by construction; tests
+// verify it against the brute-force oracle.
+package gen
+
+import (
+	"diversefw/internal/fdd"
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// Generate converts the FDD into an equivalent first-match policy of
+// simple rules, ending in a catch-all. The input is reduced first; the
+// original FDD is not modified.
+func Generate(f *fdd.FDD) (*rule.Policy, error) {
+	return generate(f, true)
+}
+
+// GenerateUnmarked is Generate without the marking step: every edge's
+// intervals are emitted explicitly, no edge is deferred as a full-domain
+// default. It exists to quantify what marking buys (see the marking
+// ablation benchmark); production callers want Generate.
+func GenerateUnmarked(f *fdd.FDD) (*rule.Policy, error) {
+	return generate(f, false)
+}
+
+func generate(f *fdd.FDD, marked bool) (*rule.Policy, error) {
+	red := f.Reduce()
+	g := &generator{
+		schema: red.Schema,
+		marked: make(map[*fdd.Node]int),
+		cost:   make(map[*fdd.Node]int),
+	}
+	if marked {
+		g.mark(red.Root)
+	} else {
+		g.markNone(red.Root)
+	}
+	pred := rule.FullPredicate(red.Schema)
+	g.emit(red.Root, pred)
+	return rule.NewPolicy(red.Schema, g.out)
+}
+
+type generator struct {
+	schema *field.Schema
+	marked map[*fdd.Node]int // node -> index of its marked (deferred) edge
+	cost   map[*fdd.Node]int // node -> number of simple rules its subtree emits
+	out    []rule.Rule
+}
+
+// mark computes, bottom-up, the marked edge and rule cost of every node.
+// For node v with edges e_1..e_k, emitting edge e_i costs
+// |intervals(e_i)| * cost(child_i) rules, except the marked edge which
+// costs cost(child_m) (its label is replaced by "all", a single conjunct).
+// Marking the edge with maximal (|intervals|-1) * cost(child) minimizes
+// the total.
+func (g *generator) mark(n *fdd.Node) int {
+	if c, ok := g.cost[n]; ok {
+		return c
+	}
+	if n.IsTerminal() {
+		g.cost[n] = 1
+		return 1
+	}
+	total := 0
+	bestIdx, bestSaving := 0, -1
+	for i, e := range n.Edges {
+		childCost := g.mark(e.To)
+		k := e.Label.NumIntervals()
+		total += k * childCost
+		if saving := (k - 1) * childCost; saving > bestSaving {
+			bestSaving = saving
+			bestIdx = i
+		}
+	}
+	child := n.Edges[bestIdx]
+	total -= (child.Label.NumIntervals() - 1) * g.cost[child.To]
+	g.marked[n] = bestIdx
+	g.cost[n] = total
+	return total
+}
+
+// markNone records that no edge is deferred (marked index -1 everywhere);
+// used by the unmarked ablation variant.
+func (g *generator) markNone(n *fdd.Node) {
+	if n.IsTerminal() {
+		return
+	}
+	if _, done := g.marked[n]; done {
+		return
+	}
+	g.marked[n] = -1
+	for _, e := range n.Edges {
+		g.markNone(e.To)
+	}
+}
+
+// emit appends the subtree's rules: non-marked edges first (one rule per
+// interval of the edge label), the marked edge last with the field left at
+// its full domain.
+func (g *generator) emit(n *fdd.Node, pred rule.Predicate) {
+	if n.IsTerminal() {
+		g.out = append(g.out, rule.Rule{Pred: pred.Clone(), Decision: n.Decision})
+		return
+	}
+	m := g.marked[n]
+	saved := pred[n.Field]
+	for i, e := range n.Edges {
+		if i == m {
+			continue
+		}
+		for _, iv := range e.Label.Intervals() {
+			pred[n.Field] = interval.SetFromInterval(iv)
+			g.emit(e.To, pred)
+		}
+	}
+	if m >= 0 {
+		pred[n.Field] = g.schema.FullSet(n.Field)
+		g.emit(n.Edges[m].To, pred)
+	}
+	pred[n.Field] = saved
+}

@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/fdd"
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/packet"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func construct(t *testing.T, p *rule.Policy) *fdd.FDD {
+	t.Helper()
+	f, err := fdd.Construct(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGeneratePaperAgreedFirewall(t *testing.T) {
+	t.Parallel()
+	// Table 5 scenario: generate a firewall from the corrected FDD. The
+	// output must be equivalent to the agreed semantics and compact —
+	// the paper's generated firewall has 4 rules; allow a little slack
+	// but reject blowups.
+	agreed := paper.AgreedFirewall()
+	f := construct(t, agreed)
+	g, err := Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := compare.Equivalent(agreed, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("generated firewall is not equivalent to the corrected FDD")
+	}
+	if g.Size() > 6 {
+		t.Fatalf("generated %d rules; expected a compact firewall (paper: 4)", g.Size())
+	}
+	if !g.EndsWithCatchAll() {
+		t.Fatal("generated firewall must end with a catch-all")
+	}
+}
+
+func TestGenerateSimpleRules(t *testing.T) {
+	t.Parallel()
+	g, err := Generate(construct(t, paper.TeamB()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range g.Rules {
+		if !r.Pred.IsSimple() {
+			t.Fatalf("rule %d is not simple: %v", i, r.Pred)
+		}
+	}
+}
+
+func TestGenerateConstantPolicy(t *testing.T) {
+	t.Parallel()
+	s := field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt})
+	p := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Discard)})
+	g, err := Generate(construct(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 1 {
+		t.Fatalf("constant policy should generate 1 rule, got %d", g.Size())
+	}
+	if g.Rules[0].Decision != rule.Discard {
+		t.Fatalf("decision = %v", g.Rules[0].Decision)
+	}
+}
+
+// TestGenerateMarkingSavesRules checks that marking defers the
+// many-interval edge: a policy whose complement set has two intervals
+// should not pay for both.
+func TestGenerateMarkingSavesRules(t *testing.T) {
+	t.Parallel()
+	s := field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 99), Kind: field.KindInt})
+	// x in 40-59 -> discard; else accept. The accept region is two
+	// intervals; marking must emit "x in 40-59 -> discard, any -> accept"
+	// (2 rules), not three.
+	p := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(40, 59)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.Accept),
+	})
+	g, err := Generate(construct(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Fatalf("got %d rules, want 2:\n%s", g.Size(), rule.FormatPolicy(g))
+	}
+}
+
+func TestGenerateUnmarkedEquivalentButLarger(t *testing.T) {
+	t.Parallel()
+	p := paper.AgreedFirewall()
+	f := construct(t, p)
+	marked, err := Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmarked, err := GenerateUnmarked(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := compare.Equivalent(marked, unmarked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("unmarked generation changed semantics")
+	}
+	if unmarked.Size() < marked.Size() {
+		t.Fatalf("marking should never increase rules: marked %d, unmarked %d",
+			marked.Size(), unmarked.Size())
+	}
+	// The agreed firewall's FDD has multi-interval complement edges
+	// (S not in the malicious domain, N != 25), so marking must strictly
+	// help here.
+	if unmarked.Size() == marked.Size() {
+		t.Fatalf("expected marking to save rules on this input (both %d)", marked.Size())
+	}
+	for i, r := range unmarked.Rules {
+		if !r.Pred.IsSimple() {
+			t.Fatalf("unmarked rule %d not simple", i)
+		}
+	}
+}
+
+func TestGenerateRoundTripRandomPolicies(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(55))
+	schema := field.MustSchema(
+		field.Field{Name: "a", Domain: interval.MustNew(0, 63), Kind: field.KindInt},
+		field.Field{Name: "b", Domain: interval.MustNew(0, 63), Kind: field.KindInt},
+		field.Field{Name: "c", Domain: interval.MustNew(0, 63), Kind: field.KindInt},
+	)
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + r.Intn(8)
+		rules := make([]rule.Rule, 0, n+1)
+		for i := 0; i < n; i++ {
+			pred := make(rule.Predicate, 3)
+			for fi := 0; fi < 3; fi++ {
+				lo := uint64(r.Intn(64))
+				hi := lo + uint64(r.Intn(64-int(lo)))
+				pred[fi] = interval.SetOf(lo, hi)
+			}
+			d := rule.Accept
+			if r.Intn(2) == 0 {
+				d = rule.Discard
+			}
+			rules = append(rules, rule.Rule{Pred: pred, Decision: d})
+		}
+		rules = append(rules, rule.CatchAll(schema, rule.Accept))
+		p := rule.MustPolicy(schema, rules)
+
+		g, err := Generate(construct(t, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Differential check against the original oracle.
+		sm := packet.NewSampler(schema, int64(trial))
+		for i := 0; i < 500; i++ {
+			pkt := sm.BiasedPair(p, g)
+			want, _ := packet.Oracle(p, pkt)
+			got, ok := packet.Oracle(g, pkt)
+			if !ok || got != want {
+				t.Fatalf("trial %d: generated policy differs on %v: %v vs %v", trial, pkt, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package impact
+
+import (
+	"strings"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+func editSchema() *field.Schema {
+	return field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 99), Kind: field.KindInt})
+}
+
+func TestParseEditKinds(t *testing.T) {
+	t.Parallel()
+	s := editSchema()
+	cases := []struct {
+		line string
+		kind EditKind
+	}{
+		{"insert 1: x in 0-5 -> discard", InsertRule},
+		{"append: any -> accept", InsertRule},
+		{"append : any -> accept", InsertRule},
+		{"delete 3", DeleteRule},
+		{"replace 2: x in 7 -> accept", ReplaceRule},
+		{"swap 1 4", SwapRules},
+		{"INSERT 1: any -> accept # comment", InsertRule},
+	}
+	for _, c := range cases {
+		e, err := ParseEdit(s, c.line)
+		if err != nil {
+			t.Errorf("ParseEdit(%q): %v", c.line, err)
+			continue
+		}
+		if e.Kind != c.kind {
+			t.Errorf("ParseEdit(%q) kind = %v, want %v", c.line, e.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseEditErrors(t *testing.T) {
+	t.Parallel()
+	s := editSchema()
+	bad := []string{
+		"",
+		"fly 1",
+		"insert: any -> accept",   // missing index
+		"insert x: any -> accept", // bad index
+		"insert 0: any -> accept", // 1-based
+		"insert 1",                // missing rule
+		"insert 1: garbage",       // bad rule
+		"delete zero",
+		"delete 0",
+		"swap 1",
+		"swap a b",
+		"replace 1",
+		"append any -> accept", // missing colon
+	}
+	for _, line := range bad {
+		if _, err := ParseEdit(s, line); err == nil {
+			t.Errorf("ParseEdit(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseEditsScriptAndApply(t *testing.T) {
+	t.Parallel()
+	s := editSchema()
+	base := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(0, 20)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.Accept),
+	})
+	script := `
+# make room at the top, then tidy up
+insert 1: x in 50-60 -> discard
+swap 1 2
+append: any -> discard   # unreachable after the catch-all, but legal
+delete 4
+`
+	edits, err := ParseEdits(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) != 4 {
+		t.Fatalf("parsed %d edits, want 4", len(edits))
+	}
+	after, err := Apply(base, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result: original discard first (swapped back), inserted rule
+	// second, catch-all third; the appended rule was deleted again.
+	if after.Size() != 3 {
+		t.Fatalf("size = %d, want 3", after.Size())
+	}
+	if d, _, _ := after.Decide(rule.Packet{55}); d != rule.Discard {
+		t.Fatal("inserted rule not effective")
+	}
+	if d, _, _ := after.Decide(rule.Packet{99}); d != rule.Accept {
+		t.Fatal("catch-all lost")
+	}
+}
+
+func TestParseEditsReportsLine(t *testing.T) {
+	t.Parallel()
+	s := editSchema()
+	_, err := ParseEdits(s, "delete 1\nbroken\n")
+	if err == nil {
+		t.Fatal("should fail")
+	}
+	if got := err.Error(); !strings.Contains(got, "line 2") {
+		t.Fatalf("error should cite line 2: %q", got)
+	}
+}

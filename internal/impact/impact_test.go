@@ -1,0 +1,200 @@
+package impact
+
+import (
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/packet"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func schema1() *field.Schema {
+	return field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 99), Kind: field.KindInt})
+}
+
+func TestApplyEdits(t *testing.T) {
+	t.Parallel()
+	s := schema1()
+	p := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(0, 20)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.Accept),
+	})
+	after, err := Apply(p, []Edit{
+		{Kind: InsertRule, Index: 0, Rule: rule.Rule{Pred: rule.Predicate{interval.SetOf(5, 10)}, Decision: rule.Accept}},
+		{Kind: SwapRules, Index: 1, J: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != 3 {
+		t.Fatalf("size = %d", after.Size())
+	}
+	if p.Size() != 2 {
+		t.Fatal("Apply mutated the input")
+	}
+	if after.Rules[1].Decision != rule.Accept || after.Rules[2].Decision != rule.Discard {
+		t.Fatal("swap not applied")
+	}
+}
+
+func TestApplyBadEdit(t *testing.T) {
+	t.Parallel()
+	s := schema1()
+	p := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Accept)})
+	if _, err := Apply(p, []Edit{{Kind: DeleteRule, Index: 5}}); err == nil {
+		t.Fatal("bad index should fail")
+	}
+	if _, err := Apply(p, []Edit{{Kind: EditKind(99)}}); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func TestAnalyzeNoOpChange(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamA()
+	// Inserting a rule shadowed by rule 0 has no functional impact.
+	shadowed := rule.Rule{
+		Pred: rule.Predicate{
+			interval.SetOf(0, 0), interval.SetOf(7, 7), interval.SetOf(paper.Gamma, paper.Gamma),
+			interval.SetOf(25, 25), interval.SetOf(paper.TCP, paper.TCP),
+		},
+		Decision: rule.Accept,
+	}
+	im, err := AnalyzeEdits(p, []Edit{{Kind: InsertRule, Index: 1, Rule: shadowed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.None() {
+		t.Fatalf("shadowed insert reported impact: %+v", im.Report.Discrepancies)
+	}
+}
+
+// TestAnalyzeMisorderedInsert reproduces the error class Section 8.1 found
+// dominant: a new rule added at the top of the policy unintentionally
+// shadows rules below it.
+func TestAnalyzeMisorderedInsert(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamA()
+	// Admin wants to discard all UDP, and (wrongly) puts it first —
+	// shadowing the mail-server accept for UDP e-mail.
+	blockUDP := rule.Rule{
+		Pred: rule.Predicate{
+			p.Schema.FullSet(0), p.Schema.FullSet(1), p.Schema.FullSet(2),
+			p.Schema.FullSet(3), interval.SetOf(paper.UDP, paper.UDP),
+		},
+		Decision: rule.Discard,
+	}
+	im, err := AnalyzeEdits(p, []Edit{{Kind: InsertRule, Index: 0, Rule: blockUDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.None() {
+		t.Fatal("impactful insert reported as no-op")
+	}
+	// Every impacted region must flip to discard (the new rule's
+	// decision), and at least one region must include the UDP mail the
+	// admin probably did not mean to kill.
+	hitMail := false
+	for _, d := range im.Report.Discrepancies {
+		if d.B != rule.Discard {
+			t.Fatalf("impacted region flips to %v, want discard", d.B)
+		}
+		if d.Pred[paper.FieldD].Contains(paper.Gamma) && d.Pred[paper.FieldN].Contains(25) {
+			hitMail = true
+		}
+	}
+	if !hitMail {
+		t.Fatal("impact analysis missed the shadowed mail-server rule")
+	}
+}
+
+func TestAnalyzeSwapImpact(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamA()
+	// Swapping rules 0 and 1 changes behaviour for malicious mail.
+	im, err := AnalyzeEdits(p, []Edit{{Kind: SwapRules, Index: 0, J: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.None() {
+		t.Fatal("swap of conflicting rules reported as no-op")
+	}
+	// The impacted region is exactly malicious -> mail-server e-mail.
+	if len(im.Report.Discrepancies) != 1 {
+		t.Fatalf("got %d regions, want 1", len(im.Report.Discrepancies))
+	}
+	d := im.Report.Discrepancies[0]
+	if d.A != rule.Accept || d.B != rule.Discard {
+		t.Fatalf("decisions %v -> %v, want accept -> discard", d.A, d.B)
+	}
+	if !d.Pred[paper.FieldS].Equal(interval.SetOf(paper.Alpha, paper.Beta)) {
+		t.Fatalf("impacted sources %v", d.Pred[paper.FieldS])
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamA()
+	im, err := AnalyzeEdits(p, []Edit{{Kind: SwapRules, Index: 0, J: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := im.Attribute()
+	if len(attrs) != 1 {
+		t.Fatalf("got %d attributions", len(attrs))
+	}
+	a := attrs[0]
+	// Witness must actually lie in the region and expose the rule swap:
+	// before, rule 0 (accept mail) decided; after, rule 0 is the discard.
+	if !a.Discrepancy.Pred.Matches(a.Witness) {
+		t.Fatal("witness not in region")
+	}
+	if a.BeforeRule != 0 || a.AfterRule != 0 {
+		t.Fatalf("attribution rules = %d, %d", a.BeforeRule, a.AfterRule)
+	}
+	db, _, _ := im.Before.Decide(a.Witness)
+	da, _, _ := im.After.Decide(a.Witness)
+	if db != a.Discrepancy.A || da != a.Discrepancy.B {
+		t.Fatal("witness decisions do not match the discrepancy")
+	}
+}
+
+// TestImpactMatchesOracle fuzz-checks that the impact report is exactly
+// the set of packets whose decision changed.
+func TestImpactMatchesOracle(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamB()
+	im, err := AnalyzeEdits(p, []Edit{
+		{Kind: DeleteRule, Index: 2},
+		{Kind: InsertRule, Index: 0, Rule: rule.Rule{
+			Pred: rule.Predicate{
+				p.Schema.FullSet(0), p.Schema.FullSet(1), p.Schema.FullSet(2),
+				interval.SetOf(53, 53), p.Schema.FullSet(4),
+			},
+			Decision: rule.Discard,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := packet.NewSampler(p.Schema, 37)
+	for i := 0; i < 3000; i++ {
+		pkt := sm.BiasedPair(im.Before, im.After)
+		db, _ := packet.Oracle(im.Before, pkt)
+		da, _ := packet.Oracle(im.After, pkt)
+		inRegion := false
+		for _, d := range im.Report.Discrepancies {
+			if d.Pred.Matches(pkt) {
+				inRegion = true
+				if d.A != db || d.B != da {
+					t.Fatalf("region decisions wrong for %v", pkt)
+				}
+			}
+		}
+		if inRegion != (db != da) {
+			t.Fatalf("impact coverage wrong for %v", pkt)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSets builds two moderately fragmented sets.
+func benchSets() (Set, Set) {
+	r := rand.New(rand.NewSource(1))
+	mk := func() Set {
+		ivs := make([]Interval, 0, 16)
+		for i := 0; i < 16; i++ {
+			lo := uint64(r.Intn(1 << 20))
+			ivs = append(ivs, MustNew(lo, lo+uint64(r.Intn(4096))))
+		}
+		return NewSet(ivs...)
+	}
+	return mk(), mk()
+}
+
+func BenchmarkSetUnion(b *testing.B) {
+	x, y := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}
+
+func BenchmarkSetIntersect(b *testing.B) {
+	x, y := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func BenchmarkSetSubtract(b *testing.B) {
+	x, y := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Subtract(y)
+	}
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	x, _ := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Contains(uint64(i) % (1 << 20))
+	}
+}
+
+func BenchmarkNewSetCanonicalize(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	ivs := make([]Interval, 64)
+	for i := range ivs {
+		lo := uint64(r.Intn(1 << 20))
+		ivs[i] = MustNew(lo, lo+uint64(r.Intn(4096)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewSet(ivs...)
+	}
+}

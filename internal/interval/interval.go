@@ -1,0 +1,352 @@
+// Package interval implements closed integer intervals over uint64 and
+// canonical sets of disjoint intervals.
+//
+// Every algorithm in this repository — FDD construction, shaping,
+// comparison, rule generation, and redundancy detection — manipulates
+// packet-field domains as finite intervals of nonnegative integers, exactly
+// as in Section 3.1 of "Diverse Firewall Design" (Liu & Gouda). This package
+// is the arithmetic substrate for all of them.
+//
+// An Interval is a closed range [Lo, Hi] with Lo <= Hi; the empty set is not
+// representable as an Interval and is instead an empty Set. A Set is a
+// canonical sequence of disjoint, non-adjacent intervals in ascending order.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Max is the largest representable domain value. Field domains used by the
+// firewall algorithms are sub-ranges of [0, Max].
+const Max = math.MaxUint64
+
+// Interval is a closed integer range [Lo, Hi] with Lo <= Hi.
+// The zero value is the single point {0}.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// New returns the interval [lo, hi]. It reports an error if lo > hi.
+func New(lo, hi uint64) (Interval, error) {
+	if lo > hi {
+		return Interval{}, fmt.Errorf("interval: invalid bounds [%d, %d]", lo, hi)
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// MustNew is like New but panics on invalid bounds. It is intended for
+// constants and tests where the bounds are statically known to be valid.
+func MustNew(lo, hi uint64) Interval {
+	iv, err := New(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// Point returns the single-value interval [v, v].
+func Point(v uint64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Count returns the number of integers in the interval. For the full
+// uint64 domain the true count 2^64 overflows; Count saturates at Max in
+// that single case.
+func (iv Interval) Count() uint64 {
+	if iv.Lo == 0 && iv.Hi == Max {
+		return Max // saturated: the exact count 2^64 is not representable
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v uint64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// ContainsInterval reports whether other is entirely inside iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Overlaps reports whether the two intervals share at least one value.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Adjacent reports whether the two intervals are disjoint but touch, so
+// that their union is a single interval.
+func (iv Interval) Adjacent(other Interval) bool {
+	if iv.Overlaps(other) {
+		return false
+	}
+	if iv.Hi < other.Lo {
+		return iv.Hi+1 == other.Lo
+	}
+	return other.Hi+1 == iv.Lo
+}
+
+// Intersect returns the common part of two intervals. ok is false if they
+// are disjoint.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	lo := max(iv.Lo, other.Lo)
+	hi := min(iv.Hi, other.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{Lo: lo, Hi: hi}, true
+}
+
+// Subtract returns iv minus other as zero, one, or two disjoint intervals
+// in ascending order.
+func (iv Interval) Subtract(other Interval) []Interval {
+	inter, ok := iv.Intersect(other)
+	if !ok {
+		return []Interval{iv}
+	}
+	var out []Interval
+	if iv.Lo < inter.Lo {
+		out = append(out, Interval{Lo: iv.Lo, Hi: inter.Lo - 1})
+	}
+	if inter.Hi < iv.Hi {
+		out = append(out, Interval{Lo: inter.Hi + 1, Hi: iv.Hi})
+	}
+	return out
+}
+
+// Equal reports whether the two intervals have identical bounds.
+func (iv Interval) Equal(other Interval) bool { return iv == other }
+
+// Compare orders intervals by Lo, breaking ties by Hi. It returns -1, 0,
+// or +1.
+func (iv Interval) Compare(other Interval) int {
+	switch {
+	case iv.Lo < other.Lo:
+		return -1
+	case iv.Lo > other.Lo:
+		return 1
+	case iv.Hi < other.Hi:
+		return -1
+	case iv.Hi > other.Hi:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the interval as "[lo, hi]", or "v" for a point.
+func (iv Interval) String() string {
+	if iv.Lo == iv.Hi {
+		return fmt.Sprintf("%d", iv.Lo)
+	}
+	return fmt.Sprintf("[%d, %d]", iv.Lo, iv.Hi)
+}
+
+// Set is a canonical set of integers: disjoint, non-adjacent intervals in
+// ascending order. The zero value is the empty set.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet returns the canonical set covering exactly the union of the given
+// intervals (which may overlap, touch, and arrive in any order).
+func NewSet(ivs ...Interval) Set {
+	if len(ivs) == 0 {
+		return Set{}
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+	out := sorted[:1]
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Overlaps(*last) || iv.Adjacent(*last) {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return Set{ivs: out}
+}
+
+// SetOf returns the set holding the single interval [lo, hi].
+func SetOf(lo, hi uint64) Set { return Set{ivs: []Interval{MustNew(lo, hi)}} }
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Intervals returns the canonical intervals of the set in ascending order.
+// The returned slice is a copy and may be modified by the caller.
+func (s Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// NumIntervals returns how many disjoint intervals form the set.
+func (s Set) NumIntervals() int { return len(s.ivs) }
+
+// Count returns the number of integers in the set, saturating at Max.
+func (s Set) Count() uint64 {
+	var total uint64
+	for _, iv := range s.ivs {
+		c := iv.Count()
+		if total > Max-c {
+			return Max
+		}
+		total += c
+	}
+	return total
+}
+
+// Min returns the smallest element. ok is false for the empty set.
+func (s Set) Min() (v uint64, ok bool) {
+	if len(s.ivs) == 0 {
+		return 0, false
+	}
+	return s.ivs[0].Lo, true
+}
+
+// Max returns the largest element. ok is false for the empty set.
+func (s Set) Max() (v uint64, ok bool) {
+	if len(s.ivs) == 0 {
+		return 0, false
+	}
+	return s.ivs[len(s.ivs)-1].Hi, true
+}
+
+// Contains reports whether v is an element of the set.
+func (s Set) Contains(v uint64) bool {
+	// Binary search over the canonical interval list.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= v })
+	return i < len(s.ivs) && s.ivs[i].Contains(v)
+}
+
+// ContainsSet reports whether every element of other is in s.
+func (s Set) ContainsSet(other Set) bool {
+	return other.Subtract(s).Empty()
+}
+
+// Equal reports whether the two sets contain exactly the same integers.
+// Canonical form makes this a structural comparison.
+func (s Set) Equal(other Set) bool {
+	if len(s.ivs) != len(other.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != other.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set of integers in s or other.
+func (s Set) Union(other Set) Set {
+	if s.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return s
+	}
+	all := make([]Interval, 0, len(s.ivs)+len(other.ivs))
+	all = append(all, s.ivs...)
+	all = append(all, other.ivs...)
+	return NewSet(all...)
+}
+
+// Intersect returns the set of integers in both s and other.
+func (s Set) Intersect(other Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		if inter, ok := s.ivs[i].Intersect(other.ivs[j]); ok {
+			out = append(out, inter)
+		}
+		if s.ivs[i].Hi < other.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out} // pieces are already disjoint, non-adjacent, ordered
+}
+
+// Subtract returns the set of integers in s but not in other.
+func (s Set) Subtract(other Set) Set {
+	if s.Empty() || other.Empty() {
+		return s
+	}
+	var out []Interval
+	j := 0
+	for _, iv := range s.ivs {
+		rest := []Interval{iv}
+		for j < len(other.ivs) && other.ivs[j].Hi < iv.Lo {
+			j++
+		}
+		for k := j; k < len(other.ivs) && len(rest) > 0; k++ {
+			sub := other.ivs[k]
+			if sub.Lo > rest[len(rest)-1].Hi {
+				break
+			}
+			last := rest[len(rest)-1]
+			rest = append(rest[:len(rest)-1], last.Subtract(sub)...)
+		}
+		out = append(out, rest...)
+	}
+	return Set{ivs: out}
+}
+
+// Overlaps reports whether the two sets share at least one integer.
+func (s Set) Overlaps(other Set) bool {
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		if s.ivs[i].Overlaps(other.ivs[j]) {
+			return true
+		}
+		if s.ivs[i].Hi < other.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// ComplementWithin returns domain minus s. Elements of s outside the
+// domain are ignored.
+func (s Set) ComplementWithin(domain Interval) Set {
+	return SetFromInterval(domain).Subtract(s)
+}
+
+// SetFromInterval returns the set holding exactly iv.
+func SetFromInterval(iv Interval) Set { return Set{ivs: []Interval{iv}} }
+
+// String renders the set as "{}" or "{iv, iv, ...}".
+func (s Set) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Enumerate calls fn for every element of the set in ascending order,
+// stopping early if fn returns false. It is intended for small sets in
+// tests and examples; enumerating a large set is the caller's risk.
+func (s Set) Enumerate(fn func(v uint64) bool) {
+	for _, iv := range s.ivs {
+		for v := iv.Lo; ; v++ {
+			if !fn(v) {
+				return
+			}
+			if v == iv.Hi {
+				break // avoid wrapping at Max
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randSet builds a small random set over [0, ~1100] from a quick-check seed.
+func randSet(r *rand.Rand) Set {
+	n := r.Intn(5)
+	ivs := make([]Interval, 0, n)
+	for i := 0; i < n; i++ {
+		lo := uint64(r.Intn(1000))
+		hi := lo + uint64(r.Intn(100))
+		ivs = append(ivs, MustNew(lo, hi))
+	}
+	return NewSet(ivs...)
+}
+
+// setPair is a quick.Generator producing two random sets.
+type setPair struct{ a, b Set }
+
+// Generate implements quick.Generator.
+func (setPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(setPair{a: randSet(r), b: randSet(r)})
+}
+
+var _ quick.Generator = setPair{}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestPropSetCanonicalInvariant(t *testing.T) {
+	t.Parallel()
+	f := func(p setPair) bool {
+		for _, s := range []Set{p.a, p.b, p.a.Union(p.b), p.a.Intersect(p.b), p.a.Subtract(p.b)} {
+			ivs := s.Intervals()
+			for i := range ivs {
+				if ivs[i].Lo > ivs[i].Hi {
+					return false
+				}
+				if i > 0 {
+					prev := ivs[i-1]
+					// Strictly ascending with a gap of at least one value.
+					if prev.Hi >= ivs[i].Lo || prev.Hi+1 == ivs[i].Lo {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionCommutative(t *testing.T) {
+	t.Parallel()
+	f := func(p setPair) bool {
+		return p.a.Union(p.b).Equal(p.b.Union(p.a))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropIntersectCommutative(t *testing.T) {
+	t.Parallel()
+	f := func(p setPair) bool {
+		return p.a.Intersect(p.b).Equal(p.b.Intersect(p.a))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDeMorganWithinDomain(t *testing.T) {
+	t.Parallel()
+	domain := MustNew(0, 2000)
+	f := func(p setPair) bool {
+		a, b := p.a, p.b
+		// ¬(a ∪ b) == ¬a ∩ ¬b within the domain.
+		lhs := a.Union(b).ComplementWithin(domain)
+		rhs := a.ComplementWithin(domain).Intersect(b.ComplementWithin(domain))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSubtractDefinition(t *testing.T) {
+	t.Parallel()
+	domain := MustNew(0, 2000)
+	f := func(p setPair) bool {
+		// a - b == a ∩ ¬b within any domain covering both.
+		lhs := p.a.Subtract(p.b)
+		rhs := p.a.Intersect(p.b.ComplementWithin(domain))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPartition(t *testing.T) {
+	t.Parallel()
+	f := func(p setPair) bool {
+		a, b := p.a, p.b
+		// (a-b), (b-a), (a∩b) partition a∪b.
+		d1, d2, in := a.Subtract(b), b.Subtract(a), a.Intersect(b)
+		if d1.Overlaps(d2) || d1.Overlaps(in) || d2.Overlaps(in) {
+			return false
+		}
+		return d1.Union(d2).Union(in).Equal(a.Union(b))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCountAdditive(t *testing.T) {
+	t.Parallel()
+	f := func(p setPair) bool {
+		a, b := p.a, p.b
+		// |a| + |b| == |a∪b| + |a∩b| (inclusion–exclusion on small sets).
+		return a.Count()+b.Count() == a.Union(b).Count()+a.Intersect(b).Count()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMembershipConsistency(t *testing.T) {
+	t.Parallel()
+	f := func(p setPair) bool {
+		a, b := p.a, p.b
+		u, in, sub := a.Union(b), a.Intersect(b), a.Subtract(b)
+		for v := uint64(0); v <= 1200; v += 7 {
+			inA, inB := a.Contains(v), b.Contains(v)
+			if u.Contains(v) != (inA || inB) {
+				return false
+			}
+			if in.Contains(v) != (inA && inB) {
+				return false
+			}
+			if sub.Contains(v) != (inA && !inB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,408 @@
+// Package iptables converts between a practical subset of iptables-save
+// syntax and the library's five-tuple policies, so real configurations
+// can be fed to the comparison and change-impact pipelines.
+//
+// Supported on import (for one chain of the filter table):
+//
+//	-A CHAIN [!] -s CIDR [!] -d CIDR -p tcp|udp|icmp
+//	         --sport P[:Q] --dport P[:Q] -j ACCEPT|DROP|REJECT
+//	-P CHAIN ACCEPT|DROP          (chain policy -> trailing catch-all)
+//
+// Port lists from -m multiport (--sports/--dports a,b:c,d) are folded
+// into one rule, since predicates here are arbitrary value sets — a
+// faithful import that iptables itself needs an extension module for.
+//
+// Export writes one -A line per simple-rule fragment, splitting
+// multi-interval sets into several lines with the same target (first-match
+// semantics make consecutive same-target lines order-insensitive among
+// themselves).
+package iptables
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/prefix"
+	"diversefw/internal/rule"
+)
+
+// Field indices of the five-tuple schema the importer targets.
+const (
+	fSrc = iota
+	fDst
+	fSport
+	fDport
+	fProto
+)
+
+// Import parses iptables rules for the named chain (e.g. "INPUT") into a
+// policy over field.IPv4FiveTuple. Lines for other chains are skipped. A
+// `-P chain target` line becomes the trailing catch-all; without one the
+// importer appends the conventional default-deny.
+func Import(r io.Reader, chain string) (*rule.Policy, error) {
+	schema := field.IPv4FiveTuple()
+	var rules []rule.Rule
+	defaultDecision := rule.Discard
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "*") || strings.HasPrefix(line, ":") || line == "COMMIT" {
+			continue
+		}
+		line = strings.TrimPrefix(line, "iptables ")
+		toks := strings.Fields(line)
+		if len(toks) == 0 {
+			continue
+		}
+		switch toks[0] {
+		case "-P":
+			if len(toks) != 3 {
+				return nil, fmt.Errorf("iptables: line %d: -P needs chain and target", lineNo)
+			}
+			if !strings.EqualFold(toks[1], chain) {
+				continue
+			}
+			d, err := parseTarget(toks[2])
+			if err != nil {
+				return nil, fmt.Errorf("iptables: line %d: %v", lineNo, err)
+			}
+			defaultDecision = d
+		case "-A", "-I":
+			if len(toks) < 2 || !strings.EqualFold(toks[1], chain) {
+				continue
+			}
+			rl, err := parseRule(schema, toks[2:])
+			if err != nil {
+				return nil, fmt.Errorf("iptables: line %d: %v", lineNo, err)
+			}
+			if toks[0] == "-I" {
+				// -I prepends (insert at head) like iptables does.
+				rules = append([]rule.Rule{rl}, rules...)
+			} else {
+				rules = append(rules, rl)
+			}
+		default:
+			return nil, fmt.Errorf("iptables: line %d: unsupported directive %q", lineNo, toks[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("iptables: read: %w", err)
+	}
+	rules = append(rules, rule.CatchAll(schema, defaultDecision))
+	return rule.NewPolicy(schema, rules)
+}
+
+// parseTarget maps iptables targets to decisions.
+func parseTarget(t string) (rule.Decision, error) {
+	switch strings.ToUpper(t) {
+	case "ACCEPT":
+		return rule.Accept, nil
+	case "DROP", "REJECT":
+		return rule.Discard, nil
+	case "LOG":
+		return 0, fmt.Errorf("LOG is a non-terminating target; not representable as a decision")
+	default:
+		return 0, fmt.Errorf("unsupported target %q", t)
+	}
+}
+
+// parseRule parses the match/target options of one -A line.
+func parseRule(schema *field.Schema, toks []string) (rule.Rule, error) {
+	pred := rule.FullPredicate(schema)
+	var decision rule.Decision
+	negate := false
+
+	setField := func(fi int, s interval.Set) error {
+		if negate {
+			s = s.ComplementWithin(schema.Domain(fi))
+			negate = false
+		}
+		if s.Empty() {
+			return fmt.Errorf("field %s match is empty", schema.Field(fi).Name)
+		}
+		pred[fi] = pred[fi].Intersect(s)
+		if pred[fi].Empty() {
+			return fmt.Errorf("field %s matches conflict", schema.Field(fi).Name)
+		}
+		return nil
+	}
+
+	i := 0
+	next := func(opt string) (string, error) {
+		i++
+		if i >= len(toks) {
+			return "", fmt.Errorf("%s needs an argument", opt)
+		}
+		return toks[i], nil
+	}
+	for ; i < len(toks); i++ {
+		switch toks[i] {
+		case "!":
+			negate = true
+		case "-s", "--source", "-d", "--destination":
+			opt := toks[i]
+			arg, err := next(opt)
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			iv, err := prefix.ParseCIDR(arg)
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			fi := fSrc
+			if opt == "-d" || opt == "--destination" {
+				fi = fDst
+			}
+			if err := setField(fi, interval.SetFromInterval(iv)); err != nil {
+				return rule.Rule{}, err
+			}
+		case "-p", "--protocol":
+			arg, err := next("-p")
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			s, err := rule.ParseValueSet(schema.Field(fProto), strings.ToLower(arg))
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			if err := setField(fProto, s); err != nil {
+				return rule.Rule{}, err
+			}
+		case "--sport", "--sports", "--source-port", "--source-ports":
+			arg, err := next("--sport")
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			s, err := parsePorts(arg)
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			if err := setField(fSport, s); err != nil {
+				return rule.Rule{}, err
+			}
+		case "--dport", "--dports", "--destination-port", "--destination-ports":
+			arg, err := next("--dport")
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			s, err := parsePorts(arg)
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			if err := setField(fDport, s); err != nil {
+				return rule.Rule{}, err
+			}
+		case "-m", "--match":
+			// Match extensions (multiport, comment, ...) carry no
+			// semantics themselves; their options follow and are handled
+			// above.
+			if _, err := next("-m"); err != nil {
+				return rule.Rule{}, err
+			}
+		case "--comment":
+			if _, err := next("--comment"); err != nil {
+				return rule.Rule{}, err
+			}
+		case "-j", "--jump":
+			arg, err := next("-j")
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			d, err := parseTarget(arg)
+			if err != nil {
+				return rule.Rule{}, err
+			}
+			decision = d
+		case "-i", "--in-interface", "-o", "--out-interface":
+			// Interface matches are outside the five-tuple schema; accept
+			// and ignore them (the paper's example folds interfaces into a
+			// field; the five-tuple schema does not carry one).
+			if _, err := next(toks[i]); err != nil {
+				return rule.Rule{}, err
+			}
+		default:
+			return rule.Rule{}, fmt.Errorf("unsupported option %q", toks[i])
+		}
+	}
+	if decision == 0 {
+		return rule.Rule{}, fmt.Errorf("rule has no -j target")
+	}
+	if negate {
+		return rule.Rule{}, fmt.Errorf("dangling '!'")
+	}
+	return rule.Rule{Pred: pred, Decision: decision}, nil
+}
+
+// parsePorts parses "25", "1024:65535", and multiport lists
+// "25,80,1000:2000" into a value set.
+func parsePorts(arg string) (interval.Set, error) {
+	var ivs []interval.Interval
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.ReplaceAll(strings.TrimSpace(part), ":", "-")
+		iv, err := prefix.ParsePortRange(part)
+		if err != nil {
+			return interval.Set{}, err
+		}
+		ivs = append(ivs, iv)
+	}
+	if len(ivs) == 0 {
+		return interval.Set{}, fmt.Errorf("empty port list %q", arg)
+	}
+	return interval.NewSet(ivs...), nil
+}
+
+// Export writes the policy as iptables -A lines for the chain, followed
+// by a -P line if the policy ends in a catch-all. Rules whose value sets
+// are not expressible as a single iptables match are split into several
+// consecutive lines with the same target.
+func Export(w io.Writer, p *rule.Policy, chain string) error {
+	if !p.Schema.Equal(field.IPv4FiveTuple()) {
+		return fmt.Errorf("iptables: export needs the five-tuple schema")
+	}
+	bw := bufio.NewWriter(w)
+	rules := p.Rules
+	if p.EndsWithCatchAll() {
+		last := rules[len(rules)-1]
+		rules = rules[:len(rules)-1]
+		target := "ACCEPT"
+		if last.Decision == rule.Discard || last.Decision == rule.DiscardLog {
+			target = "DROP"
+		}
+		defer func() {
+			fmt.Fprintf(bw, "-P %s %s\n", chain, target)
+			bw.Flush()
+		}()
+	}
+	for ri, r := range rules {
+		lines, err := exportRule(p.Schema, r, chain)
+		if err != nil {
+			return fmt.Errorf("iptables: rule %d: %w", ri, err)
+		}
+		for _, l := range lines {
+			fmt.Fprintln(bw, l)
+		}
+	}
+	return bw.Flush()
+}
+
+// exportRule expands one rule into iptables lines: the cross product of
+// per-address CIDR fragments, with ports folded into multiport lists.
+func exportRule(schema *field.Schema, r rule.Rule, chain string) ([]string, error) {
+	target := "ACCEPT"
+	switch r.Decision {
+	case rule.Accept, rule.AcceptLog:
+	case rule.Discard, rule.DiscardLog:
+		target = "DROP"
+	default:
+		return nil, fmt.Errorf("decision %v not expressible", r.Decision)
+	}
+
+	srcs, err := cidrFragments(schema, fSrc, r.Pred[fSrc])
+	if err != nil {
+		return nil, err
+	}
+	dsts, err := cidrFragments(schema, fDst, r.Pred[fDst])
+	if err != nil {
+		return nil, err
+	}
+	sport := portFragment(schema, fSport, "--sports", r.Pred[fSport])
+	dport := portFragment(schema, fDport, "--dports", r.Pred[fDport])
+	protos := protoFragments(schema, r.Pred[fProto])
+
+	multiport := sport != "" || dport != ""
+	var out []string
+	for _, s := range srcs {
+		for _, d := range dsts {
+			for _, pr := range protos {
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "-A %s", chain)
+				sb.WriteString(s)
+				sb.WriteString(d)
+				sb.WriteString(pr)
+				if multiport {
+					if pr == "" {
+						// iptables port matches need a protocol; cover both.
+						return nil, fmt.Errorf("port match requires a protocol")
+					}
+					sb.WriteString(" -m multiport")
+					sb.WriteString(sport)
+					sb.WriteString(dport)
+				}
+				fmt.Fprintf(&sb, " -j %s", target)
+				out = append(out, sb.String())
+			}
+		}
+	}
+	return out, nil
+}
+
+// cidrFragments renders an address set as " -s CIDR" fragments (one per
+// covering prefix), or a single "" fragment for the full domain.
+func cidrFragments(schema *field.Schema, fi int, s interval.Set) ([]string, error) {
+	if s.Equal(schema.FullSet(fi)) {
+		return []string{""}, nil
+	}
+	flag := " -s "
+	if fi == fDst {
+		flag = " -d "
+	}
+	var out []string
+	for _, iv := range s.Intervals() {
+		ps, err := prefix.FromInterval(iv, 32)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range ps {
+			if p.Len == 32 {
+				out = append(out, flag+prefix.FormatIPv4(p.Bits))
+			} else {
+				out = append(out, fmt.Sprintf("%s%s/%d", flag, prefix.FormatIPv4(p.Bits), p.Len))
+			}
+		}
+	}
+	return out, nil
+}
+
+// portFragment renders a port set as a multiport list fragment, or "" for
+// the full domain.
+func portFragment(schema *field.Schema, fi int, flag string, s interval.Set) string {
+	if s.Equal(schema.FullSet(fi)) {
+		return ""
+	}
+	parts := make([]string, 0, s.NumIntervals())
+	for _, iv := range s.Intervals() {
+		if iv.Lo == iv.Hi {
+			parts = append(parts, fmt.Sprintf("%d", iv.Lo))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d:%d", iv.Lo, iv.Hi))
+		}
+	}
+	return " " + flag + " " + strings.Join(parts, ",")
+}
+
+// protoFragments renders a protocol set as " -p name" fragments, or "" for
+// the full domain.
+func protoFragments(schema *field.Schema, s interval.Set) []string {
+	if s.Equal(schema.FullSet(fProto)) {
+		return []string{""}
+	}
+	names := map[uint64]string{1: "icmp", 6: "tcp", 17: "udp"}
+	var out []string
+	s.Enumerate(func(v uint64) bool {
+		if n, ok := names[v]; ok {
+			out = append(out, " -p "+n)
+		} else {
+			out = append(out, fmt.Sprintf(" -p %d", v))
+		}
+		return true
+	})
+	return out
+}

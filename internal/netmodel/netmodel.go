@@ -1,0 +1,148 @@
+// Package netmodel models a network of zones connected through firewalls
+// and computes end-to-end filtering behaviour — the "filtering postures"
+// setting of the paper's references [15] (Guttman) and [5] (Firmato),
+// where the property of interest is what traffic can flow between two
+// zones across *all* the firewalls on its path.
+//
+// A topology is an undirected graph of named zones; each link carries a
+// firewall policy per direction (or none, meaning pass-through). The
+// end-to-end policy between two zones is the serial composition of the
+// directed policies along the unique simple path between them; diverse
+// design then applies end to end: compare two candidate topologies' zone
+// pair behaviours with the ordinary pipeline.
+package netmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"diversefw/internal/compose"
+	"diversefw/internal/field"
+	"diversefw/internal/rule"
+)
+
+// Topology is a network of zones and firewalled links.
+type Topology struct {
+	schema *field.Schema
+	zones  map[string]bool
+	// links[a][b] is the policy filtering traffic flowing a -> b; nil
+	// means the direction passes everything.
+	links map[string]map[string]*rule.Policy
+}
+
+// New returns an empty topology over the schema.
+func New(schema *field.Schema) (*Topology, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("netmodel: nil schema")
+	}
+	return &Topology{
+		schema: schema,
+		zones:  make(map[string]bool),
+		links:  make(map[string]map[string]*rule.Policy),
+	}, nil
+}
+
+// AddZone declares a zone.
+func (t *Topology) AddZone(name string) error {
+	if name == "" {
+		return fmt.Errorf("netmodel: empty zone name")
+	}
+	if t.zones[name] {
+		return fmt.Errorf("netmodel: duplicate zone %q", name)
+	}
+	t.zones[name] = true
+	t.links[name] = make(map[string]*rule.Policy)
+	return nil
+}
+
+// Zones lists the declared zones in sorted order.
+func (t *Topology) Zones() []string {
+	out := make([]string, 0, len(t.zones))
+	for z := range t.zones {
+		out = append(out, z)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Connect links two zones. forward filters a -> b traffic, backward
+// filters b -> a; either may be nil (pass-through in that direction).
+func (t *Topology) Connect(a, b string, forward, backward *rule.Policy) error {
+	if !t.zones[a] || !t.zones[b] {
+		return fmt.Errorf("netmodel: unknown zone in link %q-%q", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("netmodel: self-link on %q", a)
+	}
+	if _, dup := t.links[a][b]; dup {
+		return fmt.Errorf("netmodel: duplicate link %q-%q", a, b)
+	}
+	for _, p := range []*rule.Policy{forward, backward} {
+		if p != nil && !p.Schema.Equal(t.schema) {
+			return fmt.Errorf("netmodel: link %q-%q policy uses a different schema", a, b)
+		}
+	}
+	t.links[a][b] = forward
+	t.links[b][a] = backward
+	return nil
+}
+
+// path finds the unique simple path between two zones. Topologies with
+// multiple paths (cycles) are rejected: end-to-end behaviour would depend
+// on routing, which this model deliberately does not include.
+func (t *Topology) path(from, to string) ([]string, error) {
+	if !t.zones[from] || !t.zones[to] {
+		return nil, fmt.Errorf("netmodel: unknown zone %q or %q", from, to)
+	}
+	if from == to {
+		return []string{from}, nil
+	}
+	var found [][]string
+	var walk func(cur string, visited map[string]bool, trail []string)
+	walk = func(cur string, visited map[string]bool, trail []string) {
+		if cur == to {
+			cp := make([]string, len(trail))
+			copy(cp, trail)
+			found = append(found, cp)
+			return
+		}
+		for next := range t.links[cur] {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			walk(next, visited, append(trail, next))
+			delete(visited, next)
+		}
+	}
+	walk(from, map[string]bool{from: true}, []string{from})
+	switch len(found) {
+	case 0:
+		return nil, fmt.Errorf("netmodel: no path from %q to %q", from, to)
+	case 1:
+		return found[0], nil
+	default:
+		return nil, fmt.Errorf("netmodel: %d distinct paths from %q to %q; end-to-end behaviour is routing-dependent", len(found), from, to)
+	}
+}
+
+// EndToEnd returns the policy equivalent to traversing every firewall on
+// the unique path from one zone to another: a packet is accepted iff
+// every hop accepts it. Pass-through directions contribute nothing.
+func (t *Topology) EndToEnd(from, to string) (*rule.Policy, error) {
+	hops, err := t.path(from, to)
+	if err != nil {
+		return nil, err
+	}
+	var chain []*rule.Policy
+	for i := 0; i+1 < len(hops); i++ {
+		if p := t.links[hops[i]][hops[i+1]]; p != nil {
+			chain = append(chain, p)
+		}
+	}
+	if len(chain) == 0 {
+		// Nothing filters: everything is accepted.
+		return rule.NewPolicy(t.schema, []rule.Rule{rule.CatchAll(t.schema, rule.Accept)})
+	}
+	return compose.Serial(chain...)
+}

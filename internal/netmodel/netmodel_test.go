@@ -1,0 +1,241 @@
+package netmodel
+
+import (
+	"testing"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+func schema1() *field.Schema {
+	return field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 99), Kind: field.KindInt})
+}
+
+func pol(t *testing.T, rules ...rule.Rule) *rule.Policy {
+	t.Helper()
+	p, err := rule.NewPolicy(schema1(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func r1(lo, hi uint64, d rule.Decision) rule.Rule {
+	return rule.Rule{Pred: rule.Predicate{interval.SetOf(lo, hi)}, Decision: d}
+}
+
+// buildChain is internet -[gw]- dmz -[inner]- lan.
+func buildChain(t *testing.T) *Topology {
+	t.Helper()
+	top, err := New(schema1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range []string{"internet", "dmz", "lan"} {
+		if err := top.AddZone(z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gw := pol(t, r1(0, 60, rule.Accept), rule.CatchAll(schema1(), rule.Discard))
+	inner := pol(t, r1(40, 99, rule.Accept), rule.CatchAll(schema1(), rule.Discard))
+	// Outbound directions pass everything (nil).
+	if err := top.Connect("internet", "dmz", gw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("dmz", "lan", inner, nil); err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestEndToEndComposesChain(t *testing.T) {
+	t.Parallel()
+	top := buildChain(t)
+	e2e, err := top.EndToEnd("internet", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v <= 99; v++ {
+		want := rule.Discard
+		if v >= 40 && v <= 60 { // must pass both hops
+			want = rule.Accept
+		}
+		got, _, ok := e2e.Decide(rule.Packet{v})
+		if !ok || got != want {
+			t.Fatalf("x=%d: got %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestEndToEndPassThroughDirection(t *testing.T) {
+	t.Parallel()
+	top := buildChain(t)
+	// lan -> internet crosses only pass-through directions.
+	e2e, err := top.EndToEnd("lan", "internet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := compare.Equivalent(e2e, pol(t, rule.CatchAll(schema1(), rule.Accept)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("outbound path should pass everything")
+	}
+}
+
+func TestEndToEndSingleHopAndSelf(t *testing.T) {
+	t.Parallel()
+	top := buildChain(t)
+	e2e, err := top.EndToEnd("internet", "dmz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _, _ := e2e.Decide(rule.Packet{70}); d != rule.Discard {
+		t.Fatal("single hop should apply the gateway policy")
+	}
+	self, err := top.EndToEnd("lan", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _, _ := self.Decide(rule.Packet{5}); d != rule.Accept {
+		t.Fatal("zone-internal traffic is unfiltered")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil schema should fail")
+	}
+	top, err := New(schema1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddZone(""); err == nil {
+		t.Fatal("empty zone should fail")
+	}
+	if err := top.AddZone("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddZone("a"); err == nil {
+		t.Fatal("duplicate zone should fail")
+	}
+	if err := top.AddZone("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("a", "zz", nil, nil); err == nil {
+		t.Fatal("unknown zone should fail")
+	}
+	if err := top.Connect("a", "a", nil, nil); err == nil {
+		t.Fatal("self link should fail")
+	}
+	other := field.MustSchema(field.Field{Name: "y", Domain: interval.MustNew(0, 9), Kind: field.KindInt})
+	wrong := rule.MustPolicy(other, []rule.Rule{rule.CatchAll(other, rule.Accept)})
+	if err := top.Connect("a", "b", wrong, nil); err == nil {
+		t.Fatal("wrong schema should fail")
+	}
+	if err := top.Connect("a", "b", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("a", "b", nil, nil); err == nil {
+		t.Fatal("duplicate link should fail")
+	}
+	if _, err := top.EndToEnd("a", "nope"); err == nil {
+		t.Fatal("unknown zone should fail")
+	}
+	if zs := top.Zones(); len(zs) != 2 || zs[0] != "a" || zs[1] != "b" {
+		t.Fatalf("zones = %v", zs)
+	}
+}
+
+func TestEndToEndNoPathAndAmbiguous(t *testing.T) {
+	t.Parallel()
+	top, err := New(schema1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range []string{"a", "b", "c", "island"} {
+		if err := top.AddZone(z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := top.Connect("a", "b", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Connect("b", "c", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.EndToEnd("a", "island"); err == nil {
+		t.Fatal("disconnected zones should fail")
+	}
+	// Close the cycle: a-c makes two paths a..c ambiguous.
+	if err := top.Connect("a", "c", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.EndToEnd("a", "c"); err == nil {
+		t.Fatal("multiple paths should fail")
+	}
+}
+
+// TestDiverseDesignEndToEnd: two candidate *topologies* implementing the
+// same intent are compared on their end-to-end behaviour — the diverse
+// design method lifted to the network level.
+func TestDiverseDesignEndToEnd(t *testing.T) {
+	t.Parallel()
+	// Design 1: all filtering at the gateway.
+	t1, err := New(schema1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range []string{"internet", "dmz", "lan"} {
+		_ = t1.AddZone(z)
+	}
+	all := pol(t, r1(40, 60, rule.Accept), rule.CatchAll(schema1(), rule.Discard))
+	if err := t1.Connect("internet", "dmz", all, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Connect("dmz", "lan", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Design 2: split across two hops — same end-to-end intent.
+	t2 := buildChain(t)
+
+	e1, err := t1.EndToEnd("internet", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := t2.EndToEnd("internet", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := compare.Equivalent(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		report, _ := compare.Diff(e1, e2)
+		t.Fatalf("designs should agree end to end; discrepancies: %+v", report.Discrepancies)
+	}
+
+	// But they are NOT equivalent for internet -> dmz: design 2's gateway
+	// is looser there. The comparison pinpoints it.
+	d1, err := t1.EndToEnd("internet", "dmz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := t2.EndToEnd("internet", "dmz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := compare.Diff(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Equivalent() {
+		t.Fatal("designs differ at the DMZ")
+	}
+}

@@ -1,0 +1,100 @@
+package netmodel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"diversefw/internal/field"
+	"diversefw/internal/rule"
+)
+
+// Topology file format
+//
+//	# gateway network
+//	zone internet
+//	zone dmz
+//	zone lan
+//	link internet dmz forward=gw.fw
+//	link dmz lan forward=inner.fw backward=egress.fw
+//
+// Each link names the policy filtering each direction; omitting a
+// direction (or writing "-") means pass-through. Policy paths are
+// resolved by the loader the caller supplies (the fwtopo tool resolves
+// them relative to the topology file).
+
+// ParseTopology reads the format above. load maps a policy path from the
+// file to a parsed policy.
+func ParseTopology(r io.Reader, schema *field.Schema, load func(path string) (*rule.Policy, error)) (*Topology, error) {
+	top, err := New(schema)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("netmodel: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "zone":
+			if len(fields) != 2 {
+				return nil, fail("zone needs exactly one name")
+			}
+			if err := top.AddZone(fields[1]); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "link":
+			if len(fields) < 3 {
+				return nil, fail("link needs two zone names")
+			}
+			a, b := fields[1], fields[2]
+			var forward, backward *rule.Policy
+			for _, opt := range fields[3:] {
+				kv := strings.SplitN(opt, "=", 2)
+				if len(kv) != 2 {
+					return nil, fail("bad link option %q", opt)
+				}
+				var p *rule.Policy
+				if kv[1] != "-" {
+					loaded, err := load(kv[1])
+					if err != nil {
+						return nil, fail("%v", err)
+					}
+					p = loaded
+				}
+				switch kv[0] {
+				case "forward":
+					forward = p
+				case "backward":
+					backward = p
+				default:
+					return nil, fail("unknown link option %q", kv[0])
+				}
+			}
+			if err := top.Connect(a, b, forward, backward); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netmodel: read: %w", err)
+	}
+	if len(top.zones) == 0 {
+		return nil, fmt.Errorf("netmodel: topology declares no zones")
+	}
+	return top, nil
+}

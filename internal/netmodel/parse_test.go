@@ -1,0 +1,88 @@
+package netmodel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"diversefw/internal/rule"
+)
+
+// loaderFor maps names to fixed policies.
+func loaderFor(t *testing.T, policies map[string]*rule.Policy) func(string) (*rule.Policy, error) {
+	t.Helper()
+	return func(path string) (*rule.Policy, error) {
+		p, ok := policies[path]
+		if !ok {
+			return nil, fmt.Errorf("no such policy %q", path)
+		}
+		return p, nil
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	t.Parallel()
+	gw := pol(t, r1(0, 60, rule.Accept), rule.CatchAll(schema1(), rule.Discard))
+	text := `
+# comment
+zone a
+zone b
+zone c
+link a b forward=gw.fw backward=-
+link b c
+`
+	top, err := ParseTopology(strings.NewReader(text), schema1(),
+		loaderFor(t, map[string]*rule.Policy{"gw.fw": gw}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := top.Zones(); len(got) != 3 {
+		t.Fatalf("zones = %v", got)
+	}
+	e2e, err := top.EndToEnd("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _, _ := e2e.Decide(rule.Packet{70}); d != rule.Discard {
+		t.Fatal("gateway filter not applied on the a->c path")
+	}
+	if d, _, _ := e2e.Decide(rule.Packet{10}); d != rule.Accept {
+		t.Fatal("allowed traffic blocked")
+	}
+	// Backward (c->a) passes everything.
+	back, err := top.EndToEnd("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _, _ := back.Decide(rule.Packet{70}); d != rule.Accept {
+		t.Fatal("pass-through direction filtered")
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	t.Parallel()
+	load := loaderFor(t, map[string]*rule.Policy{})
+	cases := []struct {
+		name, text string
+	}{
+		{"empty", "\n"},
+		{"bad directive", "zonk a\n"},
+		{"zone arity", "zone\n"},
+		{"link arity", "zone a\nlink a\n"},
+		{"unknown zone", "zone a\nlink a b\n"},
+		{"bad option", "zone a\nzone b\nlink a b sideways=x.fw\n"},
+		{"malformed option", "zone a\nzone b\nlink a b forward\n"},
+		{"missing policy", "zone a\nzone b\nlink a b forward=nope.fw\n"},
+		{"duplicate zone", "zone a\nzone a\n"},
+		{"duplicate link", "zone a\nzone b\nlink a b\nlink a b\n"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := ParseTopology(strings.NewReader(c.text), schema1(), load); err == nil {
+				t.Fatalf("should fail:\n%s", c.text)
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+// Package packet provides packet sampling and a brute-force first-match
+// oracle used for differential testing of every FDD algorithm.
+//
+// The oracle is the definition itself: scan the rule list, return the
+// decision of the first matching rule (Section 3.1). Any cleverer data
+// structure in this repository — FDDs, shaped FDDs, generated firewalls —
+// must agree with this oracle on every sampled packet.
+package packet
+
+import (
+	"math/rand"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// Sampler draws packets from a schema's packet space Σ.
+type Sampler struct {
+	schema *field.Schema
+	rng    *rand.Rand
+}
+
+// NewSampler returns a deterministic sampler seeded with seed.
+func NewSampler(schema *field.Schema, seed int64) *Sampler {
+	return &Sampler{schema: schema, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform draws one packet uniformly at random from the packet space.
+func (s *Sampler) Uniform() rule.Packet {
+	pkt := make(rule.Packet, s.schema.NumFields())
+	for i := 0; i < s.schema.NumFields(); i++ {
+		pkt[i] = s.uniformIn(s.schema.Domain(i))
+	}
+	return pkt
+}
+
+// uniformIn draws a value uniformly from the closed interval.
+func (s *Sampler) uniformIn(iv interval.Interval) uint64 {
+	span := iv.Hi - iv.Lo
+	if span == ^uint64(0) {
+		return s.rng.Uint64()
+	}
+	if n := span + 1; n <= 1<<62 {
+		return iv.Lo + uint64(s.rng.Int63n(int64(n)))
+	}
+	// Rejection sampling for domains too wide for Int63n
+	// (acceptance probability is at least 1/4 here).
+	for {
+		if v := s.rng.Uint64(); v <= span {
+			return iv.Lo + v
+		}
+	}
+}
+
+// Biased draws a packet that lies inside a uniformly chosen rule of the
+// policy, with each field value drawn from the rule's value set. Uniform
+// sampling almost never hits narrow rules (a /32 source is a 2^-32 event);
+// biased sampling exercises exactly the regions where policies disagree.
+func (s *Sampler) Biased(p *rule.Policy) rule.Packet {
+	if len(p.Rules) == 0 {
+		return s.Uniform()
+	}
+	r := p.Rules[s.rng.Intn(len(p.Rules))]
+	pkt := make(rule.Packet, len(r.Pred))
+	for i, valueSet := range r.Pred {
+		pkt[i] = s.fromSet(valueSet)
+	}
+	return pkt
+}
+
+// BiasedPair draws a packet inside a random rule of either policy, and
+// additionally perturbs one field to a domain boundary with small
+// probability — boundary values are where off-by-one interval bugs live.
+func (s *Sampler) BiasedPair(a, b *rule.Policy) rule.Packet {
+	var pkt rule.Packet
+	if s.rng.Intn(2) == 0 {
+		pkt = s.Biased(a)
+	} else {
+		pkt = s.Biased(b)
+	}
+	if s.rng.Intn(8) == 0 {
+		i := s.rng.Intn(len(pkt))
+		d := s.schema.Domain(i)
+		if s.rng.Intn(2) == 0 {
+			pkt[i] = d.Lo
+		} else {
+			pkt[i] = d.Hi
+		}
+	}
+	return pkt
+}
+
+// fromSet draws a value from the set, weighting intervals by index (not
+// size) so narrow intervals are hit often.
+func (s *Sampler) fromSet(set interval.Set) uint64 {
+	ivs := set.Intervals()
+	if len(ivs) == 0 {
+		return 0
+	}
+	iv := ivs[s.rng.Intn(len(ivs))]
+	return s.uniformIn(iv)
+}
+
+// Oracle evaluates the policy by brute force. It returns the decision and
+// whether any rule matched.
+func Oracle(p *rule.Policy, pkt rule.Packet) (rule.Decision, bool) {
+	d, _, ok := p.Decide(pkt)
+	return d, ok
+}
+
+// Agree reports whether two policies give the same decision for the
+// packet. Packets that match neither policy count as agreement.
+func Agree(a, b *rule.Policy, pkt rule.Packet) bool {
+	da, oka := Oracle(a, pkt)
+	db, okb := Oracle(b, pkt)
+	if oka != okb {
+		return false
+	}
+	return !oka || da == db
+}

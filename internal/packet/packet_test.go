@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func smallSchema() *field.Schema {
+	return field.MustSchema(
+		field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt},
+		field.Field{Name: "y", Domain: interval.MustNew(0, 99), Kind: field.KindInt},
+	)
+}
+
+func TestUniformStaysInDomain(t *testing.T) {
+	t.Parallel()
+	s := smallSchema()
+	sm := NewSampler(s, 1)
+	for i := 0; i < 1000; i++ {
+		pkt := sm.Uniform()
+		if len(pkt) != 2 {
+			t.Fatalf("arity %d", len(pkt))
+		}
+		if pkt[0] > 9 || pkt[1] > 99 {
+			t.Fatalf("out of domain: %v", pkt)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	t.Parallel()
+	s := smallSchema()
+	a, b := NewSampler(s, 42), NewSampler(s, 42)
+	for i := 0; i < 100; i++ {
+		pa, pb := a.Uniform(), b.Uniform()
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("same seed diverged at draw %d: %v vs %v", i, pa, pb)
+			}
+		}
+	}
+}
+
+func TestUniformCoversDomain(t *testing.T) {
+	t.Parallel()
+	s := smallSchema()
+	sm := NewSampler(s, 7)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 2000; i++ {
+		seen[sm.Uniform()[0]] = true
+	}
+	for v := uint64(0); v <= 9; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn from [0,9] in 2000 draws", v)
+		}
+	}
+}
+
+func TestUniformFullWidthDomains(t *testing.T) {
+	t.Parallel()
+	s := field.MustSchema(
+		field.Field{Name: "wide", Domain: interval.MustNew(0, ^uint64(0)), Kind: field.KindInt},
+		field.Field{Name: "big", Domain: interval.MustNew(0, 1<<63), Kind: field.KindInt},
+	)
+	sm := NewSampler(s, 3)
+	for i := 0; i < 100; i++ {
+		pkt := sm.Uniform()
+		if pkt[1] > 1<<63 {
+			t.Fatalf("big field out of domain: %d", pkt[1])
+		}
+	}
+}
+
+func TestBiasedHitsNarrowRules(t *testing.T) {
+	t.Parallel()
+	// The paper's Team A policy has a single-IP destination; uniform
+	// sampling of a 32-bit field virtually never hits it, biased must.
+	p := paper.TeamA()
+	sm := NewSampler(p.Schema, 11)
+	hits := 0
+	for i := 0; i < 300; i++ {
+		pkt := sm.Biased(p)
+		if pkt[paper.FieldD] == paper.Gamma {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("biased sampling never hit the mail-server rule")
+	}
+}
+
+func TestBiasedEmptyPolicyFallsBack(t *testing.T) {
+	t.Parallel()
+	s := smallSchema()
+	p := rule.MustPolicy(s, nil)
+	sm := NewSampler(s, 5)
+	pkt := sm.Biased(p)
+	if len(pkt) != 2 {
+		t.Fatalf("fallback packet arity %d", len(pkt))
+	}
+}
+
+func TestBiasedPairStaysInDomain(t *testing.T) {
+	t.Parallel()
+	a, b := paper.TeamA(), paper.TeamB()
+	sm := NewSampler(a.Schema, 13)
+	for i := 0; i < 500; i++ {
+		pkt := sm.BiasedPair(a, b)
+		for fi, v := range pkt {
+			if !a.Schema.Domain(fi).Contains(v) {
+				t.Fatalf("field %d value %d out of domain", fi, v)
+			}
+		}
+	}
+}
+
+func TestOracleAndAgree(t *testing.T) {
+	t.Parallel()
+	a, b := paper.TeamA(), paper.TeamB()
+
+	// A packet both policies accept: outgoing traffic (I = 1).
+	out := rule.Packet{1, 0, 0, 80, 0}
+	if d, ok := Oracle(a, out); !ok || d != rule.Accept {
+		t.Fatalf("TeamA outgoing = %v, %v", d, ok)
+	}
+	if !Agree(a, b, out) {
+		t.Fatal("teams should agree on outgoing traffic")
+	}
+
+	// The paper's discrepancy 1: malicious host e-mails the server.
+	mal := rule.Packet{0, paper.Alpha, paper.Gamma, 25, paper.TCP}
+	da, _ := Oracle(a, mal)
+	db, _ := Oracle(b, mal)
+	if da != rule.Accept || db != rule.Discard {
+		t.Fatalf("discrepancy packet decisions = %v, %v", da, db)
+	}
+	if Agree(a, b, mal) {
+		t.Fatal("teams must disagree on the discrepancy packet")
+	}
+}
+
+func TestAgreeWhenNeitherMatches(t *testing.T) {
+	t.Parallel()
+	s := smallSchema()
+	empty := rule.MustPolicy(s, nil)
+	if !Agree(empty, empty, rule.Packet{0, 0}) {
+		t.Fatal("two non-matching policies agree by convention")
+	}
+	ca := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Accept)})
+	if Agree(empty, ca, rule.Packet{0, 0}) {
+		t.Fatal("matched vs unmatched should disagree")
+	}
+}

@@ -1,0 +1,158 @@
+// Package paper encodes the running example of "Diverse Firewall Design"
+// (Tables 1-4 and the requirement specification of Section 2) as reusable
+// fixtures. Tests, examples, and the benchmark harness all build on these.
+//
+// The scenario: a gateway firewall with two interfaces (0 = Internet,
+// 1 = local network). Requirement specification:
+//
+//   - The mail server 192.168.0.1 can receive e-mail packets (dport 25).
+//   - Packets from the malicious domain 224.168.0.0/16 must be blocked.
+//   - All other packets are accepted.
+//
+// Teams A and B implement this independently (Tables 1 and 2); the
+// comparison algorithms find exactly three functional discrepancies
+// (Table 3), which the teams resolve as in Table 4.
+package paper
+
+import (
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// Shorthand constants from Section 2: α and β bound the malicious domain
+// 224.168.0.0/16, γ is the mail server 192.168.0.1.
+const (
+	Alpha = uint64(0xE0A80000) // 224.168.0.0
+	Beta  = uint64(0xE0A8FFFF) // 224.168.255.255
+	Gamma = uint64(0xC0A80001) // 192.168.0.1
+)
+
+// Protocol values in the example: P = 0 is TCP, P = 1 is UDP.
+const (
+	TCP = uint64(0)
+	UDP = uint64(1)
+)
+
+// Schema returns the example's 5-field schema: I (interface), S (source
+// IP), D (destination IP), N (destination port), P (protocol).
+func Schema() *field.Schema { return field.PaperExample() }
+
+// Field indices within Schema, in order.
+const (
+	FieldI = iota
+	FieldS
+	FieldD
+	FieldN
+	FieldP
+)
+
+// set builds an interval set from one interval.
+func set(lo, hi uint64) interval.Set { return interval.SetOf(lo, hi) }
+
+// TeamA returns the firewall of Table 1:
+//
+//	r1: I=0 ∧ D=γ ∧ N=25            -> accept  (mail may come in)
+//	r2: I=0 ∧ S∈[α,β]               -> discard (block the malicious domain)
+//	r3: any                          -> accept
+func TeamA() *rule.Policy {
+	s := Schema()
+	full := func(i int) interval.Set { return s.FullSet(i) }
+	return rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{set(0, 0), full(FieldS), set(Gamma, Gamma), set(25, 25), full(FieldP)}, Decision: rule.Accept},
+		{Pred: rule.Predicate{set(0, 0), set(Alpha, Beta), full(FieldD), full(FieldN), full(FieldP)}, Decision: rule.Discard},
+		{Pred: rule.FullPredicate(s), Decision: rule.Accept},
+	})
+}
+
+// TeamB returns the firewall of Table 2:
+//
+//	r1: I=0 ∧ S∈[α,β]                        -> discard
+//	r2: I=0 ∧ D=γ ∧ N=25 ∧ P=TCP             -> accept
+//	r3: I=0 ∧ D=γ                            -> discard
+//	r4: any                                   -> accept
+func TeamB() *rule.Policy {
+	s := Schema()
+	full := func(i int) interval.Set { return s.FullSet(i) }
+	return rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{set(0, 0), set(Alpha, Beta), full(FieldD), full(FieldN), full(FieldP)}, Decision: rule.Discard},
+		{Pred: rule.Predicate{set(0, 0), full(FieldS), set(Gamma, Gamma), set(25, 25), set(TCP, TCP)}, Decision: rule.Accept},
+		{Pred: rule.Predicate{set(0, 0), full(FieldS), set(Gamma, Gamma), full(FieldN), full(FieldP)}, Decision: rule.Discard},
+		{Pred: rule.FullPredicate(s), Decision: rule.Accept},
+	})
+}
+
+// Discrepancy is one row of Table 3: a region of the packet space on which
+// the two firewalls disagree, with each team's decision.
+type Discrepancy struct {
+	Pred      rule.Predicate
+	DecisionA rule.Decision
+	DecisionB rule.Decision
+}
+
+// ExpectedDiscrepancies returns Table 3 — the three functional
+// discrepancies between TeamA and TeamB:
+//
+//  1. I=0 ∧ S∈[α,β]  ∧ D=γ ∧ N=25           : A accept, B discard
+//  2. I=0 ∧ S∉[α,β]  ∧ D=γ ∧ N=25 ∧ P=UDP   : A accept, B discard
+//  3. I=0 ∧ S∉[α,β]  ∧ D=γ ∧ N≠25           : A accept, B discard
+func ExpectedDiscrepancies() []Discrepancy {
+	s := Schema()
+	full := func(i int) interval.Set { return s.FullSet(i) }
+	notMal := full(FieldS).Subtract(set(Alpha, Beta))
+	not25 := full(FieldN).Subtract(set(25, 25))
+	return []Discrepancy{
+		{
+			Pred:      rule.Predicate{set(0, 0), set(Alpha, Beta), set(Gamma, Gamma), set(25, 25), full(FieldP)},
+			DecisionA: rule.Accept, DecisionB: rule.Discard,
+		},
+		{
+			Pred:      rule.Predicate{set(0, 0), notMal, set(Gamma, Gamma), set(25, 25), set(UDP, UDP)},
+			DecisionA: rule.Accept, DecisionB: rule.Discard,
+		},
+		{
+			Pred:      rule.Predicate{set(0, 0), notMal, set(Gamma, Gamma), not25, full(FieldP)},
+			DecisionA: rule.Accept, DecisionB: rule.Discard,
+		},
+	}
+}
+
+// Resolution is one row of Table 4: a discrepancy region plus the decision
+// the teams agreed on.
+type Resolution struct {
+	Pred     rule.Predicate
+	Resolved rule.Decision
+}
+
+// ResolvedDiscrepancies returns Table 4: the agreed decisions. Team A was
+// wrong on rows 1 and 3 (malicious senders may not e-mail the server; the
+// server accepts nothing but e-mail); Team B was wrong on row 2 (non-TCP
+// e-mail from clean sources is allowed).
+func ResolvedDiscrepancies() []Resolution {
+	ds := ExpectedDiscrepancies()
+	return []Resolution{
+		{Pred: ds[0].Pred, Resolved: rule.Discard},
+		{Pred: ds[1].Pred, Resolved: rule.Accept},
+		{Pred: ds[2].Pred, Resolved: rule.Discard},
+	}
+}
+
+// AgreedFirewall returns a firewall with the intended final semantics —
+// Table 5's behaviour, written directly:
+//
+//	r1: I=0 ∧ S∈[α,β]        -> discard
+//	r2: I=0 ∧ D=γ ∧ N=25     -> accept
+//	r3: I=0 ∧ D=γ            -> discard
+//	r4: any                   -> accept
+//
+// Both resolution methods must produce firewalls equivalent to this.
+func AgreedFirewall() *rule.Policy {
+	s := Schema()
+	full := func(i int) interval.Set { return s.FullSet(i) }
+	return rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{set(0, 0), set(Alpha, Beta), full(FieldD), full(FieldN), full(FieldP)}, Decision: rule.Discard},
+		{Pred: rule.Predicate{set(0, 0), full(FieldS), set(Gamma, Gamma), set(25, 25), full(FieldP)}, Decision: rule.Accept},
+		{Pred: rule.Predicate{set(0, 0), full(FieldS), set(Gamma, Gamma), full(FieldN), full(FieldP)}, Decision: rule.Discard},
+		{Pred: rule.FullPredicate(s), Decision: rule.Accept},
+	})
+}

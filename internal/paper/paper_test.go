@@ -1,0 +1,124 @@
+package paper
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/rule"
+)
+
+// loadFixture parses a policy file from the repository's testdata.
+func loadFixture(t *testing.T, name string) *rule.Policy {
+	t.Helper()
+	path := filepath.Join("..", "..", "testdata", "paper", name)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := rule.ParsePolicy(Schema(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFixturesMatchFixturesPackage keeps the on-disk example files (used
+// in the README and by the CLI docs) in sync with the programmatic
+// fixtures.
+func TestFixturesMatchFixturesPackage(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		file string
+		want *rule.Policy
+	}{
+		{"teamA.fw", TeamA()},
+		{"teamB.fw", TeamB()},
+	}
+	for _, c := range cases {
+		got := loadFixture(t, c.file)
+		eq, err := compare.Equivalent(got, c.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("%s diverged from the paper package fixture", c.file)
+		}
+	}
+}
+
+// TestFixtureInternalConsistency cross-checks the hand-written tables
+// against each other: every Table 3 row's decisions match the team
+// policies on a witness packet, Table 4 resolves exactly the Table 3
+// regions, and the agreed firewall implements every resolution.
+func TestFixtureInternalConsistency(t *testing.T) {
+	t.Parallel()
+	a, b, agreed := TeamA(), TeamB(), AgreedFirewall()
+	expected := ExpectedDiscrepancies()
+	resolved := ResolvedDiscrepancies()
+	if len(expected) != len(resolved) {
+		t.Fatalf("Table 3 has %d rows, Table 4 has %d", len(expected), len(resolved))
+	}
+	for i, d := range expected {
+		// Witness from the region's lower corner.
+		w := make(rule.Packet, len(d.Pred))
+		for f, s := range d.Pred {
+			v, ok := s.Min()
+			if !ok {
+				t.Fatalf("row %d field %d empty", i, f)
+			}
+			w[f] = v
+		}
+		da, _, _ := a.Decide(w)
+		db, _, _ := b.Decide(w)
+		if da != d.DecisionA || db != d.DecisionB {
+			t.Fatalf("row %d: teams decide %v/%v, table says %v/%v", i+1, da, db, d.DecisionA, d.DecisionB)
+		}
+		// Table 4 rows carry the same regions.
+		for f := range d.Pred {
+			if !resolved[i].Pred[f].Equal(d.Pred[f]) {
+				t.Fatalf("Table 4 row %d region differs from Table 3", i+1)
+			}
+		}
+		// The agreed firewall implements the resolution.
+		dg, _, _ := agreed.Decide(w)
+		if dg != resolved[i].Resolved {
+			t.Fatalf("row %d: agreed firewall decides %v, resolution says %v", i+1, dg, resolved[i].Resolved)
+		}
+	}
+	// Outside the discrepancy regions the teams agree, and the agreed
+	// firewall follows them (spot check on a disjoint packet).
+	outside := rule.Packet{0, 7, 9, 80, TCP}
+	da, _, _ := a.Decide(outside)
+	db, _, _ := b.Decide(outside)
+	dg, _, _ := agreed.Decide(outside)
+	if da != db || dg != da {
+		t.Fatalf("outside regions: %v/%v/%v", da, db, dg)
+	}
+}
+
+// TestTeamsImplementSharedBehaviour sanity-checks the fixtures against
+// the requirement specification where the teams agree.
+func TestTeamsImplementSharedBehaviour(t *testing.T) {
+	t.Parallel()
+	a, b := TeamA(), TeamB()
+	cases := []struct {
+		name string
+		pkt  rule.Packet
+		want rule.Decision
+	}{
+		{"clean TCP mail accepted by both", rule.Packet{0, 7, Gamma, 25, TCP}, rule.Accept},
+		{"malicious web blocked by both", rule.Packet{0, Alpha, 9, 80, TCP}, rule.Discard},
+		{"outbound accepted by both", rule.Packet{1, Alpha, Gamma, 25, UDP}, rule.Accept},
+		{"other inbound accepted by both", rule.Packet{0, 7, 9, 80, TCP}, rule.Accept},
+	}
+	for _, c := range cases {
+		da, _, _ := a.Decide(c.pkt)
+		db, _, _ := b.Decide(c.pkt)
+		if da != c.want || db != c.want {
+			t.Errorf("%s: A=%v B=%v want %v", c.name, da, db, c.want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+
+	"diversefw/internal/interval"
+)
+
+func BenchmarkFromInterval(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ivs := make([]interval.Interval, 256)
+	for i := range ivs {
+		lo := uint64(r.Uint32())
+		hi := lo + uint64(r.Intn(1<<24))
+		if hi > 0xFFFFFFFF {
+			hi = 0xFFFFFFFF
+		}
+		ivs[i] = interval.MustNew(lo, hi)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromInterval(ivs[i%len(ivs)], 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseCIDR(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseCIDR("192.168.128.0/18"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormatCIDRs(b *testing.B) {
+	iv := interval.MustNew(0x0A000003, 0x0A0001FE) // awkward, multi-prefix range
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FormatCIDRs(iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

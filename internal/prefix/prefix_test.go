@@ -1,0 +1,373 @@
+package prefix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"diversefw/internal/interval"
+)
+
+func TestNewPrefixValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		bits   uint64
+		length int
+		width  int
+		ok     bool
+	}{
+		{0b1010, 4, 4, true},
+		{0b1000, 1, 4, true},
+		{0, 0, 4, true},
+		{0b1010, 3, 4, true},  // "101*": free bit already zero
+		{0b1011, 3, 4, false}, // nonzero free bit
+		{0b10000, 4, 4, false},
+		{0, -1, 4, false},
+		{0, 5, 4, false},
+		{0, 0, 0, false},
+		{0, 0, 65, false},
+		{1, 0, 64, false}, // length-0 must be all-zero bits
+	}
+	for _, c := range cases {
+		_, err := NewPrefix(c.bits, c.length, c.width)
+		if (err == nil) != c.ok {
+			t.Errorf("NewPrefix(%#b, %d, %d): err = %v, want ok=%v", c.bits, c.length, c.width, err, c.ok)
+		}
+	}
+}
+
+func TestPrefixInterval(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		p    Prefix
+		want interval.Interval
+	}{
+		{mustPrefix(t, 0b0010, 3, 4), interval.MustNew(2, 3)},  // 001*
+		{mustPrefix(t, 0b0100, 2, 4), interval.MustNew(4, 7)},  // 01*
+		{mustPrefix(t, 0b1000, 1, 4), interval.MustNew(8, 15)}, // 1*
+		{mustPrefix(t, 0b1000, 4, 4), interval.MustNew(8, 8)},  // 1000
+		{mustPrefix(t, 0, 0, 4), interval.MustNew(0, 15)},      // *
+		{mustPrefix(t, 0, 0, 64), interval.MustNew(0, ^uint64(0))},
+	}
+	for _, c := range cases {
+		if got := c.p.Interval(); got != c.want {
+			t.Errorf("%v.Interval() = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func mustPrefix(t *testing.T, bits uint64, length, width int) Prefix {
+	t.Helper()
+	p, err := NewPrefix(bits, length, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPrefixString(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		p    Prefix
+		want string
+	}{
+		{mustPrefix(t, 0b0010, 3, 4), "001*"},
+		{mustPrefix(t, 0b0100, 2, 4), "01*"},
+		{mustPrefix(t, 0b1000, 4, 4), "1000"},
+		{mustPrefix(t, 0, 0, 4), "*"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestPaperExample reproduces the paper's Section 7.1 example: the interval
+// [2, 8] in a 4-bit domain converts to the three prefixes 001*, 01*, 1000.
+func TestPaperExample(t *testing.T) {
+	t.Parallel()
+	ps, err := FromInterval(interval.MustNew(2, 8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"001*", "01*", "1000"}
+	if len(ps) != len(want) {
+		t.Fatalf("got %d prefixes %v, want %v", len(ps), ps, want)
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("prefix %d = %q, want %q", i, p.String(), want[i])
+		}
+	}
+}
+
+func TestFromIntervalFullDomain(t *testing.T) {
+	t.Parallel()
+	ps, err := FromInterval(interval.MustNew(0, 15), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Len != 0 {
+		t.Fatalf("full domain should be one zero-length prefix, got %v", ps)
+	}
+}
+
+func TestFromIntervalSinglePoint(t *testing.T) {
+	t.Parallel()
+	ps, err := FromInterval(interval.Point(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Len != 4 || ps[0].Bits != 5 {
+		t.Fatalf("point should be one full-length prefix, got %v", ps)
+	}
+}
+
+func TestFromIntervalWidth64(t *testing.T) {
+	t.Parallel()
+	full := interval.MustNew(0, ^uint64(0))
+	ps, err := FromInterval(full, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Len != 0 {
+		t.Fatalf("full 64-bit domain should be one prefix, got %v", ps)
+	}
+	// An interval ending at MaxUint64 must not wrap.
+	ps, err = FromInterval(interval.MustNew(^uint64(0)-2, ^uint64(0)), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coveredSetSmall(ps); !got.Equal(interval.NewSet(interval.MustNew(^uint64(0)-2, ^uint64(0)))) {
+		t.Fatalf("high-end coverage wrong: %v", got)
+	}
+}
+
+func TestFromIntervalRejectsOutOfDomain(t *testing.T) {
+	t.Parallel()
+	if _, err := FromInterval(interval.MustNew(0, 16), 4); err == nil {
+		t.Fatal("interval beyond domain should fail")
+	}
+	if _, err := FromInterval(interval.MustNew(0, 1), 0); err == nil {
+		t.Fatal("zero width should fail")
+	}
+}
+
+func coveredSetSmall(ps []Prefix) interval.Set {
+	ivs := make([]interval.Interval, len(ps))
+	for i, p := range ps {
+		ivs[i] = p.Interval()
+	}
+	return interval.NewSet(ivs...)
+}
+
+// TestPropFromIntervalExactAndBounded checks, for random intervals in a
+// 16-bit domain, that the prefix list covers exactly the interval, is
+// ordered and disjoint, and respects the 2w-2 bound.
+func TestPropFromIntervalExactAndBounded(t *testing.T) {
+	t.Parallel()
+	type ivArg struct{ iv interval.Interval }
+	gen := func(r *rand.Rand) ivArg {
+		lo := uint64(r.Intn(1 << 16))
+		hi := lo + uint64(r.Intn(1<<16-int(lo)))
+		return ivArg{iv: interval.MustNew(lo, hi)}
+	}
+	f := func(a ivArg) bool {
+		ps, err := FromInterval(a.iv, 16)
+		if err != nil {
+			return false
+		}
+		if len(ps) > 2*16-2 {
+			return false
+		}
+		var prevHi uint64
+		for i, p := range ps {
+			piv := p.Interval()
+			if i > 0 && piv.Lo != prevHi+1 {
+				return false // must tile contiguously in order
+			}
+			prevHi = piv.Hi
+		}
+		return coveredSetSmall(ps).Equal(interval.NewSet(a.iv))
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(gen(r))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFormatIPv4(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		s string
+		v uint64
+	}{
+		{"0.0.0.0", 0},
+		{"255.255.255.255", 0xFFFFFFFF},
+		{"192.168.0.1", 0xC0A80001},
+		{"10.0.0.1", 0x0A000001},
+		{"224.168.0.0", 0xE0A80000},
+	}
+	for _, c := range cases {
+		got, err := ParseIPv4(c.s)
+		if err != nil {
+			t.Errorf("ParseIPv4(%q): %v", c.s, err)
+			continue
+		}
+		if got != c.v {
+			t.Errorf("ParseIPv4(%q) = %#x, want %#x", c.s, got, c.v)
+		}
+		if back := FormatIPv4(c.v); back != c.s {
+			t.Errorf("FormatIPv4(%#x) = %q, want %q", c.v, back, c.s)
+		}
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	t.Parallel()
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"} {
+		if _, err := ParseIPv4(s); err == nil {
+			t.Errorf("ParseIPv4(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	t.Parallel()
+	iv, err := ParseCIDR("192.168.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interval.MustNew(0xC0A80000, 0xC0A8FFFF)
+	if iv != want {
+		t.Fatalf("ParseCIDR = %v, want %v", iv, want)
+	}
+
+	// Bare address means /32.
+	iv, err = ParseCIDR("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv != interval.Point(0x0A010203) {
+		t.Fatalf("bare address = %v", iv)
+	}
+
+	// Host bits are zeroed.
+	iv, err = ParseCIDR("192.168.55.1/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv != want {
+		t.Fatalf("host-bit CIDR = %v, want %v", iv, want)
+	}
+
+	// /0 covers everything.
+	iv, err = ParseCIDR("0.0.0.0/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv != interval.MustNew(0, 0xFFFFFFFF) {
+		t.Fatalf("/0 = %v", iv)
+	}
+}
+
+func TestParseCIDRErrors(t *testing.T) {
+	t.Parallel()
+	for _, s := range []string{"192.168.0.0/33", "192.168.0.0/-1", "192.168.0.0/x", "notanip/8"} {
+		if _, err := ParseCIDR(s); err == nil {
+			t.Errorf("ParseCIDR(%q) should fail", s)
+		}
+	}
+}
+
+func TestFormatCIDRs(t *testing.T) {
+	t.Parallel()
+	got, err := FormatCIDRs(interval.MustNew(0xC0A80000, 0xC0A8FFFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "192.168.0.0/16" {
+		t.Fatalf("FormatCIDRs = %q", got)
+	}
+	got, err = FormatCIDRs(interval.Point(0x0A000001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "10.0.0.1" {
+		t.Fatalf("FormatCIDRs point = %q", got)
+	}
+}
+
+func TestCIDRRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		length := r.Intn(33)
+		addr := uint64(r.Uint32())
+		if length < 32 {
+			addr &= ^uint64(0) << uint(32-length) & 0xFFFFFFFF
+		}
+		p := mustPrefix(t, addr, length, 32)
+		str := FormatIPv4(addr)
+		if length < 32 {
+			str += "/" + itoa(length)
+		}
+		iv, err := ParseCIDR(str)
+		if err != nil {
+			t.Fatalf("ParseCIDR(%q): %v", str, err)
+		}
+		if iv != p.Interval() {
+			t.Fatalf("round trip %q: got %v, want %v", str, iv, p.Interval())
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [3]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestParsePortRange(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		s    string
+		want interval.Interval
+		ok   bool
+	}{
+		{"25", interval.Point(25), true},
+		{"0-1023", interval.MustNew(0, 1023), true},
+		{"any", interval.MustNew(0, 65535), true},
+		{"ANY", interval.MustNew(0, 65535), true},
+		{"*", interval.MustNew(0, 65535), true},
+		{"1024 - 2048", interval.MustNew(1024, 2048), true},
+		{"70000", interval.Interval{}, false},
+		{"9-5", interval.Interval{}, false},
+		{"abc", interval.Interval{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePortRange(c.s)
+		if (err == nil) != c.ok {
+			t.Errorf("ParsePortRange(%q): err=%v, want ok=%v", c.s, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParsePortRange(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}

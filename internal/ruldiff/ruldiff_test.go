@@ -1,0 +1,125 @@
+package ruldiff
+
+import (
+	"strings"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func TestComputeInsert(t *testing.T) {
+	t.Parallel()
+	old := paper.TeamA()
+	new, err := old.InsertRule(0, rule.CatchAll(old.Schema, rule.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 1 || d.Deleted != 0 || d.Kept != old.Size() {
+		t.Fatalf("counts = %d/%d/%d", d.Inserted, d.Deleted, d.Kept)
+	}
+	if d.FunctionallyEquivalent() {
+		t.Fatal("inserting a discard-all at the top is very much functional")
+	}
+	if d.Edits[0].Op != Insert || d.Edits[0].NewIndex != 0 {
+		t.Fatalf("first edit = %+v", d.Edits[0])
+	}
+}
+
+func TestComputeCosmeticReorder(t *testing.T) {
+	t.Parallel()
+	// Two disjoint rules swapped: textual change, no functional change.
+	s := field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 99), Kind: field.KindInt})
+	old := rule.MustPolicy(s, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(0, 10)}, Decision: rule.Discard},
+		{Pred: rule.Predicate{interval.SetOf(20, 30)}, Decision: rule.Discard},
+		rule.CatchAll(s, rule.Accept),
+	})
+	new, err := old.SwapRules(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.FunctionallyEquivalent() {
+		t.Fatal("swapping disjoint rules must be cosmetic")
+	}
+	if d.Inserted == 0 || d.Deleted == 0 {
+		t.Fatal("a swap should show as delete+insert in the textual diff")
+	}
+	if !strings.Contains(d.Render(), "no functional change") {
+		t.Fatalf("render verdict wrong:\n%s", d.Render())
+	}
+}
+
+func TestComputeFunctionalReorder(t *testing.T) {
+	t.Parallel()
+	// The paper's dominant error: conflicting rules reordered. Small
+	// textual diff, real functional change.
+	old := paper.TeamA()
+	new, err := old.SwapRules(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FunctionallyEquivalent() {
+		t.Fatal("swapping conflicting rules changes behaviour")
+	}
+	if len(d.Impact.Discrepancies) != 1 {
+		t.Fatalf("expected the malicious-mail region, got %d", len(d.Impact.Discrepancies))
+	}
+	if !strings.Contains(d.Render(), "1 functional discrepancy") {
+		t.Fatalf("render verdict wrong:\n%s", d.Render())
+	}
+}
+
+func TestComputeIdentical(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamB()
+	d, err := Compute(p, p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 0 || d.Deleted != 0 || d.Kept != p.Size() {
+		t.Fatalf("identical policies should be all-keep: %d/%d/%d", d.Inserted, d.Deleted, d.Kept)
+	}
+	if !d.FunctionallyEquivalent() {
+		t.Fatal("identical policies are equivalent")
+	}
+}
+
+func TestComputeSchemaMismatch(t *testing.T) {
+	t.Parallel()
+	s := field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt})
+	p := rule.MustPolicy(s, []rule.Rule{rule.CatchAll(s, rule.Accept)})
+	if _, err := Compute(p, paper.TeamA()); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+}
+
+func TestLCS(t *testing.T) {
+	t.Parallel()
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"b", "x", "d"}
+	pairs := lcs(a, b)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if a[pairs[0][0]] != "b" || a[pairs[1][0]] != "d" {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if len(lcs(nil, b)) != 0 || len(lcs(a, nil)) != 0 {
+		t.Fatal("empty side should give empty LCS")
+	}
+}

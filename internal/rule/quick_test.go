@@ -1,0 +1,108 @@
+package rule
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+)
+
+// randomSetFor draws a random nonempty value set within the field domain.
+func randomSetFor(r *rand.Rand, f field.Field) interval.Set {
+	if r.Intn(4) == 0 {
+		return interval.SetFromInterval(f.Domain)
+	}
+	span := f.Domain.Hi - f.Domain.Lo
+	n := 1 + r.Intn(3)
+	ivs := make([]interval.Interval, 0, n)
+	for i := 0; i < n; i++ {
+		lo := f.Domain.Lo + uint64(r.Int63n(int64(span%(1<<62)+1)))
+		width := uint64(r.Intn(1000))
+		hi := lo + width
+		if hi > f.Domain.Hi {
+			hi = f.Domain.Hi
+		}
+		ivs = append(ivs, interval.MustNew(lo, hi))
+	}
+	return interval.NewSet(ivs...)
+}
+
+// randomRuleArg is a quick.Generator producing a random rule over the
+// five-tuple schema.
+type randomRuleArg struct {
+	r Rule
+}
+
+func (randomRuleArg) Generate(r *rand.Rand, _ int) reflect.Value {
+	schema := field.IPv4FiveTuple()
+	pred := make(Predicate, schema.NumFields())
+	for i := range pred {
+		pred[i] = randomSetFor(r, schema.Field(i))
+	}
+	decisions := []Decision{Accept, Discard, AcceptLog, DiscardLog}
+	return reflect.ValueOf(randomRuleArg{r: Rule{
+		Pred:     pred,
+		Decision: decisions[r.Intn(len(decisions))],
+	}})
+}
+
+var _ quick.Generator = randomRuleArg{}
+
+// TestPropRuleFormatParseRoundTrip: formatting any rule and parsing it
+// back yields the same predicate and decision.
+func TestPropRuleFormatParseRoundTrip(t *testing.T) {
+	t.Parallel()
+	schema := field.IPv4FiveTuple()
+	f := func(a randomRuleArg) bool {
+		text := FormatRule(schema, a.r)
+		back, err := ParseRule(schema, text)
+		if err != nil {
+			t.Logf("parse %q: %v", text, err)
+			return false
+		}
+		if back.Decision != a.r.Decision {
+			return false
+		}
+		for i := range a.r.Pred {
+			if !back.Pred[i].Equal(a.r.Pred[i]) {
+				t.Logf("field %d: %v -> %q -> %v", i, a.r.Pred[i], text, back.Pred[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPredicateMatchesAgreesWithSets: rule matching is exactly
+// per-field set membership.
+func TestPropPredicateMatchesAgreesWithSets(t *testing.T) {
+	t.Parallel()
+	f := func(a randomRuleArg, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pkt := make(Packet, len(a.r.Pred))
+		inAll := true
+		for i, s := range a.r.Pred {
+			if r.Intn(2) == 0 {
+				// Pick a member.
+				v, _ := s.Min()
+				pkt[i] = v
+			} else {
+				// Arbitrary value; may or may not be a member.
+				pkt[i] = uint64(r.Int63())
+			}
+			if !s.Contains(pkt[i]) {
+				inAll = false
+			}
+		}
+		return a.r.Matches(pkt) == inAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package rule
+
+import (
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+)
+
+// testSchema is a tiny 2-field schema: x in [0,9], y in [0,9].
+func testSchema() *field.Schema {
+	return field.MustSchema(
+		field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt},
+		field.Field{Name: "y", Domain: interval.MustNew(0, 9), Kind: field.KindInt},
+	)
+}
+
+func pred(xs, ys interval.Set) Predicate { return Predicate{xs, ys} }
+
+func TestDecisionString(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		d    Decision
+		want string
+	}{
+		{Accept, "accept"},
+		{Discard, "discard"},
+		{AcceptLog, "accept-log"},
+		{DiscardLog, "discard-log"},
+		{Decision(9), "decision#9"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.d), got, c.want)
+		}
+	}
+}
+
+func TestParseDecision(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		s    string
+		want Decision
+		ok   bool
+	}{
+		{"accept", Accept, true},
+		{"ALLOW", Accept, true},
+		{"deny", Discard, true},
+		{"drop", Discard, true},
+		{"d", Discard, true},
+		{"accept-log", AcceptLog, true},
+		{"discard_log", DiscardLog, true},
+		{"decision#9", Decision(9), true},
+		{"banana", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDecision(c.s)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseDecision(%q) = %v, %v; want %v ok=%v", c.s, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestDecisionRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, d := range []Decision{Accept, Discard, AcceptLog, DiscardLog, Decision(42)} {
+		got, err := ParseDecision(d.String())
+		if err != nil || got != d {
+			t.Errorf("round trip %v: got %v, %v", d, got, err)
+		}
+	}
+}
+
+func TestPredicateMatches(t *testing.T) {
+	t.Parallel()
+	p := pred(interval.SetOf(0, 4), interval.SetOf(5, 9))
+	cases := []struct {
+		pkt  Packet
+		want bool
+	}{
+		{Packet{0, 5}, true},
+		{Packet{4, 9}, true},
+		{Packet{5, 5}, false},
+		{Packet{0, 4}, false},
+	}
+	for _, c := range cases {
+		if got := p.Matches(c.pkt); got != c.want {
+			t.Errorf("Matches(%v) = %v, want %v", c.pkt, got, c.want)
+		}
+	}
+}
+
+func TestPredicateIsSimple(t *testing.T) {
+	t.Parallel()
+	simple := pred(interval.SetOf(0, 4), interval.SetOf(5, 9))
+	if !simple.IsSimple() {
+		t.Error("single-interval predicate should be simple")
+	}
+	multi := pred(interval.NewSet(interval.MustNew(0, 1), interval.MustNew(5, 6)), interval.SetOf(0, 9))
+	if multi.IsSimple() {
+		t.Error("multi-interval predicate should not be simple")
+	}
+}
+
+func TestPredicateEmpty(t *testing.T) {
+	t.Parallel()
+	if pred(interval.SetOf(0, 4), interval.SetOf(5, 9)).Empty() {
+		t.Error("nonempty predicate reported empty")
+	}
+	if !pred(interval.Set{}, interval.SetOf(5, 9)).Empty() {
+		t.Error("empty conjunct should make predicate empty")
+	}
+}
+
+func TestNewPolicyValidation(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	good := Rule{Pred: pred(interval.SetOf(0, 4), interval.SetOf(0, 9)), Decision: Accept}
+	if _, err := NewPolicy(nil, nil); err == nil {
+		t.Error("nil schema should fail")
+	}
+	if _, err := NewPolicy(s, []Rule{good}); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	short := Rule{Pred: Predicate{interval.SetOf(0, 4)}, Decision: Accept}
+	if _, err := NewPolicy(s, []Rule{short}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	empty := Rule{Pred: pred(interval.Set{}, interval.SetOf(0, 9)), Decision: Accept}
+	if _, err := NewPolicy(s, []Rule{empty}); err == nil {
+		t.Error("empty conjunct should fail")
+	}
+	outside := Rule{Pred: pred(interval.SetOf(0, 99), interval.SetOf(0, 9)), Decision: Accept}
+	if _, err := NewPolicy(s, []Rule{outside}); err == nil {
+		t.Error("out-of-domain set should fail")
+	}
+	badDec := Rule{Pred: pred(interval.SetOf(0, 4), interval.SetOf(0, 9))}
+	if _, err := NewPolicy(s, []Rule{badDec}); err == nil {
+		t.Error("zero decision should fail")
+	}
+}
+
+func TestPolicyDecideFirstMatch(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	p := MustPolicy(s, []Rule{
+		{Pred: pred(interval.SetOf(0, 4), interval.SetOf(0, 9)), Decision: Discard},
+		{Pred: pred(interval.SetOf(0, 9), interval.SetOf(0, 4)), Decision: Accept},
+	})
+	// Packet matching both rules takes the first.
+	if d, i, ok := p.Decide(Packet{2, 2}); !ok || d != Discard || i != 0 {
+		t.Errorf("Decide(2,2) = %v, %d, %v", d, i, ok)
+	}
+	if d, i, ok := p.Decide(Packet{7, 2}); !ok || d != Accept || i != 1 {
+		t.Errorf("Decide(7,2) = %v, %d, %v", d, i, ok)
+	}
+	// No rule matches: not comprehensive here.
+	if _, _, ok := p.Decide(Packet{7, 7}); ok {
+		t.Error("Decide(7,7) should not match")
+	}
+}
+
+func TestEndsWithCatchAll(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	p := MustPolicy(s, []Rule{CatchAll(s, Accept)})
+	if !p.EndsWithCatchAll() {
+		t.Error("catch-all policy not detected")
+	}
+	q := MustPolicy(s, []Rule{{Pred: pred(interval.SetOf(0, 4), interval.SetOf(0, 9)), Decision: Accept}})
+	if q.EndsWithCatchAll() {
+		t.Error("partial rule detected as catch-all")
+	}
+	var emptyPolicy Policy
+	if emptyPolicy.EndsWithCatchAll() {
+		t.Error("empty policy has no catch-all")
+	}
+}
+
+func TestPolicyClone(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	p := MustPolicy(s, []Rule{CatchAll(s, Accept)})
+	q := p.Clone()
+	q.Rules[0].Decision = Discard
+	if p.Rules[0].Decision != Accept {
+		t.Error("Clone must not share rule storage")
+	}
+}
+
+func TestPolicyEdits(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	r1 := Rule{Pred: pred(interval.SetOf(0, 4), interval.SetOf(0, 9)), Decision: Discard}
+	r2 := CatchAll(s, Accept)
+	p := MustPolicy(s, []Rule{r1, r2})
+
+	ins, err := p.InsertRule(0, CatchAll(s, DiscardLog))
+	if err != nil || ins.Size() != 3 || ins.Rules[0].Decision != DiscardLog {
+		t.Fatalf("InsertRule: %v, %v", ins, err)
+	}
+	if p.Size() != 2 {
+		t.Fatal("InsertRule must not mutate the original")
+	}
+	if _, err := p.InsertRule(5, r1); err == nil {
+		t.Error("out-of-range insert should fail")
+	}
+
+	del, err := p.DeleteRule(0)
+	if err != nil || del.Size() != 1 || del.Rules[0].Decision != Accept {
+		t.Fatalf("DeleteRule: %v, %v", del, err)
+	}
+	if _, err := p.DeleteRule(-1); err == nil {
+		t.Error("out-of-range delete should fail")
+	}
+
+	rep, err := p.ReplaceRule(0, CatchAll(s, AcceptLog))
+	if err != nil || rep.Rules[0].Decision != AcceptLog {
+		t.Fatalf("ReplaceRule: %v, %v", rep, err)
+	}
+	if _, err := p.ReplaceRule(9, r1); err == nil {
+		t.Error("out-of-range replace should fail")
+	}
+
+	sw, err := p.SwapRules(0, 1)
+	if err != nil || sw.Rules[0].Decision != Accept || sw.Rules[1].Decision != Discard {
+		t.Fatalf("SwapRules: %v, %v", sw, err)
+	}
+	if _, err := p.SwapRules(0, 2); err == nil {
+		t.Error("out-of-range swap should fail")
+	}
+}
+
+func TestFullPredicateAndCatchAll(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	fp := FullPredicate(s)
+	for i := range fp {
+		if !fp[i].Equal(s.FullSet(i)) {
+			t.Errorf("FullPredicate[%d] = %v", i, fp[i])
+		}
+	}
+	ca := CatchAll(s, Discard)
+	if ca.Decision != Discard || !ca.Matches(Packet{9, 0}) {
+		t.Error("CatchAll wrong")
+	}
+}

@@ -1,0 +1,305 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+)
+
+func TestParseRuleBasics(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	r, err := ParseRule(s, "x in 0-4 && y in 7 -> discard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Discard {
+		t.Fatalf("decision = %v", r.Decision)
+	}
+	if !r.Pred[0].Equal(interval.SetOf(0, 4)) || !r.Pred[1].Equal(interval.SetOf(7, 7)) {
+		t.Fatalf("pred = %v", r.Pred)
+	}
+}
+
+func TestParseRuleOmittedFieldsAreFullDomain(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	r, err := ParseRule(s, "y in 3 -> accept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pred[0].Equal(s.FullSet(0)) {
+		t.Fatalf("omitted field should be full domain, got %v", r.Pred[0])
+	}
+}
+
+func TestParseRuleAny(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	for _, line := range []string{"any -> accept", "* -> accept", "-> accept", "ANY -> accept"} {
+		r, err := ParseRule(s, line)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", line, err)
+			continue
+		}
+		for i := range r.Pred {
+			if !r.Pred[i].Equal(s.FullSet(i)) {
+				t.Errorf("ParseRule(%q): field %d not full", line, i)
+			}
+		}
+	}
+}
+
+func TestParseRuleEqualsSyntax(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	r, err := ParseRule(s, "x=2 && y=0-3 -> accept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pred[0].Equal(interval.SetOf(2, 2)) || !r.Pred[1].Equal(interval.SetOf(0, 3)) {
+		t.Fatalf("pred = %v", r.Pred)
+	}
+}
+
+func TestParseRuleUnion(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	r, err := ParseRule(s, "x in 0-1|5|8-9 -> accept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interval.NewSet(interval.MustNew(0, 1), interval.Point(5), interval.MustNew(8, 9))
+	if !r.Pred[0].Equal(want) {
+		t.Fatalf("pred = %v, want %v", r.Pred[0], want)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	bad := []string{
+		"x in 0-4 accept",            // no arrow
+		"z in 3 -> accept",           // unknown field
+		"x in 3 && x in 4 -> accept", // duplicate field
+		"x in 99 -> accept",          // out of domain
+		"x in -> accept",             // empty value
+		"x in a-b -> accept",         // garbage range
+		"x in 3 -> fly",              // unknown decision
+		"x 3 -> accept",              // bad conjunct shape
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(s, line); err == nil {
+			t.Errorf("ParseRule(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseValueSetComplement(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	xf := s.Field(0) // domain [0,9]
+	got, err := ParseValueSet(xf, "!3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interval.NewSet(interval.MustNew(0, 2), interval.MustNew(4, 9))
+	if !got.Equal(want) {
+		t.Fatalf("!3 = %v, want %v", got, want)
+	}
+	got, err = ParseValueSet(xf, "!0-3|8-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(interval.SetOf(4, 7)) {
+		t.Fatalf("!0-3|8-9 = %v", got)
+	}
+	// Complement of the whole domain is empty: rejected.
+	if _, err := ParseValueSet(xf, "!*"); err == nil {
+		t.Fatal("!* should fail")
+	}
+}
+
+func TestFormatValueSetComplement(t *testing.T) {
+	t.Parallel()
+	s := ipv4Schema()
+	srcF := s.Field(0)
+	// "Everything except the malicious /16" renders complemented.
+	mal := interval.SetOf(0xE0A80000, 0xE0A8FFFF)
+	notMal := mal.ComplementWithin(srcF.Domain)
+	if got := FormatValueSet(srcF, notMal); got != "!224.168.0.0/16" {
+		t.Fatalf("got %q", got)
+	}
+	// And it round-trips.
+	back, err := ParseValueSet(srcF, "!224.168.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(notMal) {
+		t.Fatal("complement round trip failed")
+	}
+	// A plain interval does not get complemented notation.
+	if got := FormatValueSet(srcF, mal); got != "224.168.0.0/16" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestComplementParenthesized(t *testing.T) {
+	t.Parallel()
+	s := ipv4Schema()
+	srcF := s.Field(0)
+	// Complement of a two-block union renders with parentheses and round
+	// trips.
+	two := interval.NewSet(
+		interval.MustNew(0x08080808, 0x08080808), // 8.8.8.8
+		interval.MustNew(0xC0A80001, 0xC0A80001), // 192.168.0.1
+	)
+	notTwo := two.ComplementWithin(srcF.Domain)
+	got := FormatValueSet(srcF, notTwo)
+	if got != "!(8.8.8.8|192.168.0.1)" {
+		t.Fatalf("got %q", got)
+	}
+	back, err := ParseValueSet(srcF, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(notTwo) {
+		t.Fatal("parenthesized complement did not round trip")
+	}
+}
+
+func TestParsePolicyCommentsAndBlanks(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	text := `
+# header comment
+x in 0-4 -> discard   # inline comment
+
+any -> accept
+`
+	p, err := ParsePolicyString(s, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	if p.Rules[0].Decision != Discard || p.Rules[1].Decision != Accept {
+		t.Fatal("decisions wrong")
+	}
+}
+
+func TestParsePolicyReportsLineNumbers(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	_, err := ParsePolicyString(s, "any -> accept\nbroken line\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 error", err)
+	}
+}
+
+func ipv4Schema() *field.Schema {
+	return field.MustSchema(
+		field.Field{Name: "src", Domain: interval.MustNew(0, 1<<32-1), Kind: field.KindIPv4},
+		field.Field{Name: "proto", Domain: interval.MustNew(0, 255), Kind: field.KindProto},
+	)
+}
+
+func TestParseRuleIPv4AndProto(t *testing.T) {
+	t.Parallel()
+	s := ipv4Schema()
+	r, err := ParseRule(s, "src in 224.168.0.0/16 && proto in tcp -> discard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pred[0].Equal(interval.SetOf(0xE0A80000, 0xE0A8FFFF)) {
+		t.Fatalf("src = %v", r.Pred[0])
+	}
+	if !r.Pred[1].Equal(interval.SetOf(6, 6)) {
+		t.Fatalf("proto = %v", r.Pred[1])
+	}
+
+	// Address ranges and bare addresses.
+	r, err = ParseRule(s, "src in 10.0.0.1-10.0.0.5|192.168.0.1 -> accept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interval.NewSet(interval.MustNew(0x0A000001, 0x0A000005), interval.Point(0xC0A80001))
+	if !r.Pred[0].Equal(want) {
+		t.Fatalf("src = %v, want %v", r.Pred[0], want)
+	}
+}
+
+func TestFormatValueSet(t *testing.T) {
+	t.Parallel()
+	s := ipv4Schema()
+	srcF, protoF := s.Field(0), s.Field(1)
+
+	if got := FormatValueSet(srcF, s.FullSet(0)); got != "*" {
+		t.Fatalf("full domain = %q", got)
+	}
+	if got := FormatValueSet(srcF, interval.SetOf(0xE0A80000, 0xE0A8FFFF)); got != "224.168.0.0/16" {
+		t.Fatalf("CIDR = %q", got)
+	}
+	if got := FormatValueSet(srcF, interval.NewSet(interval.Point(0x0A000001))); got != "10.0.0.1" {
+		t.Fatalf("point = %q", got)
+	}
+	// Not a single CIDR block: falls back to a range.
+	if got := FormatValueSet(srcF, interval.SetOf(0x0A000001, 0x0A000005)); got != "10.0.0.1-10.0.0.5" {
+		t.Fatalf("range = %q", got)
+	}
+	if got := FormatValueSet(protoF, interval.SetOf(6, 6)); got != "tcp" {
+		t.Fatalf("proto = %q", got)
+	}
+	if got := FormatValueSet(protoF, interval.SetOf(99, 99)); got != "99" {
+		t.Fatalf("unknown proto = %q", got)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	t.Parallel()
+	s := ipv4Schema()
+	text := `src in 224.168.0.0/16 && proto in tcp -> discard
+src in 10.0.0.1-10.0.0.5 -> accept-log
+proto in udp|icmp -> discard
+any -> accept
+`
+	p, err := ParsePolicyString(s, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatPolicy(p)
+	p2, err := ParsePolicyString(s, out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if p2.Size() != p.Size() {
+		t.Fatalf("size changed: %d vs %d", p2.Size(), p.Size())
+	}
+	for i := range p.Rules {
+		if p.Rules[i].Decision != p2.Rules[i].Decision {
+			t.Fatalf("rule %d decision changed", i)
+		}
+		for fi := range p.Rules[i].Pred {
+			if !p.Rules[i].Pred[fi].Equal(p2.Rules[i].Pred[fi]) {
+				t.Fatalf("rule %d field %d changed: %v vs %v",
+					i, fi, p.Rules[i].Pred[fi], p2.Rules[i].Pred[fi])
+			}
+		}
+	}
+}
+
+func TestWritePolicy(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	p := MustPolicy(s, []Rule{CatchAll(s, Accept)})
+	var sb strings.Builder
+	if err := WritePolicy(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "any -> accept\n" {
+		t.Fatalf("got %q", sb.String())
+	}
+}

@@ -1,0 +1,161 @@
+// Package shape implements the paper's shaping algorithm (Section 4,
+// Figs. 10-11): transforming two ordered FDDs into two semi-isomorphic
+// FDDs — identical in everything but their terminal labels — without
+// changing the semantics of either.
+//
+// The transformation uses the three semantics-preserving operations of
+// Section 4: node insertion (aligning paths that skip a field), edge
+// splitting (refining two nodes' edge cuts to their common refinement),
+// and subgraph replication (giving each split edge its own copy of the
+// subtree). Once two FDDs are semi-isomorphic, comparing them is a single
+// lockstep walk (package compare).
+package shape
+
+import (
+	"fmt"
+
+	"diversefw/internal/fdd"
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+)
+
+// MakeSemiIsomorphic returns semi-isomorphic simple FDDs equivalent to fa
+// and fb. The inputs are not modified. Both FDDs must share a schema.
+func MakeSemiIsomorphic(fa, fb *fdd.FDD) (*fdd.FDD, *fdd.FDD, error) {
+	if !fa.Schema.Equal(fb.Schema) {
+		return nil, nil, fmt.Errorf("shape: schemas differ: %v vs %v", fa.Schema, fb.Schema)
+	}
+	// The shaping algorithm requires simple FDDs (Section 4.1); Simplify
+	// also deep-copies, so the callers' diagrams stay untouched.
+	sa, sb := fa.Simplify(), fb.Simplify()
+	s := &shaper{schema: fa.Schema}
+	s.shapePair(&sa.Root, &sb.Root)
+	return sa, sb, nil
+}
+
+type shaper struct {
+	schema *field.Schema
+}
+
+// fieldOf orders nodes by their label position; terminals sort after every
+// field (they only ever gain nodes inserted above them).
+func (s *shaper) fieldOf(n *fdd.Node) int {
+	if n.IsTerminal() {
+		return s.schema.NumFields()
+	}
+	return n.Field
+}
+
+// shapePair makes the two shapable nodes *pa and *pb semi-isomorphic
+// (Node_Shaping, Fig. 10). The references allow node insertion to splice a
+// new node above either one.
+func (s *shaper) shapePair(pa, pb **fdd.Node) {
+	a, b := *pa, *pb
+	if a.IsTerminal() && b.IsTerminal() {
+		return
+	}
+
+	// Step 1 — node insertion: give both nodes the same label. If F(a)
+	// precedes F(b), no path through b mentions F(a) (both diagrams are
+	// ordered and share their path prefix), so a node labeled F(a) with a
+	// full-domain edge can be inserted above b; and symmetrically.
+	switch ka, kb := s.fieldOf(a), s.fieldOf(b); {
+	case ka < kb:
+		b = s.insertAbove(pb, ka)
+	case kb < ka:
+		a = s.insertAbove(pa, kb)
+	}
+
+	// Step 2 — edge splitting + subgraph replication: refine both edge
+	// cuts to their common refinement. Simple-FDD edges are sorted,
+	// single-interval, and tile the domain, so the two lists can be merged
+	// left to right; by induction both current intervals start at the same
+	// value.
+	var outA, outB []*fdd.Edge
+	i, j := 0, 0
+	for i < len(a.Edges) && j < len(b.Edges) {
+		ia := singleInterval(a.Edges[i])
+		ib := singleInterval(b.Edges[j])
+		hi := ia.Hi
+		if ib.Hi < hi {
+			hi = ib.Hi
+		}
+		outA = append(outA, s.slicePiece(a.Edges, i, hi))
+		outB = append(outB, s.slicePiece(b.Edges, j, hi))
+		if ia.Hi == hi {
+			i++
+		}
+		if ib.Hi == hi {
+			j++
+		}
+	}
+	a.Edges, b.Edges = outA, outB
+
+	// The paired children are now shapable; recurse.
+	for k := range outA {
+		s.shapePair(&outA[k].To, &outB[k].To)
+	}
+}
+
+// insertAbove splices a new node labeled with field k above *ref, with a
+// single full-domain edge to the old node, and returns the new node.
+func (s *shaper) insertAbove(ref **fdd.Node, k int) *fdd.Node {
+	old := *ref
+	n := &fdd.Node{
+		Field: k,
+		Edges: []*fdd.Edge{{Label: s.schema.FullSet(k), To: old}},
+	}
+	*ref = n
+	return n
+}
+
+// slicePiece emits the piece [curLo, hi] of edges[i]. If the piece is the
+// whole remaining edge, the edge itself is reused; otherwise the piece
+// gets a fresh copy of the subtree (subgraph replication) and edges[i] is
+// shrunk to the remainder [hi+1, curHi] keeping the original subtree.
+func (s *shaper) slicePiece(edges []*fdd.Edge, i int, hi uint64) *fdd.Edge {
+	e := edges[i]
+	iv := singleInterval(e)
+	if iv.Hi == hi {
+		return e
+	}
+	piece := &fdd.Edge{
+		Label: interval.SetOf(iv.Lo, hi),
+		To:    e.To.Copy(),
+	}
+	e.Label = interval.SetOf(hi+1, iv.Hi)
+	return piece
+}
+
+// singleInterval returns the edge's single interval (simple-FDD property).
+func singleInterval(e *fdd.Edge) interval.Interval {
+	return e.Label.Intervals()[0]
+}
+
+// SemiIsomorphic reports whether fa and fb are semi-isomorphic
+// (Definition 4.2): identical structure and labels everywhere except
+// terminal decisions.
+func SemiIsomorphic(fa, fb *fdd.FDD) bool {
+	if !fa.Schema.Equal(fb.Schema) {
+		return false
+	}
+	var walk func(a, b *fdd.Node) bool
+	walk = func(a, b *fdd.Node) bool {
+		if a.IsTerminal() || b.IsTerminal() {
+			return a.IsTerminal() && b.IsTerminal()
+		}
+		if a.Field != b.Field || len(a.Edges) != len(b.Edges) {
+			return false
+		}
+		for i := range a.Edges {
+			if !a.Edges[i].Label.Equal(b.Edges[i].Label) {
+				return false
+			}
+			if !walk(a.Edges[i].To, b.Edges[i].To) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(fa.Root, fb.Root)
+}

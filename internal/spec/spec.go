@@ -1,0 +1,237 @@
+// Package spec mechanizes firewall requirement specifications. The
+// paper's starting point (Section 1.1) is that specs are informal prose —
+// "usually written in a natural language" — and that both error classes
+// (specification-induced and design-induced) trace back to reading them
+// differently. This package gives a spec a checkable form: a list of
+// properties "every packet matching P must get decision D", verified
+// exactly against a policy's FDD, with a witness packet for every
+// violation.
+//
+// Teams use it in the design phase (check your own version before cross
+// comparison), in the resolution phase (the final firewall must satisfy
+// every property), and for regression (re-check after every change).
+// Properties reuse the rule syntax, so the paper's example spec is three
+// lines:
+//
+//	require I in 0 && S in 224.168.0.0/16 -> discard
+//	require I in 0 && S in !224.168.0.0/16 && D in 192.168.0.1 && N in 25 -> accept
+//	allow-anything-else                        # see Complete below
+//
+// A spec usually constrains only part of the packet space; Check reports
+// how much of the space the properties pin down, so "all properties hold"
+// is never mistaken for "the behaviour is fully specified".
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+
+	"diversefw/internal/fdd"
+	"diversefw/internal/field"
+	"diversefw/internal/query"
+	"diversefw/internal/rule"
+)
+
+// Property is one requirement: packets matching Pred must get Decision.
+type Property struct {
+	Pred     rule.Predicate
+	Decision rule.Decision
+	// Comment is the trailing comment from the spec file, if any.
+	Comment string
+}
+
+// Spec is an ordered list of properties over one schema. Unlike policy
+// rules, properties are not prioritized: each must hold on its whole
+// region, so overlapping properties with different decisions are a
+// contradiction (reported by Validate).
+type Spec struct {
+	Schema     *field.Schema
+	Properties []Property
+}
+
+// Parse reads a spec file: one "require <predicate> -> <decision>" per
+// line, '#' comments, blank lines ignored.
+func Parse(schema *field.Schema, r io.Reader) (*Spec, error) {
+	s := &Spec{Schema: schema}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		comment := ""
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			comment = strings.TrimSpace(line[i+1:])
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "require ") {
+			return nil, fmt.Errorf("spec: line %d: properties start with \"require\"", lineNo)
+		}
+		rl, err := rule.ParseRule(schema, strings.TrimSpace(line[len("require "):]))
+		if err != nil {
+			return nil, fmt.Errorf("spec: line %d: %v", lineNo, err)
+		}
+		s.Properties = append(s.Properties, Property{Pred: rl.Pred, Decision: rl.Decision, Comment: comment})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spec: read: %w", err)
+	}
+	if len(s.Properties) == 0 {
+		return nil, fmt.Errorf("spec: no properties")
+	}
+	return s, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(schema *field.Schema, text string) (*Spec, error) {
+	return Parse(schema, strings.NewReader(text))
+}
+
+// Validate reports contradictions within the spec itself: two properties
+// whose regions overlap but whose required decisions differ (no policy
+// can satisfy both) — the specification-induced error class, caught
+// before any design exists.
+func (s *Spec) Validate() error {
+	for i := 0; i < len(s.Properties); i++ {
+		for j := i + 1; j < len(s.Properties); j++ {
+			a, b := s.Properties[i], s.Properties[j]
+			if a.Decision == b.Decision {
+				continue
+			}
+			overlap := true
+			for f := range a.Pred {
+				if !a.Pred[f].Overlaps(b.Pred[f]) {
+					overlap = false
+					break
+				}
+			}
+			if overlap {
+				return fmt.Errorf("spec: properties %d and %d overlap but require %v vs %v",
+					i+1, j+1, a.Decision, b.Decision)
+			}
+		}
+	}
+	return nil
+}
+
+// Violation is one failed property with a concrete counterexample.
+type Violation struct {
+	// Property is the 0-based index of the violated property.
+	Property int
+	// Witness is a packet in the property's region that gets Got instead
+	// of the required decision.
+	Witness rule.Packet
+	Got     rule.Decision
+}
+
+// Result is the outcome of checking a policy against a spec.
+type Result struct {
+	Violations []Violation
+	// CoveredFraction estimates how much of the packet space the spec's
+	// properties constrain (union of property regions / |Σ|); the
+	// remainder is behaviour the spec leaves open.
+	CoveredFraction float64
+}
+
+// Satisfied reports whether every property holds.
+func (r *Result) Satisfied() bool { return len(r.Violations) == 0 }
+
+// Check verifies every property against the policy, exactly.
+func (s *Spec) Check(p *rule.Policy) (*Result, error) {
+	if !p.Schema.Equal(s.Schema) {
+		return nil, fmt.Errorf("spec: policy schema differs from spec schema")
+	}
+	f, err := fdd.Construct(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for i, prop := range s.Properties {
+		w, err := query.Verify(f, prop.Pred, prop.Decision)
+		if err != nil {
+			return nil, fmt.Errorf("spec: property %d: %w", i+1, err)
+		}
+		if w != nil {
+			res.Violations = append(res.Violations, Violation{
+				Property: i,
+				Witness:  w.Packet,
+				Got:      w.Decision,
+			})
+		}
+	}
+	res.CoveredFraction = s.coveredFraction()
+	return res, nil
+}
+
+// coveredFraction computes |union of property regions| / |Σ| exactly with
+// big rationals (property regions are boxes; the union is computed by
+// inclusion-exclusion over the FDD of an indicator policy).
+func (s *Spec) coveredFraction() float64 {
+	// Build an indicator policy: property regions -> accept, else discard;
+	// its FDD partitions the space, so summing accepting path volumes is
+	// exact.
+	rules := make([]rule.Rule, 0, len(s.Properties)+1)
+	for _, prop := range s.Properties {
+		rules = append(rules, rule.Rule{Pred: prop.Pred.Clone(), Decision: rule.Accept})
+	}
+	rules = append(rules, rule.CatchAll(s.Schema, rule.Discard))
+	p, err := rule.NewPolicy(s.Schema, rules)
+	if err != nil {
+		return 0
+	}
+	f, err := fdd.Construct(p)
+	if err != nil {
+		return 0
+	}
+
+	total := big.NewInt(1)
+	for i := 0; i < s.Schema.NumFields(); i++ {
+		d := s.Schema.Domain(i)
+		size := new(big.Int).Sub(new(big.Int).SetUint64(d.Hi), new(big.Int).SetUint64(d.Lo))
+		size.Add(size, big.NewInt(1))
+		total.Mul(total, size)
+	}
+	covered := big.NewInt(0)
+	for _, r := range f.Rules() {
+		if r.Decision != rule.Accept {
+			continue
+		}
+		vol := big.NewInt(1)
+		for _, set := range r.Pred {
+			fieldCount := big.NewInt(0)
+			for _, iv := range set.Intervals() {
+				c := new(big.Int).Sub(new(big.Int).SetUint64(iv.Hi), new(big.Int).SetUint64(iv.Lo))
+				c.Add(c, big.NewInt(1))
+				fieldCount.Add(fieldCount, c)
+			}
+			vol.Mul(vol, fieldCount)
+		}
+		covered.Add(covered, vol)
+	}
+	frac, _ := new(big.Rat).SetFrac(covered, total).Float64()
+	return frac
+}
+
+// PaperSpec returns the running example's requirement specification
+// (Section 2) as properties over the paper schema.
+func PaperSpec(schema *field.Schema) (*Spec, error) {
+	return ParseString(schema, `
+# The mail server can receive e-mail (any protocol, per the resolution).
+require I in 0 && S in !224.168.0.0/16 && D in 192.168.0.1 && N in 25 -> accept
+# The malicious domain is blocked.
+require I in 0 && S in 224.168.0.0/16 -> discard
+# Nothing but e-mail reaches the mail server.
+require I in 0 && S in !224.168.0.0/16 && D in 192.168.0.1 && N in !25 -> discard
+# Other inbound traffic is accepted.
+require I in 0 && S in !224.168.0.0/16 && D in !192.168.0.1 -> accept
+# Outbound traffic is accepted.
+require I in 1 -> accept
+`)
+}

@@ -1,0 +1,204 @@
+package spec
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func TestParse(t *testing.T) {
+	t.Parallel()
+	s, err := ParseString(paper.Schema(), `
+# header
+require I in 0 && S in 224.168.0.0/16 -> discard  # block evil
+require I in 1 -> accept
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Properties) != 2 {
+		t.Fatalf("got %d properties", len(s.Properties))
+	}
+	if s.Properties[0].Decision != rule.Discard || s.Properties[0].Comment != "block evil" {
+		t.Fatalf("property 0 = %+v", s.Properties[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Parallel()
+	for _, text := range []string{
+		"",                        // no properties
+		"# only comments\n",       // no properties
+		"ensure I in 0 -> drop\n", // wrong keyword
+		"require zork -> accept\n",
+	} {
+		if _, err := ParseString(paper.Schema(), text); err == nil {
+			t.Errorf("ParseString(%q) should fail", text)
+		}
+	}
+}
+
+func TestValidateDetectsContradictions(t *testing.T) {
+	t.Parallel()
+	s, err := ParseString(paper.Schema(), `
+require I in 0 && N in 25 -> accept
+require I in 0 && S in 224.168.0.0/16 -> discard
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlap: I=0, S in malicious, N=25 — one says accept, one discard.
+	if err := s.Validate(); err == nil {
+		t.Fatal("contradictory spec should fail validation")
+	}
+
+	ok, err := PaperSpec(paper.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("the resolved paper spec is consistent: %v", err)
+	}
+}
+
+// TestPaperSpecAgainstAllVersions is the package's reason to exist: the
+// mechanized spec rejects both teams' drafts (each misread it somewhere)
+// and accepts the resolved firewall.
+func TestPaperSpecAgainstAllVersions(t *testing.T) {
+	t.Parallel()
+	s, err := PaperSpec(paper.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resA, err := s.Check(paper.TeamA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Satisfied() {
+		t.Fatal("Team A violates the resolved spec (accepts malicious mail)")
+	}
+	// Every violation witness must be genuine.
+	for _, v := range resA.Violations {
+		got, _, _ := paper.TeamA().Decide(v.Witness)
+		if got != v.Got {
+			t.Fatalf("witness decision mismatch: %v", v)
+		}
+		if got == s.Properties[v.Property].Decision {
+			t.Fatalf("witness does not violate property %d", v.Property+1)
+		}
+		if !s.Properties[v.Property].Pred.Matches(v.Witness) {
+			t.Fatalf("witness outside property %d region", v.Property+1)
+		}
+	}
+
+	resB, err := s.Check(paper.TeamB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Satisfied() {
+		t.Fatal("Team B violates the resolved spec (blocks UDP mail)")
+	}
+
+	resFinal, err := s.Check(paper.AgreedFirewall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resFinal.Satisfied() {
+		t.Fatalf("the agreed firewall must satisfy the spec: %+v", resFinal.Violations)
+	}
+	// The paper spec pins down the whole packet space.
+	if math.Abs(resFinal.CoveredFraction-1.0) > 1e-9 {
+		t.Fatalf("paper spec coverage = %v, want 1.0", resFinal.CoveredFraction)
+	}
+}
+
+func TestCoveredFractionPartialSpec(t *testing.T) {
+	t.Parallel()
+	schema := field.MustSchema(
+		field.Field{Name: "x", Domain: interval.MustNew(0, 99), Kind: field.KindInt},
+	)
+	s, err := ParseString(schema, "require x in 0-24 -> discard\nrequire x in 20-49 -> discard\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rule.MustPolicy(schema, []rule.Rule{
+		{Pred: rule.Predicate{interval.SetOf(0, 49)}, Decision: rule.Discard},
+		rule.CatchAll(schema, rule.Accept),
+	})
+	res, err := s.Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied() {
+		t.Fatalf("violations: %+v", res.Violations)
+	}
+	// Union of [0,24] and [20,49] is [0,49]: half the domain.
+	if math.Abs(res.CoveredFraction-0.5) > 1e-9 {
+		t.Fatalf("coverage = %v, want 0.5", res.CoveredFraction)
+	}
+}
+
+// TestSpecFixtureMatchesPaperSpec keeps testdata/paper/spec.txt (used by
+// the fwverify docs) in sync with PaperSpec.
+func TestSpecFixtureMatchesPaperSpec(t *testing.T) {
+	t.Parallel()
+	f, err := os.Open(filepath.Join("..", "..", "testdata", "paper", "spec.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fromFile, err := Parse(paper.Schema(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := PaperSpec(paper.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromFile.Properties) != len(builtin.Properties) {
+		t.Fatalf("fixture has %d properties, builtin %d", len(fromFile.Properties), len(builtin.Properties))
+	}
+	// Same property set (order-insensitive, region + decision).
+	for _, want := range builtin.Properties {
+		found := false
+		for _, got := range fromFile.Properties {
+			if got.Decision != want.Decision {
+				continue
+			}
+			same := true
+			for fi := range want.Pred {
+				if !got.Pred[fi].Equal(want.Pred[fi]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("builtin property %v %v missing from the fixture", want.Pred, want.Decision)
+		}
+	}
+}
+
+func TestCheckSchemaMismatch(t *testing.T) {
+	t.Parallel()
+	s, err := PaperSpec(paper.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := field.MustSchema(field.Field{Name: "x", Domain: interval.MustNew(0, 9), Kind: field.KindInt})
+	p := rule.MustPolicy(other, []rule.Rule{rule.CatchAll(other, rule.Accept)})
+	if _, err := s.Check(p); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+}

@@ -1,0 +1,161 @@
+// Package stateful implements the Gouda-Liu model of stateful firewalls
+// (the paper's reference [11], "A Model of Stateful Firewalls and Its
+// Properties"), the substrate needed to apply diverse firewall design to
+// connection-tracking firewalls.
+//
+// In the model, a stateful firewall consists of:
+//
+//   - a *state*: a set of tuples remembering traffic the firewall has
+//     seen (here: accepted connection 5-tuples);
+//   - a *stateful section* that examines a packet against the state and
+//     assigns a value to an auxiliary *tag* field (here: tag = 1 iff the
+//     packet belongs to a tracked connection, i.e. its forward or reverse
+//     tuple is in the state);
+//   - a *stateless section*: an ordinary first-match policy over the
+//     packet fields *plus the tag* — which is exactly a policy in this
+//     library over an extended schema.
+//
+// Because the stateless section is an ordinary policy, two stateful
+// firewalls are compared by running the FDD pipeline on their stateless
+// sections over the extended schema: the discrepancy rows then carry the
+// tag column ("for established traffic ... / for new traffic ..."). The
+// model reduces diverse design for stateful firewalls to the stateless
+// machinery, which is the property [11] establishes and this package
+// operationalizes.
+package stateful
+
+import (
+	"fmt"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// TagField is the name of the auxiliary field the stateful section
+// assigns: 0 = new traffic, 1 = part of a tracked connection.
+const TagField = "state"
+
+// Tag values.
+const (
+	TagNew         = uint64(0)
+	TagEstablished = uint64(1)
+)
+
+// ExtendSchema returns the schema with the tag field appended. The
+// stateless section of a stateful firewall is a policy over this schema.
+func ExtendSchema(base *field.Schema) *field.Schema {
+	fields := base.Fields()
+	fields = append(fields, field.Field{
+		Name:   TagField,
+		Domain: interval.MustNew(0, 1),
+		Kind:   field.KindInt,
+	})
+	return field.MustSchema(fields...)
+}
+
+// conn identifies a tracked connection: the five-tuple in flow order.
+type conn struct {
+	src, dst, sport, dport, proto uint64
+}
+
+// Firewall is a stateful firewall: a stateless section over the extended
+// five-tuple schema plus a connection state table.
+type Firewall struct {
+	// Stateless is the stateless section: a comprehensive policy over
+	// ExtendSchema(field.IPv4FiveTuple()).
+	Stateless *rule.Policy
+	state     map[conn]struct{}
+}
+
+// New validates the stateless section and returns a firewall with empty
+// state.
+func New(stateless *rule.Policy) (*Firewall, error) {
+	want := ExtendSchema(field.IPv4FiveTuple())
+	if stateless == nil || !stateless.Schema.Equal(want) {
+		return nil, fmt.Errorf("stateful: stateless section must use the extended five-tuple schema %v", want)
+	}
+	return &Firewall{
+		Stateless: stateless,
+		state:     make(map[conn]struct{}),
+	}, nil
+}
+
+// StateSize returns the number of tracked connections.
+func (f *Firewall) StateSize() int { return len(f.state) }
+
+// tagOf computes the stateful section's tag for the packet: established
+// iff its forward or reverse tuple is tracked.
+func (f *Firewall) tagOf(pkt rule.Packet) uint64 {
+	fwd := conn{pkt[0], pkt[1], pkt[2], pkt[3], pkt[4]}
+	rev := conn{pkt[1], pkt[0], pkt[3], pkt[2], pkt[4]}
+	if _, ok := f.state[fwd]; ok {
+		return TagEstablished
+	}
+	if _, ok := f.state[rev]; ok {
+		return TagEstablished
+	}
+	return TagNew
+}
+
+// Process runs one packet through the firewall: the stateful section tags
+// it, the stateless section decides it, and the state updates (accepted
+// new connections become tracked). The packet uses the plain five-tuple
+// schema; the tag is internal.
+func (f *Firewall) Process(pkt rule.Packet) (rule.Decision, error) {
+	if len(pkt) != 5 {
+		return 0, fmt.Errorf("stateful: packet must have 5 fields, has %d", len(pkt))
+	}
+	tag := f.tagOf(pkt)
+	extended := append(append(rule.Packet{}, pkt...), tag)
+	d, _, ok := f.Stateless.Decide(extended)
+	if !ok {
+		return 0, fmt.Errorf("stateful: stateless section is not comprehensive for %v", extended)
+	}
+	if (d == rule.Accept || d == rule.AcceptLog) && tag == TagNew {
+		f.state[conn{pkt[0], pkt[1], pkt[2], pkt[3], pkt[4]}] = struct{}{}
+	}
+	return d, nil
+}
+
+// Reset clears the connection state.
+func (f *Firewall) Reset() { f.state = make(map[conn]struct{}) }
+
+// Diff compares two stateful firewalls: per the model, their behaviours
+// coincide on every packet in every state iff their stateless sections
+// are equivalent over the extended schema. The report's rows carry the
+// tag column, so each discrepancy says whether it concerns new or
+// established traffic.
+func Diff(a, b *Firewall) (*compare.Report, error) {
+	return compare.Diff(a.Stateless, b.Stateless)
+}
+
+// TrackingPolicy builds a common stateless-section shape: allow all
+// established traffic, then apply the given new-traffic policy (a plain
+// five-tuple policy) to packets with tag = new. This is the
+// "ESTABLISHED -> ACCEPT first" idiom of real stateful configurations.
+func TrackingPolicy(newTraffic *rule.Policy) (*rule.Policy, error) {
+	base := field.IPv4FiveTuple()
+	if !newTraffic.Schema.Equal(base) {
+		return nil, fmt.Errorf("stateful: new-traffic policy must use the five-tuple schema")
+	}
+	ext := ExtendSchema(base)
+	tagIdx := ext.NumFields() - 1
+
+	rules := make([]rule.Rule, 0, newTraffic.Size()+1)
+	// Established traffic is accepted outright.
+	established := rule.FullPredicate(ext)
+	established[tagIdx] = interval.SetOf(TagEstablished, TagEstablished)
+	rules = append(rules, rule.Rule{Pred: established, Decision: rule.Accept})
+	// New traffic follows the stateless policy (tag unconstrained: these
+	// rules sit below the established rule, so only new traffic reaches
+	// them... except packets the established rule already took; leaving
+	// the tag full keeps each rule's predicate identical to its stateless
+	// original).
+	for _, r := range newTraffic.Rules {
+		pred := append(r.Pred.Clone(), ext.FullSet(tagIdx))
+		rules = append(rules, rule.Rule{Pred: pred, Decision: r.Decision})
+	}
+	return rule.NewPolicy(ext, rules)
+}

@@ -1,0 +1,222 @@
+package stateful
+
+import (
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// mailOnly is a five-tuple policy accepting only inbound TCP mail to
+// 192.168.0.1 and discarding everything else.
+func mailOnly(t *testing.T) *rule.Policy {
+	t.Helper()
+	s := field.IPv4FiveTuple()
+	pred := rule.FullPredicate(s)
+	pred[1] = interval.SetOf(0xC0A80001, 0xC0A80001) // dst mail server
+	pred[3] = interval.SetOf(25, 25)                 // dport 25
+	pred[4] = interval.SetOf(6, 6)                   // tcp
+	return rule.MustPolicy(s, []rule.Rule{
+		{Pred: pred, Decision: rule.Accept},
+		rule.CatchAll(s, rule.Discard),
+	})
+}
+
+func TestExtendSchema(t *testing.T) {
+	t.Parallel()
+	ext := ExtendSchema(field.IPv4FiveTuple())
+	if ext.NumFields() != 6 {
+		t.Fatalf("fields = %d", ext.NumFields())
+	}
+	if ext.IndexOf(TagField) != 5 {
+		t.Fatal("tag field missing or misplaced")
+	}
+	if ext.Domain(5) != interval.MustNew(0, 1) {
+		t.Fatalf("tag domain = %v", ext.Domain(5))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil stateless section should fail")
+	}
+	if _, err := New(mailOnly(t)); err == nil {
+		t.Fatal("unextended schema should fail")
+	}
+	tracking, err := TrackingPolicy(mailOnly(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(tracking); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectionTracking runs the canonical stateful scenario: the mail
+// connection's reply direction is only accepted after the forward packet
+// established state.
+func TestConnectionTracking(t *testing.T) {
+	t.Parallel()
+	tracking, err := TrackingPolicy(mailOnly(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(tracking)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := uint64(0x0A000001)
+	server := uint64(0xC0A80001)
+	forward := rule.Packet{client, server, 40000, 25, 6}
+	reply := rule.Packet{server, client, 25, 40000, 6}
+
+	// Reply before any forward packet: no state, stateless policy
+	// discards it (dst is not the mail server).
+	d, err := fw.Process(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != rule.Discard {
+		t.Fatalf("unsolicited reply = %v, want discard", d)
+	}
+
+	// Forward packet is accepted and tracked.
+	d, err = fw.Process(forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != rule.Accept {
+		t.Fatalf("forward mail = %v, want accept", d)
+	}
+	if fw.StateSize() != 1 {
+		t.Fatalf("state size = %d, want 1", fw.StateSize())
+	}
+
+	// Now the reply is established and accepted.
+	d, err = fw.Process(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != rule.Accept {
+		t.Fatalf("tracked reply = %v, want accept", d)
+	}
+	// Established packets do not add new state.
+	if fw.StateSize() != 1 {
+		t.Fatalf("state size after reply = %d, want 1", fw.StateSize())
+	}
+
+	// Reset forgets the connection.
+	fw.Reset()
+	d, err = fw.Process(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != rule.Discard {
+		t.Fatalf("reply after reset = %v, want discard", d)
+	}
+}
+
+func TestProcessValidation(t *testing.T) {
+	t.Parallel()
+	tracking, err := TrackingPolicy(mailOnly(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(tracking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Process(rule.Packet{1, 2, 3}); err == nil {
+		t.Fatal("short packet should fail")
+	}
+}
+
+// TestDiffStatefulFirewalls compares two stateful firewalls whose
+// new-traffic policies differ: team A allows inbound TCP mail, team B
+// also requires the source port to be ephemeral. The discrepancy rows
+// must concern new traffic only (tag = 0) — both teams accept all
+// established traffic.
+func TestDiffStatefulFirewalls(t *testing.T) {
+	t.Parallel()
+	a, err := TrackingPolicy(mailOnly(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwA, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := field.IPv4FiveTuple()
+	pred := rule.FullPredicate(s)
+	pred[1] = interval.SetOf(0xC0A80001, 0xC0A80001)
+	pred[2] = interval.SetOf(1024, 65535) // B insists on ephemeral sport
+	pred[3] = interval.SetOf(25, 25)
+	pred[4] = interval.SetOf(6, 6)
+	bPolicy := rule.MustPolicy(s, []rule.Rule{
+		{Pred: pred, Decision: rule.Accept},
+		rule.CatchAll(s, rule.Discard),
+	})
+	b, err := TrackingPolicy(bPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwB, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := Diff(fwA, fwB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Equivalent() {
+		t.Fatal("firewalls differ on low source ports")
+	}
+	tagIdx := a.Schema.IndexOf(TagField)
+	for _, d := range report.Discrepancies {
+		if d.Pred[tagIdx].Contains(TagEstablished) {
+			t.Fatalf("discrepancy touches established traffic: %v", d.Pred)
+		}
+		if !d.Pred[2].Equal(interval.SetOf(0, 1023)) {
+			t.Fatalf("discrepancy source ports = %v, want low ports", d.Pred[2])
+		}
+		if d.A != rule.Accept || d.B != rule.Discard {
+			t.Fatalf("decisions = %v/%v", d.A, d.B)
+		}
+	}
+}
+
+// TestTrackingPolicyEquivalentForNewTraffic: with no state, the stateful
+// firewall behaves exactly like its new-traffic policy.
+func TestTrackingPolicyEquivalentForNewTraffic(t *testing.T) {
+	t.Parallel()
+	base := mailOnly(t)
+	tracking, err := TrackingPolicy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(tracking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []rule.Packet{
+		{0x0A000001, 0xC0A80001, 40000, 25, 6},
+		{0x0A000001, 0xC0A80001, 40000, 80, 6},
+		{0x0A000001, 0x08080808, 40000, 25, 17},
+	}
+	for _, pkt := range pkts {
+		fw.Reset()
+		want, _, _ := base.Decide(pkt)
+		got, err := fw.Process(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("stateless mismatch on %v: %v vs %v", pkt, got, want)
+		}
+	}
+}

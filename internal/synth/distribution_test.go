@@ -1,0 +1,107 @@
+package synth
+
+import (
+	"testing"
+
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// TestDistributionShape checks the generator against the real-life
+// characteristics it claims (Gupta's measurements, Section 8.2.2):
+// protocol mix dominated by TCP, destination ports mostly well-known
+// services, source ports mostly wildcards. Tolerances are generous; the
+// point is the shape, not the third decimal.
+func TestDistributionShape(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{Rules: 4000, Seed: 77})
+	s := p.Schema
+	n := float64(p.Size() - 1) // exclude the catch-all
+
+	var tcp, udp, protoWild float64
+	var sportWild float64
+	var dportKnown, dportWild float64
+	known := map[uint64]bool{}
+	for _, port := range wellKnownPorts {
+		known[port] = true
+	}
+
+	for _, r := range p.Rules[:p.Size()-1] {
+		switch {
+		case r.Pred[4].Equal(interval.SetOf(6, 6)):
+			tcp++
+		case r.Pred[4].Equal(interval.SetOf(17, 17)):
+			udp++
+		case r.Pred[4].Equal(s.FullSet(4)):
+			protoWild++
+		}
+		if r.Pred[2].Equal(s.FullSet(2)) {
+			sportWild++
+		}
+		if r.Pred[3].Equal(s.FullSet(3)) {
+			dportWild++
+		} else if lo, ok := r.Pred[3].Min(); ok {
+			if hi, _ := r.Pred[3].Max(); lo == hi && known[lo] {
+				dportKnown++
+			}
+		}
+	}
+
+	checks := []struct {
+		name     string
+		fraction float64
+		lo, hi   float64
+	}{
+		{"tcp", tcp / n, 0.50, 0.70},
+		{"udp", udp / n, 0.12, 0.28},
+		{"proto wildcard", protoWild / n, 0.08, 0.22},
+		{"sport wildcard", sportWild / n, 0.84, 0.96},
+		{"dport well-known", dportKnown / n, 0.50, 0.70},
+		{"dport wildcard", dportWild / n, 0.10, 0.26},
+	}
+	for _, c := range checks {
+		if c.fraction < c.lo || c.fraction > c.hi {
+			t.Errorf("%s fraction = %.3f, want in [%.2f, %.2f]", c.name, c.fraction, c.lo, c.hi)
+		}
+	}
+}
+
+// TestSharedUniverseAcrossSeeds: two policies for the same network (same
+// PoolSeed, different Seed) must reference the same address blocks — the
+// property that keeps cross-version FDDs small.
+func TestSharedUniverseAcrossSeeds(t *testing.T) {
+	t.Parallel()
+	a := Synthetic(Config{Rules: 300, Seed: 1})
+	b := Synthetic(Config{Rules: 300, Seed: 2})
+	distinct := func(p *rule.Policy, fi int) map[string]bool {
+		out := map[string]bool{}
+		for _, r := range p.Rules {
+			out[r.Pred[fi].String()] = true
+		}
+		return out
+	}
+	srcA, srcB := distinct(a, 0), distinct(b, 0)
+	shared := 0
+	for k := range srcA {
+		if srcB[k] {
+			shared++
+		}
+	}
+	// Nearly every block in one policy should appear in the other.
+	if shared < len(srcA)-2 {
+		t.Fatalf("only %d of %d source sets shared across seeds", shared, len(srcA))
+	}
+
+	// A different PoolSeed gives a different universe.
+	c := Synthetic(Config{Rules: 300, Seed: 1, PoolSeed: 99})
+	srcC := distinct(c, 0)
+	overlap := 0
+	for k := range srcA {
+		if srcC[k] {
+			overlap++
+		}
+	}
+	if overlap > 3 { // the wildcard and coincidences only
+		t.Fatalf("different pool seeds share %d source sets", overlap)
+	}
+}

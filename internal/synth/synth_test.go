@@ -1,0 +1,183 @@
+package synth
+
+import (
+	"testing"
+
+	"diversefw/internal/fdd"
+	"diversefw/internal/rule"
+)
+
+func TestSyntheticBasics(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{Rules: 100, Seed: 1})
+	if p.Size() != 100 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	if !p.EndsWithCatchAll() {
+		t.Fatal("must end with a catch-all")
+	}
+	if p.Schema.NumFields() != 5 {
+		t.Fatal("five-tuple schema expected")
+	}
+	// Comprehensive by construction: FDD construction must succeed.
+	if _, err := fdd.Construct(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	t.Parallel()
+	a := Synthetic(Config{Rules: 50, Seed: 7})
+	b := Synthetic(Config{Rules: 50, Seed: 7})
+	if rule.FormatPolicy(a) != rule.FormatPolicy(b) {
+		t.Fatal("same seed should generate the same policy")
+	}
+	c := Synthetic(Config{Rules: 50, Seed: 8})
+	if rule.FormatPolicy(a) == rule.FormatPolicy(c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{})
+	if p.Size() != 50 {
+		t.Fatalf("default size = %d", p.Size())
+	}
+}
+
+func TestSyntheticValueReuse(t *testing.T) {
+	t.Parallel()
+	// With a pool of 12 source blocks, a 200-rule policy must reuse
+	// source values heavily (the real-life property that keeps FDDs
+	// small).
+	p := Synthetic(Config{Rules: 200, Seed: 3, SrcPool: 12, DstPool: 12})
+	distinct := make(map[string]bool)
+	for _, r := range p.Rules {
+		distinct[r.Pred[0].String()] = true
+	}
+	if len(distinct) > 13 { // 12 pool blocks + wildcard
+		t.Fatalf("%d distinct source sets, want <= 13", len(distinct))
+	}
+}
+
+func TestRealLifeSizes(t *testing.T) {
+	t.Parallel()
+	// The paper's two real-life subjects.
+	for _, size := range []int{42, 661} {
+		p := RealLife(size, 9)
+		if p.Size() != size {
+			t.Fatalf("size = %d, want %d", p.Size(), size)
+		}
+		if _, err := fdd.Construct(p); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestPerturbStats(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{Rules: 100, Seed: 5})
+	q, stats := Perturb(p, 20, 11)
+	if stats.Selected != 20 {
+		t.Fatalf("selected = %d, want 20 (20%% of 99 rounds to 20)", stats.Selected)
+	}
+	if stats.Flipped+stats.Deleted != stats.Selected {
+		t.Fatalf("flipped %d + deleted %d != selected %d", stats.Flipped, stats.Deleted, stats.Selected)
+	}
+	if q.Size() != p.Size()-stats.Deleted {
+		t.Fatalf("output size %d, want %d", q.Size(), p.Size()-stats.Deleted)
+	}
+	if !q.EndsWithCatchAll() {
+		t.Fatal("perturbation must preserve the catch-all")
+	}
+	if _, err := fdd.Construct(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerturbZeroAndFull(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{Rules: 40, Seed: 6})
+	q, stats := Perturb(p, 0, 1)
+	if stats.Selected != 0 || q.Size() != p.Size() {
+		t.Fatalf("x=0 should be a no-op, got %+v", stats)
+	}
+	q, stats = Perturb(p, 100, 1)
+	if stats.Selected != p.Size()-1 {
+		t.Fatalf("x=100 should select all but the catch-all, got %d", stats.Selected)
+	}
+	if !q.EndsWithCatchAll() {
+		t.Fatal("catch-all must survive x=100")
+	}
+}
+
+func TestPerturbSharesUnselectedRules(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{Rules: 60, Seed: 2})
+	q, stats := Perturb(p, 10, 3)
+	// The two versions share (100-x)% of rules; count exact matches.
+	same := 0
+	qset := make(map[string]bool, q.Size())
+	for _, r := range q.Rules {
+		qset[rule.FormatRule(q.Schema, r)] = true
+	}
+	for _, r := range p.Rules {
+		if qset[rule.FormatRule(p.Schema, r)] {
+			same++
+		}
+	}
+	if same < p.Size()-stats.Selected {
+		t.Fatalf("only %d shared rules, want >= %d", same, p.Size()-stats.Selected)
+	}
+}
+
+func TestFlip(t *testing.T) {
+	t.Parallel()
+	cases := map[rule.Decision]rule.Decision{
+		rule.Accept:     rule.Discard,
+		rule.Discard:    rule.Accept,
+		rule.AcceptLog:  rule.DiscardLog,
+		rule.DiscardLog: rule.AcceptLog,
+	}
+	for in, want := range cases {
+		if got := flip(in); got != want {
+			t.Errorf("flip(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{Rules: 87, Seed: 4}) // the Section 8.1 size
+	faulty, log := InjectErrors(p, ErrorConfig{OrderingErrors: 10, MissingRules: 3, Seed: 12})
+	if len(log.MovedToFront) != 10 {
+		t.Fatalf("moved %d rules, want 10", len(log.MovedToFront))
+	}
+	if len(log.Deleted) != 3 {
+		t.Fatalf("deleted %d rules, want 3", len(log.Deleted))
+	}
+	if faulty.Size() != p.Size()-3 {
+		t.Fatalf("size = %d, want %d", faulty.Size(), p.Size()-3)
+	}
+	if !faulty.EndsWithCatchAll() {
+		t.Fatal("catch-all must survive error injection")
+	}
+	if _, err := fdd.Construct(faulty); err != nil {
+		t.Fatal(err)
+	}
+	// The reference is untouched.
+	if p.Size() != 87 {
+		t.Fatal("InjectErrors mutated its input")
+	}
+}
+
+func TestInjectErrorsDeterministic(t *testing.T) {
+	t.Parallel()
+	p := Synthetic(Config{Rules: 50, Seed: 4})
+	a, _ := InjectErrors(p, ErrorConfig{OrderingErrors: 5, MissingRules: 2, Seed: 9})
+	b, _ := InjectErrors(p, ErrorConfig{OrderingErrors: 5, MissingRules: 2, Seed: 9})
+	if rule.FormatPolicy(a) != rule.FormatPolicy(b) {
+		t.Fatal("same seed should inject the same errors")
+	}
+}

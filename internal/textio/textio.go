@@ -1,0 +1,195 @@
+// Package textio renders the human-readable reports of the diverse
+// firewall design workflow: discrepancy tables in the format of the
+// paper's Table 3, resolution tables (Table 4), change-impact reports, and
+// CSV series for the benchmark harness.
+//
+// Human readability is a design requirement of the paper (Section 1.2):
+// the discrepancies feed a discussion between design teams, so they are
+// printed as rule-like rows with IP fields in prefix notation (Section
+// 7.1), not as raw integers.
+package textio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/field"
+	"diversefw/internal/impact"
+	"diversefw/internal/rule"
+)
+
+// WriteDiscrepancyTable renders a report in the layout of the paper's
+// Table 3: one row per functional discrepancy, one column per field, then
+// the two versions' decisions.
+func WriteDiscrepancyTable(w io.Writer, schema *field.Schema, ds []compare.Discrepancy, nameA, nameB string) error {
+	if len(ds) == 0 {
+		_, err := fmt.Fprintln(w, "no functional discrepancies: the firewalls are equivalent")
+		return err
+	}
+	header := make([]string, 0, schema.NumFields()+3)
+	header = append(header, "#")
+	for i := 0; i < schema.NumFields(); i++ {
+		header = append(header, schema.Field(i).Name)
+	}
+	header = append(header, nameA, nameB)
+
+	rows := make([][]string, 0, len(ds))
+	for i, d := range ds {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprintf("%d", i+1))
+		for fi, s := range d.Pred {
+			row = append(row, rule.FormatValueSet(schema.Field(fi), s))
+		}
+		row = append(row, d.A.String(), d.B.String())
+		rows = append(rows, row)
+	}
+	return writeTable(w, header, rows)
+}
+
+// WriteResolutionTable renders a Table 4-style view: each discrepancy row
+// plus the agreed decision.
+func WriteResolutionTable(w io.Writer, schema *field.Schema, ds []compare.Discrepancy, resolved []rule.Decision) error {
+	header := make([]string, 0, schema.NumFields()+2)
+	header = append(header, "#")
+	for i := 0; i < schema.NumFields(); i++ {
+		header = append(header, schema.Field(i).Name)
+	}
+	header = append(header, "resolved")
+
+	rows := make([][]string, 0, len(ds))
+	for i, d := range ds {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprintf("%d", i+1))
+		for fi, s := range d.Pred {
+			row = append(row, rule.FormatValueSet(schema.Field(fi), s))
+		}
+		dec := "?"
+		if i < len(resolved) && resolved[i] > 0 {
+			dec = resolved[i].String()
+		}
+		row = append(row, dec)
+		rows = append(rows, row)
+	}
+	return writeTable(w, header, rows)
+}
+
+// WriteImpactReport renders a change-impact analysis: the discrepancy
+// table (old decision vs new decision) plus per-region attributions.
+func WriteImpactReport(w io.Writer, im *impact.Impact) error {
+	if im.None() {
+		_, err := fmt.Fprintln(w, "the change has no functional impact")
+		return err
+	}
+	schema := im.Before.Schema
+	if err := WriteDiscrepancyTable(w, schema, im.Report.Discrepancies, "before", "after"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nattribution (first-match rule per region):"); err != nil {
+		return err
+	}
+	for i, a := range im.Attribute() {
+		if _, err := fmt.Fprintf(w, "  region %d: decided by rule %d before, rule %d after\n",
+			i+1, a.BeforeRule+1, a.AfterRule+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePolicyTable renders a policy in the layout of the paper's Tables
+// 1-2: one row per rule, one column per field, then the decision.
+func WritePolicyTable(w io.Writer, p *rule.Policy) error {
+	header := make([]string, 0, p.Schema.NumFields()+2)
+	header = append(header, "rule")
+	for i := 0; i < p.Schema.NumFields(); i++ {
+		header = append(header, p.Schema.Field(i).Name)
+	}
+	header = append(header, "decision")
+
+	rows := make([][]string, 0, p.Size())
+	for i, r := range p.Rules {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprintf("r%d", i+1))
+		for fi, s := range r.Pred {
+			row = append(row, rule.FormatValueSet(p.Schema.Field(fi), s))
+		}
+		row = append(row, r.Decision.String())
+		rows = append(rows, row)
+	}
+	return writeTable(w, header, rows)
+}
+
+// writeTable prints an aligned ASCII table.
+func writeTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, width := range widths {
+		total += width + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// CSVWriter accumulates rows of a benchmark series and writes them as CSV.
+type CSVWriter struct {
+	w      io.Writer
+	header []string
+	wrote  bool
+}
+
+// NewCSV returns a writer that will emit the header before the first row.
+func NewCSV(w io.Writer, header ...string) *CSVWriter {
+	return &CSVWriter{w: w, header: header}
+}
+
+// Row writes one data row; values are formatted with %v.
+func (c *CSVWriter) Row(values ...interface{}) error {
+	if !c.wrote {
+		c.wrote = true
+		if _, err := fmt.Fprintln(c.w, strings.Join(c.header, ",")); err != nil {
+			return err
+		}
+	}
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	_, err := fmt.Fprintln(c.w, strings.Join(parts, ","))
+	return err
+}

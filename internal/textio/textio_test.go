@@ -1,0 +1,215 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/impact"
+	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+)
+
+func paperReport(t *testing.T) *compare.Report {
+	t.Helper()
+	r, err := compare.Diff(paper.TeamA(), paper.TeamB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestWriteDiscrepancyTable(t *testing.T) {
+	t.Parallel()
+	report := paperReport(t)
+	var sb strings.Builder
+	if err := WriteDiscrepancyTable(&sb, paper.Schema(), report.Discrepancies, "Team A", "Team B"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Header with field names and team columns.
+	for _, want := range []string{"I", "S", "D", "N", "P", "Team A", "Team B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The malicious domain renders as a CIDR block, the mail server as a
+	// bare address (Section 7.1's readability requirement).
+	if !strings.Contains(out, "224.168.0.0/16") {
+		t.Errorf("malicious domain not in prefix notation:\n%s", out)
+	}
+	if !strings.Contains(out, "192.168.0.1") {
+		t.Errorf("mail server address missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 5 { // header + separator + 3 rows
+		t.Errorf("expected 3 data rows:\n%s", out)
+	}
+}
+
+func TestWriteDiscrepancyTableEmpty(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	if err := WriteDiscrepancyTable(&sb, paper.Schema(), nil, "A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "equivalent") {
+		t.Fatalf("empty table should say equivalent: %q", sb.String())
+	}
+}
+
+func TestWriteResolutionTable(t *testing.T) {
+	t.Parallel()
+	report := paperReport(t)
+	resolved := []rule.Decision{rule.Discard, rule.Accept, rule.Discard}
+	var sb strings.Builder
+	if err := WriteResolutionTable(&sb, paper.Schema(), report.Discrepancies, resolved); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "resolved") {
+		t.Errorf("missing resolved column:\n%s", out)
+	}
+	if strings.Contains(out, "?") {
+		t.Errorf("all rows resolved, no ? expected:\n%s", out)
+	}
+	// Unresolved rows render as ?.
+	sb.Reset()
+	if err := WriteResolutionTable(&sb, paper.Schema(), report.Discrepancies, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "?") {
+		t.Errorf("unresolved rows should render ?:\n%s", sb.String())
+	}
+}
+
+func TestWritePolicyTable(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	if err := WritePolicyTable(&sb, paper.TeamA()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "r1") || !strings.Contains(out, "r3") {
+		t.Errorf("rule labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "accept") || !strings.Contains(out, "discard") {
+		t.Errorf("decisions missing:\n%s", out)
+	}
+	// Full-domain fields render as *.
+	if !strings.Contains(out, "*") {
+		t.Errorf("wildcards missing:\n%s", out)
+	}
+}
+
+func TestWriteImpactReport(t *testing.T) {
+	t.Parallel()
+	p := paper.TeamA()
+	im, err := impact.AnalyzeEdits(p, []impact.Edit{{Kind: impact.SwapRules, Index: 0, J: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteImpactReport(&sb, im); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "before") || !strings.Contains(out, "after") {
+		t.Errorf("impact columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "attribution") {
+		t.Errorf("attribution section missing:\n%s", out)
+	}
+
+	// No-op change.
+	im2, err := impact.Analyze(p, p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteImpactReport(&sb, im2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no functional impact") {
+		t.Errorf("no-op should be reported: %q", sb.String())
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWrite
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "sink full" }
+
+func TestWritersPropagateErrors(t *testing.T) {
+	t.Parallel()
+	report := paperReport(t)
+	p := paper.TeamA()
+	im, err := impact.Analyze(p, paperAfterSwap(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := []struct {
+		name string
+		fn   func(w *failWriter) error
+	}{
+		{"discrepancy", func(w *failWriter) error {
+			return WriteDiscrepancyTable(w, paper.Schema(), report.Discrepancies, "A", "B")
+		}},
+		{"resolution", func(w *failWriter) error {
+			return WriteResolutionTable(w, paper.Schema(), report.Discrepancies, nil)
+		}},
+		{"policy", func(w *failWriter) error {
+			return WritePolicyTable(w, p)
+		}},
+		{"impact", func(w *failWriter) error {
+			return WriteImpactReport(w, im)
+		}},
+		{"csv", func(w *failWriter) error {
+			return NewCSV(w, "a").Row(1)
+		}},
+	}
+	for _, wr := range writers {
+		// Fail at each possible write position; the error must surface.
+		for n := 0; n < 6; n++ {
+			if err := wr.fn(&failWriter{n: n}); err == nil && n < 2 {
+				t.Errorf("%s writer swallowed a write error at position %d", wr.name, n)
+			}
+		}
+	}
+}
+
+func paperAfterSwap(t *testing.T) *rule.Policy {
+	t.Helper()
+	after, err := paper.TeamA().SwapRules(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return after
+}
+
+func TestCSVWriter(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	c := NewCSV(&sb, "n", "ms")
+	if err := c.Row(100, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(200, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	want := "n,ms\n100,2.5\n200,5\n"
+	if sb.String() != want {
+		t.Fatalf("got %q, want %q", sb.String(), want)
+	}
+}
