@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/fdd"
+	"diversefw/internal/shape"
+	"diversefw/internal/synth"
+)
+
+// benchSchema identifies the BENCH_*.json format; bump it on any
+// incompatible change so regression tooling can refuse to compare apples
+// to oranges.
+const benchSchema = "fwbench-json/v1"
+
+// phaseResult is one measured pipeline phase, in testing.Benchmark units.
+type phaseResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// benchReport is the machine-readable performance snapshot written to
+// results/BENCH_<n>.json. Each file is immutable once written; the
+// sequence of files is the repo's performance trajectory.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	GitCommit  string        `json:"git_commit"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	When       string        `json:"when"`
+	Rules      int           `json:"rules"`
+	Trials     int           `json:"trials"`
+	Phases     []phaseResult `json:"phases"`
+	// Baseline is the path of the BENCH file these numbers were compared
+	// against, and SpeedupVsBaseline maps phase name to
+	// baseline_ns / current_ns (>1 means this snapshot is faster).
+	Baseline          string             `json:"baseline,omitempty"`
+	SpeedupVsBaseline map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// gitCommit best-effort resolves HEAD for provenance; benchmarks must
+// still work from an exported tarball.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// nextBenchPath returns the first results/BENCH_<n>.json that does not
+// exist yet, so snapshots are append-only.
+func nextBenchPath(dir string) (string, error) {
+	for n := 0; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+// benchJSON measures the pipeline phase by phase with testing.Benchmark
+// and appends a BENCH_<n>.json snapshot to cfg.outDir.
+func benchJSON(cfg config) error {
+	// Reject sizes the generator would silently replace with its default:
+	// the snapshot must record the workload that actually ran.
+	if cfg.benchRules < 1 {
+		return fmt.Errorf("-benchrules must be >= 1, got %d", cfg.benchRules)
+	}
+	// Validate the baseline up front; a typoed path should not cost a
+	// full benchmark run.
+	var base *benchReport
+	if cfg.baseline != "" {
+		var err error
+		if base, err = readBenchReport(cfg.baseline); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+
+	pa := synth.Synthetic(synth.Config{Rules: cfg.benchRules, Seed: 1})
+	pb := synth.Synthetic(synth.Config{Rules: cfg.benchRules, Seed: 2})
+
+	fmt.Printf("== fwbench -json: %d-rule synthetic pair, GOMAXPROCS=%d ==\n",
+		cfg.benchRules, runtime.GOMAXPROCS(0))
+
+	// Pre-build each phase's input outside its timed loop. The shaping and
+	// comparison inputs are safe to reuse across iterations:
+	// MakeSemiIsomorphic simplifies (deep-copies) its inputs, and
+	// CompareSemiIsomorphic only reads the shaped diagrams.
+	fa, err := fdd.Construct(pa)
+	if err != nil {
+		return err
+	}
+	fb, err := fdd.Construct(pb)
+	if err != nil {
+		return err
+	}
+	sa, sb, err := shape.MakeSemiIsomorphic(fa, fb)
+	if err != nil {
+		return err
+	}
+
+	phases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"construct", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fdd.Construct(pa); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fdd.Construct(pb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"shape", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := shape.MakeSemiIsomorphic(fa, fb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"compare", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				compare.CompareSemiIsomorphic(sa, sb)
+			}
+		}},
+		{"diff_end_to_end", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compare.Diff(pa, pb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	report := benchReport{
+		Schema:     benchSchema,
+		GitCommit:  gitCommit(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		When:       time.Now().UTC().Format(time.RFC3339),
+		Rules:      cfg.benchRules,
+		Trials:     cfg.trials,
+	}
+	fmt.Println("phase            ns/op          B/op           allocs/op")
+	for _, p := range phases {
+		// Settle the heap so phase k+1 is not taxed for phase k's garbage
+		// (material on small-core machines, where a single GC cycle is a
+		// visible fraction of an op).
+		runtime.GC()
+		r := testing.Benchmark(p.fn)
+		pr := phaseResult{
+			Name:        p.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Phases = append(report.Phases, pr)
+		fmt.Printf("%-16s %-14d %-14d %d\n", pr.Name, pr.NsPerOp, pr.BytesPerOp, pr.AllocsPerOp)
+	}
+
+	if base != nil {
+		report.Baseline = cfg.baseline
+		report.SpeedupVsBaseline = make(map[string]float64, len(base.Phases))
+		baseNs := make(map[string]int64, len(base.Phases))
+		for _, p := range base.Phases {
+			baseNs[p.Name] = p.NsPerOp
+		}
+		fmt.Println("\nspeedup vs baseline", cfg.baseline)
+		for _, p := range report.Phases {
+			if bn, ok := baseNs[p.Name]; ok && p.NsPerOp > 0 {
+				s := float64(bn) / float64(p.NsPerOp)
+				report.SpeedupVsBaseline[p.Name] = s
+				fmt.Printf("  %-16s %.2fx\n", p.Name, s)
+			}
+		}
+	}
+
+	if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
+		return err
+	}
+	path, err := nextBenchPath(cfg.outDir)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote", path)
+	return nil
+}
+
+// readBenchReport loads and validates a BENCH_*.json file.
+func readBenchReport(path string) (*benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, benchSchema)
+	}
+	return &r, nil
+}

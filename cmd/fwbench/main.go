@@ -41,10 +41,14 @@ func main() {
 }
 
 type config struct {
-	exp    string
-	trials int
-	csvDir string
-	maxN   int
+	exp        string
+	trials     int
+	csvDir     string
+	maxN       int
+	jsonMode   bool
+	outDir     string
+	baseline   string
+	benchRules int
 }
 
 func run() int {
@@ -54,12 +58,24 @@ func run() int {
 	fs.IntVar(&cfg.trials, "trials", 5, "trials per data point (the paper used 100 for fig12)")
 	fs.StringVar(&cfg.csvDir, "csv", "", "directory to write CSV series into (optional)")
 	fs.IntVar(&cfg.maxN, "maxn", 3000, "largest synthetic firewall for fig13")
+	fs.BoolVar(&cfg.jsonMode, "json", false, "benchmark the pipeline phases and append a results/BENCH_<n>.json snapshot")
+	fs.StringVar(&cfg.outDir, "out", "results", "directory for -json snapshots")
+	fs.StringVar(&cfg.baseline, "baseline", "", "prior BENCH_*.json to compute speedups against (-json only)")
+	fs.IntVar(&cfg.benchRules, "benchrules", 1000, "synthetic pair size for -json")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwbench [-exp name] [-trials k] [-csv dir]")
+		fmt.Fprintln(os.Stderr, "usage: fwbench [-exp name] [-trials k] [-csv dir] | fwbench -json [-baseline file]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
+	}
+
+	if cfg.jsonMode {
+		if err := benchJSON(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fwbench: -json: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	runs := map[string]func(config) error{

@@ -70,3 +70,62 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+func TestJSONBenchSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if code := withArgs(t, "-json", "-out", dir, "-benchrules", "40"); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	r0, err := readBenchReport(filepath.Join(dir, "BENCH_0.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Rules != 40 || r0.GOMAXPROCS < 1 || r0.GoVersion == "" {
+		t.Fatalf("bad provenance: %+v", r0)
+	}
+	want := map[string]bool{"construct": true, "shape": true, "compare": true, "diff_end_to_end": true}
+	for _, p := range r0.Phases {
+		if !want[p.Name] {
+			t.Fatalf("unexpected phase %q", p.Name)
+		}
+		delete(want, p.Name)
+		if p.NsPerOp <= 0 || p.AllocsPerOp <= 0 {
+			t.Fatalf("phase %s has empty measurements: %+v", p.Name, p)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing phases: %v", want)
+	}
+
+	// A second run appends BENCH_1.json and embeds baseline speedups.
+	base := filepath.Join(dir, "BENCH_0.json")
+	if code := withArgs(t, "-json", "-out", dir, "-benchrules", "40", "-baseline", base); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	r1, err := readBenchReport(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Baseline != base {
+		t.Fatalf("baseline not recorded: %q", r1.Baseline)
+	}
+	if len(r1.SpeedupVsBaseline) != 4 {
+		t.Fatalf("want 4 speedup entries, got %v", r1.SpeedupVsBaseline)
+	}
+	for name, s := range r1.SpeedupVsBaseline {
+		if s <= 0 {
+			t.Fatalf("phase %s: nonpositive speedup %v", name, s)
+		}
+	}
+}
+
+func TestJSONBenchBadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := withArgs(t, "-json", "-out", dir, "-benchrules", "20", "-baseline", bad); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

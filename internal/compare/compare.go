@@ -12,13 +12,16 @@
 package compare
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diversefw/internal/fdd"
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
 	"diversefw/internal/rule"
 	"diversefw/internal/shape"
 )
@@ -73,13 +76,22 @@ func Diff(pa, pb *rule.Policy) (*Report, error) {
 		return nil, err
 	}
 	start := time.Now()
+	// The two constructions are independent (each gets its own node
+	// store), so they run concurrently.
+	var fb *fdd.FDD
+	var errB error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fb, errB = fdd.Construct(pb)
+	}()
 	fa, err := fdd.Construct(pa)
+	<-done
 	if err != nil {
 		return nil, fmt.Errorf("compare: first policy: %w", err)
 	}
-	fb, err := fdd.Construct(pb)
-	if err != nil {
-		return nil, fmt.Errorf("compare: second policy: %w", err)
+	if errB != nil {
+		return nil, fmt.Errorf("compare: second policy: %w", errB)
 	}
 	tConstruct := time.Since(start)
 
@@ -135,36 +147,39 @@ func checkDecisionRange(p *rule.Policy) error {
 // semi-isomorphic); this is checked.
 //
 // Rather than materializing one rule per differing path, the walk builds a
-// difference FDD whose terminals are decision pairs and reduces it;
-// enumerating the reduced diagram's differing paths yields the
+// difference FDD whose terminals are decision pairs — directly in reduced
+// (hash-consed) form, each node canonicalized in a node store the moment
+// its children exist, so the unreduced difference tree never materializes.
+// Enumerating the reduced diagram's differing paths yields the
 // discrepancies with identical suffix regions already coalesced, which is
 // what keeps the output (and the merge step) small when two large
 // firewalls disagree on much of the packet space.
+//
+// The lockstep walks under distinct root-edge pairs are independent, so
+// they fan out across a GOMAXPROCS-bounded worker pool; each worker
+// hash-conses into its own store shard, and the shards are stitched under
+// a fresh root and re-interned once.
 func CompareSemiIsomorphic(sa, sb *fdd.FDD) *Report {
 	if !shape.SemiIsomorphic(sa, sb) {
 		// Programming error in the pipeline, not user input.
 		panic("compare: diagrams are not semi-isomorphic")
 	}
 	report := &Report{}
-	var walk func(a, b *fdd.Node) *fdd.Node
-	walk = func(a, b *fdd.Node) *fdd.Node {
-		if a.IsTerminal() {
-			report.PathsCompared++
-			if a.Decision != b.Decision {
-				report.RawPaths++
-			}
-			return fdd.Terminal(a.Decision<<pairShift | b.Decision)
-		}
-		out := &fdd.Node{Field: a.Field, Edges: make([]*fdd.Edge, len(a.Edges))}
-		for i := range a.Edges {
-			out.Edges[i] = &fdd.Edge{
-				Label: a.Edges[i].Label,
-				To:    walk(a.Edges[i].To, b.Edges[i].To),
-			}
-		}
-		return out
+	w := &cmpWalker{fulls: fullSets(sa.Schema)}
+
+	var diff *fdd.FDD
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sa.Root.Edges) {
+		workers = len(sa.Root.Edges) // terminal root: 0
 	}
-	diff := (&fdd.FDD{Schema: sa.Schema, Root: walk(sa.Root, sb.Root)}).Reduce()
+	if workers < 2 {
+		w.in = fdd.NewInterner()
+		root := w.walk(sa.Root, sb.Root)
+		diff = &fdd.FDD{Schema: sa.Schema, Root: root}
+	} else {
+		diff = w.walkParallel(sa, sb, workers)
+	}
+	report.PathsCompared, report.RawPaths = w.paths, w.raw
 
 	for _, r := range diff.Rules() {
 		da, db := r.Decision>>pairShift, r.Decision&(1<<pairShift-1)
@@ -177,6 +192,84 @@ func CompareSemiIsomorphic(sa, sb *fdd.FDD) *Report {
 	return report
 }
 
+// fullSets caches every field's full-domain set (Schema.FullSet
+// allocates a fresh Set per call, and the walk needs one per node).
+func fullSets(schema *field.Schema) []interval.Set {
+	fulls := make([]interval.Set, schema.NumFields())
+	for k := range fulls {
+		fulls[k] = schema.FullSet(k)
+	}
+	return fulls
+}
+
+// cmpWalker carries one lockstep walk's node store and path counters.
+type cmpWalker struct {
+	in    *fdd.Interner
+	fulls []interval.Set
+	paths int // decision-path pairs walked
+	raw   int // pairs with differing terminal decisions
+}
+
+// walk compares the semi-isomorphic subtrees a and b and returns the
+// canonical (hash-consed) root of their difference diagram.
+func (w *cmpWalker) walk(a, b *fdd.Node) *fdd.Node {
+	if a.IsTerminal() {
+		w.paths++
+		if a.Decision != b.Decision {
+			w.raw++
+		}
+		return w.in.CanonicalTerminal(a.Decision<<pairShift | b.Decision)
+	}
+	edges := make([]*fdd.Edge, len(a.Edges))
+	for i := range a.Edges {
+		edges[i] = &fdd.Edge{
+			Label: a.Edges[i].Label,
+			To:    w.walk(a.Edges[i].To, b.Edges[i].To),
+		}
+	}
+	return w.in.Canonicalize(a.Field, edges, w.fulls[a.Field])
+}
+
+// walkParallel fans the per-root-edge subwalks out over `workers`
+// goroutines. Shaped diagrams are trees, so the subwalks share nothing;
+// each worker interns into its own store shard. The shard results are
+// stitched under a fresh root and re-interned once, which canonicalizes
+// across shards. Counters are summed into w, and the result is
+// deterministic: shard k always lands at root-edge position k.
+func (w *cmpWalker) walkParallel(sa, sb *fdd.FDD, workers int) *fdd.FDD {
+	n := len(sa.Root.Edges)
+	edges := make([]*fdd.Edge, n)
+	shards := make([]cmpWalker, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(sw *cmpWalker) {
+			defer wg.Done()
+			sw.in = fdd.NewInterner()
+			sw.fulls = w.fulls
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				edges[k] = &fdd.Edge{
+					Label: sa.Root.Edges[k].Label,
+					To:    sw.walk(sa.Root.Edges[k].To, sb.Root.Edges[k].To),
+				}
+			}
+		}(&shards[i])
+	}
+	wg.Wait()
+	for i := range shards {
+		w.paths += shards[i].paths
+		w.raw += shards[i].raw
+	}
+	root := &fdd.Node{Field: sa.Root.Field, Edges: edges}
+	w.in = fdd.NewInterner()
+	return w.in.Reduce(&fdd.FDD{Schema: sa.Schema, Root: root})
+}
+
 // MergeDiscrepancies coalesces discrepancy regions that are identical in
 // their decisions and in every field but one, unioning the differing
 // field. Shaping slices the packet space finely (e.g. "port != 25"
@@ -187,6 +280,10 @@ func MergeDiscrepancies(numFields int, ds []Discrepancy) []Discrepancy {
 	if len(ds) <= 1 {
 		return ds
 	}
+	// keyBuf is reused across every row and round; keys[i] caches row
+	// i's group key so it is computed exactly once per (row, field).
+	var keyBuf []byte
+	keys := make([]string, len(ds))
 	changed := true
 	for changed {
 		changed = false
@@ -196,15 +293,19 @@ func MergeDiscrepancies(numFields int, ds []Discrepancy) []Discrepancy {
 		// natural partition.
 		for f := numFields - 1; f >= 0; f-- {
 			groups := make(map[string][]int, len(ds))
+			keys = keys[:0]
 			for i, d := range ds {
-				groups[mergeKey(d, f)] = append(groups[mergeKey(d, f)], i)
+				keyBuf = appendMergeKey(keyBuf[:0], d, f)
+				key := string(keyBuf)
+				keys = append(keys, key)
+				groups[key] = append(groups[key], i)
 			}
 			if len(groups) == len(ds) {
 				continue // nothing to merge on this field
 			}
 			merged := make([]Discrepancy, 0, len(groups))
 			for i, d := range ds {
-				idxs := groups[mergeKey(d, f)]
+				idxs := groups[keys[i]]
 				if idxs[0] != i {
 					continue // folded into an earlier row
 				}
@@ -221,18 +322,21 @@ func MergeDiscrepancies(numFields int, ds []Discrepancy) []Discrepancy {
 	return ds
 }
 
-// mergeKey serializes a discrepancy's decisions and all fields except f.
-func mergeKey(d Discrepancy, f int) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d/%d", int(d.A), int(d.B))
+// appendMergeKey appends a binary serialization of the discrepancy's
+// decisions and all fields except f to b. Set.AppendKey's count-prefixed
+// encoding keeps concatenated fields uniquely decodable, so equal keys
+// imply equal rows; unlike the former fmt.Fprintf string key, building
+// one allocates nothing beyond the reused buffer.
+func appendMergeKey(b []byte, d Discrepancy, f int) []byte {
+	b = binary.AppendVarint(b, int64(d.A))
+	b = binary.AppendVarint(b, int64(d.B))
 	for i, s := range d.Pred {
 		if i == f {
 			continue
 		}
-		sb.WriteByte(';')
-		sb.WriteString(s.String())
+		b = s.AppendKey(b)
 	}
-	return sb.String()
+	return b
 }
 
 // Equivalent reports whether the two policies map every packet to the same
@@ -269,10 +373,14 @@ func CrossCompare(policies []*rule.Policy) ([]PairReport, error) {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for k, pr := range pairs {
+		// Acquire before spawning: at most GOMAXPROCS goroutines exist at
+		// a time, instead of all N*(N-1)/2 launching at once and parking
+		// on the semaphore (each parked goroutine would pin its stack and
+		// its pair's state for the whole run).
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(k int, pr pair) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			r, err := Diff(policies[pr.i], policies[pr.j])
 			if err != nil {

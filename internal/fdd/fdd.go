@@ -73,22 +73,28 @@ func ConstructEffective(p *rule.Policy) (f *FDD, effective []bool, err error) {
 		return nil, nil, fmt.Errorf("fdd: cannot construct from an empty policy")
 	}
 	effective = make([]bool, p.Size())
-	root := buildPath(p.Schema, p.Rules[0].Pred, 0, p.Rules[0].Decision)
+	ap := newAppender(p.Schema)
+	root := ap.buildPath(p.Rules[0].Pred, 0, p.Rules[0].Decision)
 	effective[0] = true
 	f = &FDD{Schema: p.Schema, Root: root}
+	// One node store for the whole construction: appending is
+	// copy-on-write, so everything canonicalized by one incremental
+	// reduction is still canonical at the next, and only the nodes the
+	// latest appends created get hashed.
+	in := NewInterner()
 	for i := 1; i < p.Size(); i++ {
 		r := p.Rules[i]
 		var added bool
-		f.Root, added = appendRule(p.Schema, f.Root, r.Pred, 0, r.Decision)
+		f.Root, added = ap.appendRule(f.Root, r.Pred, 0, r.Decision)
 		effective[i] = added
 		// Appending shares subgraphs copy-on-write, so the diagram is a
 		// DAG; hash-consing it periodically keeps its size near the
 		// reduced form throughout construction instead of only at the end.
 		if i%reduceEvery == 0 {
-			f.Root = f.Reduce().Root
+			f.Root = in.ReduceNode(p.Schema, f.Root)
 		}
 	}
-	f.Root = f.Reduce().Root
+	f.Root = in.ReduceNode(p.Schema, f.Root)
 	if err := f.checkComplete(); err != nil {
 		return nil, nil, fmt.Errorf("fdd: policy is not comprehensive: %w", err)
 	}
@@ -99,16 +105,46 @@ func ConstructEffective(p *rule.Policy) (f *FDD, effective []bool, err error) {
 // reductions during construction.
 const reduceEvery = 32
 
+// appender holds the per-construction state of the append algorithm:
+// the schema and its full-domain sets, computed once instead of on every
+// visit (Schema.FullSet allocates a fresh Set per call, and appendRule
+// consults the full domain at every level of every append).
+type appender struct {
+	schema *field.Schema
+	fulls  []interval.Set // fulls[k] == schema.FullSet(k)
+	ivbuf  []interval.Interval
+}
+
+func newAppender(schema *field.Schema) *appender {
+	fulls := make([]interval.Set, schema.NumFields())
+	for k := range fulls {
+		fulls[k] = schema.FullSet(k)
+	}
+	return &appender{schema: schema, fulls: fulls}
+}
+
 // buildPath builds the decision path for conjuncts pred[k..] ending in a
 // terminal labeled d (the partial FDD of a single rule).
-func buildPath(schema *field.Schema, pred rule.Predicate, k int, d rule.Decision) *Node {
+func (ap *appender) buildPath(pred rule.Predicate, k int, d rule.Decision) *Node {
 	if k == len(pred) {
 		return Terminal(d)
 	}
 	return &Node{
 		Field: k,
-		Edges: []*Edge{{Label: pred[k], To: buildPath(schema, pred, k+1, d)}},
+		Edges: []*Edge{{Label: pred[k], To: ap.buildPath(pred, k+1, d)}},
 	}
+}
+
+// covered returns the union of v's edge labels in a single pass: sibling
+// labels are disjoint, so gathering every interval and canonicalizing
+// once replaces the old per-edge Union chain (which re-sorted and
+// re-allocated the running set on every edge).
+func (ap *appender) covered(v *Node) interval.Set {
+	ap.ivbuf = ap.ivbuf[:0]
+	for _, e := range v.Edges {
+		ap.ivbuf = e.Label.AppendIntervals(ap.ivbuf)
+	}
+	return interval.NewSet(ap.ivbuf...)
 }
 
 // appendRule implements APPEND of Fig. 7: merge rule conjuncts pred[k..]
@@ -122,7 +158,7 @@ func buildPath(schema *field.Schema, pred rule.Predicate, k int, d rule.Decision
 // deep-copied when an edge splits (case 3), and appending works directly
 // on reduced DAGs whose paths skip full-domain fields. The constructed
 // diagram is semantically identical to Fig. 7's output.
-func appendRule(schema *field.Schema, v *Node, pred rule.Predicate, k int, d rule.Decision) (*Node, bool) {
+func (ap *appender) appendRule(v *Node, pred rule.Predicate, k int, d rule.Decision) (*Node, bool) {
 	if k == len(pred) {
 		// All fields consumed: the existing first-match decision wins.
 		return v, false
@@ -132,34 +168,35 @@ func appendRule(schema *field.Schema, v *Node, pred rule.Predicate, k int, d rul
 	// A terminal or a node labeled with a later field covers field k
 	// implicitly with the full domain: split that implicit edge on S.
 	if v.IsTerminal() || v.Field > k {
-		if s.Equal(schema.FullSet(k)) {
-			return appendRule(schema, v, pred, k+1, d)
+		if s.Equal(ap.fulls[k]) {
+			// S is the whole domain: no split, and no Subtract allocation.
+			return ap.appendRule(v, pred, k+1, d)
 		}
-		inside, added := appendRule(schema, v, pred, k+1, d)
+		inside, added := ap.appendRule(v, pred, k+1, d)
 		if !added {
 			return v, false
 		}
 		return &Node{Field: k, Edges: []*Edge{
-			{Label: schema.FullSet(k).Subtract(s), To: v},
+			{Label: ap.fulls[k].Subtract(s), To: v},
 			{Label: s, To: inside},
 		}}, true
 	}
 
-	covered := interval.Set{}
-	for _, e := range v.Edges {
-		covered = covered.Union(e.Label)
-	}
 	out := &Node{Field: v.Field, Edges: make([]*Edge, 0, len(v.Edges)+2)}
 	added := false
 
 	// Uncovered part of S: packets here match none of the earlier rules,
-	// so they get the new rule's decision path.
-	if rest := s.Subtract(covered); !rest.Empty() {
-		out.Edges = append(out.Edges, &Edge{
-			Label: rest,
-			To:    buildPath(schema, pred, k+1, d),
-		})
-		added = true
+	// so they get the new rule's decision path. A node whose edges
+	// already tile the whole domain (every node of a complete diagram)
+	// has no uncovered part — skip the union and subtraction outright.
+	if covered := ap.covered(v); !covered.Equal(ap.fulls[v.Field]) {
+		if rest := s.Subtract(covered); !rest.Empty() {
+			out.Edges = append(out.Edges, &Edge{
+				Label: rest,
+				To:    ap.buildPath(pred, k+1, d),
+			})
+			added = true
+		}
 	}
 
 	for _, e := range v.Edges {
@@ -170,14 +207,14 @@ func appendRule(schema *field.Schema, v *Node, pred rule.Predicate, k int, d rul
 			out.Edges = append(out.Edges, &Edge{Label: e.Label, To: e.To})
 		case common.Equal(e.Label):
 			// Case 2: I(e) ⊆ S — append the rest of the rule below e.
-			child, chAdded := appendRule(schema, e.To, pred, k+1, d)
+			child, chAdded := ap.appendRule(e.To, pred, k+1, d)
 			out.Edges = append(out.Edges, &Edge{Label: e.Label, To: child})
 			added = added || chAdded
 		default:
 			// Case 3: split e; the outside part keeps the old subgraph
 			// (shared, not copied — nothing mutates it), the inside part
 			// gets the appended version.
-			child, chAdded := appendRule(schema, e.To, pred, k+1, d)
+			child, chAdded := ap.appendRule(e.To, pred, k+1, d)
 			out.Edges = append(out.Edges, &Edge{Label: e.Label.Subtract(s), To: e.To})
 			out.Edges = append(out.Edges, &Edge{Label: common, To: child})
 			added = added || chAdded

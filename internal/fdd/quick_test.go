@@ -158,6 +158,74 @@ func TestPropQuickReduceIdempotent(t *testing.T) {
 	}
 }
 
+// isomorphicDAG reports whether two reduced diagrams are structurally
+// identical up to node identity: same fields, same edge labels in the
+// same order, same terminal decisions. It memoizes on node pairs so
+// shared subgraphs are compared once.
+func isomorphicDAG(a, b *Node) bool {
+	memo := make(map[[2]*Node]bool)
+	var walk func(a, b *Node) bool
+	walk = func(a, b *Node) bool {
+		pair := [2]*Node{a, b}
+		if v, ok := memo[pair]; ok {
+			return v
+		}
+		ok := a.Field == b.Field && a.Decision == b.Decision && len(a.Edges) == len(b.Edges)
+		for i := 0; ok && i < len(a.Edges); i++ {
+			ok = a.Edges[i].Label.Equal(b.Edges[i].Label) && walk(a.Edges[i].To, b.Edges[i].To)
+		}
+		memo[pair] = ok
+		return ok
+	}
+	return walk(a, b)
+}
+
+// TestPropQuickReduceDifferential: the hash-consed store-based Reduce
+// and the retained string-signature reduction (reduceLegacy) produce
+// structurally identical diagrams — not merely equivalent ones — on
+// random policies. The diagrams are expanded with Simplify first so both
+// reducers start from the same unreduced tree.
+func TestPropQuickReduceDifferential(t *testing.T) {
+	t.Parallel()
+	count := 0
+	f := func(a policyArg, seed int64) bool {
+		fd, err := Construct(a.p)
+		if err != nil {
+			return false
+		}
+		tree := fd.Simplify()
+		newRed := tree.Reduce()
+		oldRed := tree.reduceLegacy()
+		if !isomorphicDAG(newRed.Root, oldRed.Root) {
+			t.Logf("reductions differ structurally:\nnew: %+v\nold: %+v", newRed.Stats(), oldRed.Stats())
+			return false
+		}
+		if newRed.Stats() != oldRed.Stats() {
+			t.Logf("stats differ: %+v vs %+v", newRed.Stats(), oldRed.Stats())
+			return false
+		}
+		sm := packet.NewSampler(a.p.Schema, seed)
+		for i := 0; i < 30; i++ {
+			pkt := sm.Biased(a.p)
+			d1, ok1 := newRed.Decide(pkt)
+			d2, ok2 := oldRed.Decide(pkt)
+			if !ok1 || !ok2 || d1 != d2 {
+				t.Logf("packet %v: new %v old %v", pkt, d1, d2)
+				return false
+			}
+		}
+		count++
+		return true
+	}
+	// The acceptance bar is agreement on >= 200 random policies.
+	if err := quick.Check(f, &quick.Config{MaxCount: 220}); err != nil {
+		t.Fatal(err)
+	}
+	if count < 200 {
+		t.Fatalf("only %d policies exercised, want >= 200", count)
+	}
+}
+
 // TestPropQuickCodecRoundTrip: Marshal/Unmarshal preserves semantics for
 // arbitrary constructed diagrams.
 func TestPropQuickCodecRoundTrip(t *testing.T) {

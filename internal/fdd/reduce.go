@@ -14,9 +14,22 @@ import (
 // rule generator runs before marking, and it is also what keeps FDD memory
 // bounded for large policies.
 //
+// Hash-consing happens in a fresh node store (Interner); pipelines that
+// reduce repeatedly — incremental construction, the difference-diagram
+// walk — hold their own store so already-canonical subgraphs are never
+// re-hashed.
+//
 // The result is a DAG, not a tree; callers that need a simple FDD must
 // call Simplify afterwards.
 func (f *FDD) Reduce() *FDD {
+	return NewInterner().Reduce(f)
+}
+
+// reduceLegacy is the original string-signature reduction: hash-consing
+// by fmt.Sprintf keys in a map[string]*Node. It is retained solely as
+// the differential-testing oracle for the Interner-based Reduce (see
+// quick_test.go); new code must use Reduce.
+func (f *FDD) reduceLegacy() *FDD {
 	canon := make(map[string]*Node) // signature -> canonical node
 	sigOf := make(map[*Node]string) // canonical node -> its signature
 	var reduce func(n *Node) *Node

@@ -1,0 +1,228 @@
+package fdd
+
+import (
+	"diversefw/internal/field"
+	"diversefw/internal/interval"
+	"diversefw/internal/rule"
+)
+
+// Interner is a hash-consing node store: an arena that assigns each
+// canonical FDD node a dense uint32 id and dedupes nodes by a uint64
+// structural hash of (field, [(label, child-id)...]) with collision
+// chaining. It replaces the string-signature reduction (fmt.Sprintf keys
+// in a map[string]*Node): hashing a node is a handful of multiplies over
+// its interval bounds and child ids, no formatting and no string
+// allocation, O(1) amortized per node.
+//
+// A node owned by the store is canonical: its children are canonical and
+// no other stored node is structurally equal to it. Because construction
+// is copy-on-write (nodes are never mutated after creation), a store can
+// be reused across the incremental reductions of one construction — a
+// subgraph that is already canonical is recognized by a single map
+// lookup and never re-walked or re-hashed.
+//
+// An Interner is not safe for concurrent use; parallel pipelines give
+// each worker its own store and re-intern once at the stitch point.
+type Interner struct {
+	buckets map[uint64][]*Node      // structural hash -> chain of canonical nonterminals
+	terms   map[rule.Decision]*Node // decision -> canonical terminal
+	ids     map[*Node]uint32        // canonical node -> dense id
+	nodes   []*Node                 // dense id -> canonical node
+	// hashOverride, when non-nil, replaces hashNode. Tests use it to
+	// force every node into one bucket and exercise the chaining path.
+	hashOverride func(*Node) uint64
+}
+
+// NewInterner returns an empty node store.
+func NewInterner() *Interner {
+	return &Interner{
+		buckets: make(map[uint64][]*Node),
+		terms:   make(map[rule.Decision]*Node),
+		ids:     make(map[*Node]uint32),
+	}
+}
+
+// NumNodes returns how many canonical nodes the store holds.
+func (in *Interner) NumNodes() int { return len(in.nodes) }
+
+// Canonical reports whether n is owned by (canonical in) this store.
+func (in *Interner) Canonical(n *Node) bool {
+	_, ok := in.ids[n]
+	return ok
+}
+
+// fnv64Offset is the FNV-64 offset basis, the seed of node hashes.
+const fnv64Offset = 14695981039346656037
+
+// mix64 folds v into the running hash h (FNV-1a style).
+func mix64(h, v uint64) uint64 {
+	const fnv64Prime = 1099511628211
+	return (h ^ v) * fnv64Prime
+}
+
+// hashNode computes the structural hash of a nonterminal whose children
+// are already canonical in this store (terminals are interned by
+// decision in a separate table and never hashed).
+func (in *Interner) hashNode(n *Node) uint64 {
+	if in.hashOverride != nil {
+		return in.hashOverride(n)
+	}
+	h := mix64(fnv64Offset, uint64(n.Field))
+	for _, e := range n.Edges {
+		h = e.Label.Hash(h)
+		h = mix64(h, uint64(in.ids[e.To]))
+	}
+	return h
+}
+
+// sameShape reports structural equality of two nodes whose children are
+// canonical (so child comparison is pointer identity).
+func sameShape(a, b *Node) bool {
+	if a.Field != b.Field || a.Decision != b.Decision || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Edges {
+		if a.Edges[i].To != b.Edges[i].To || !a.Edges[i].Label.Equal(b.Edges[i].Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// intern returns the canonical nonterminal structurally equal to n,
+// storing n itself if none exists. n's children must already be
+// canonical and its edges in sorted order.
+func (in *Interner) intern(n *Node) *Node {
+	h := in.hashNode(n)
+	for _, c := range in.buckets[h] {
+		if sameShape(c, n) {
+			return c
+		}
+	}
+	in.buckets[h] = append(in.buckets[h], n)
+	in.register(n)
+	return n
+}
+
+// register assigns n the next dense id.
+func (in *Interner) register(n *Node) {
+	in.ids[n] = uint32(len(in.nodes))
+	in.nodes = append(in.nodes, n)
+}
+
+// CanonicalTerminal returns the store's canonical terminal labeled d.
+func (in *Interner) CanonicalTerminal(d rule.Decision) *Node {
+	if c, ok := in.terms[d]; ok {
+		return c
+	}
+	c := Terminal(d)
+	in.terms[d] = c
+	in.register(c)
+	return c
+}
+
+// Canonicalize builds the canonical node for a nonterminal labeled
+// fieldIdx with the given edges, whose children must already be
+// canonical in this store. Edges leading to the same child are merged
+// and the result is ordered by label; a node whose single merged edge
+// covers full (the field's whole domain) tests nothing and is elided to
+// its child. The edges slice and its Edge structs are consumed: the
+// store may retain or relabel them.
+//
+// It is the primitive for building diagrams directly in reduced form —
+// a bottom-up walk that canonicalizes each node as it is created (the
+// lockstep comparison does this) never materializes an unreduced tree.
+func (in *Interner) Canonicalize(fieldIdx int, edges []*Edge, full interval.Set) *Node {
+	edges = mergeSameChild(edges)
+	if len(edges) == 1 && edges[0].Label.Equal(full) {
+		return edges[0].To
+	}
+	sortEdges(edges)
+	return in.intern(&Node{Field: fieldIdx, Edges: edges})
+}
+
+// mergeSameChild merges edges that lead to the same (canonical) child,
+// in place. Small edge lists — the overwhelmingly common case — are
+// merged by pointer scan; large ones through a map.
+func mergeSameChild(edges []*Edge) []*Edge {
+	if len(edges) < 2 {
+		return edges
+	}
+	if len(edges) <= 16 {
+		out := edges[:0]
+		for _, e := range edges {
+			dup := false
+			for _, p := range out {
+				if p.To == e.To {
+					p.Label = p.Label.Union(e.Label)
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	seen := make(map[*Node]*Edge, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		if prev, ok := seen[e.To]; ok {
+			prev.Label = prev.Label.Union(e.Label)
+			continue
+		}
+		seen[e.To] = e
+		out = append(out, e)
+	}
+	return out
+}
+
+// Reduce hash-conses the diagram into the store and returns the reduced
+// FDD. See (*FDD).Reduce for the reduction contract; the input is not
+// modified.
+func (in *Interner) Reduce(f *FDD) *FDD {
+	return &FDD{Schema: f.Schema, Root: in.ReduceNode(f.Schema, f.Root)}
+}
+
+// ReduceNode reduces the subgraph rooted at root: isomorphic subgraphs
+// are shared, edges to the same child are merged, and nodes whose single
+// merged edge covers the whole field domain are elided. The returned
+// node is canonical in the store. Nodes already canonical in this store
+// are returned as-is without re-walking their subgraphs, which is what
+// makes incremental re-reduction during construction cheap.
+func (in *Interner) ReduceNode(schema *field.Schema, root *Node) *Node {
+	fulls := make([]interval.Set, schema.NumFields())
+	for k := range fulls {
+		fulls[k] = schema.FullSet(k)
+	}
+	// memo dedupes shared *input* nodes within this call: copy-on-write
+	// appends share unchanged subgraphs, so the input is a DAG and each
+	// distinct node should be reduced once.
+	memo := make(map[*Node]*Node)
+	var reduce func(n *Node) *Node
+	reduce = func(n *Node) *Node {
+		if in.Canonical(n) {
+			return n
+		}
+		if n.IsTerminal() {
+			return in.CanonicalTerminal(n.Decision)
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		// Reduce children first; Canonicalize merges duplicate-child
+		// edges, elides nodes whose single merged edge spans the domain
+		// (a node that tests nothing — but an *incomplete* single-edge
+		// node, which Reduce meets on partial diagrams during
+		// construction, is preserved), and dedupes against the store.
+		edges := make([]*Edge, len(n.Edges))
+		for i, e := range n.Edges {
+			edges[i] = &Edge{Label: e.Label, To: reduce(e.To)}
+		}
+		c := in.Canonicalize(n.Field, edges, fulls[n.Field])
+		memo[n] = c
+		return c
+	}
+	return reduce(root)
+}

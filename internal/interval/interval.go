@@ -13,6 +13,7 @@
 package interval
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -333,6 +334,48 @@ func (s Set) String() string {
 		parts[i] = iv.String()
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// fnvPrime64 is the FNV-64 prime, the multiplier of the running hashes
+// built by Hash. Canonical form makes both Hash and AppendKey functions
+// of the set's *value*: equal sets always produce equal hashes and keys.
+const fnvPrime64 = 1099511628211
+
+// Hash folds the set into the running 64-bit hash h (FNV-1a style, one
+// multiply per interval bound) and returns the new hash. It allocates
+// nothing; hash-consing layers (e.g. the FDD node store) use it instead
+// of formatting the set into a string key. Distinct sets may collide —
+// callers must confirm with Equal.
+func (s Set) Hash(h uint64) uint64 {
+	h = (h ^ uint64(len(s.ivs))) * fnvPrime64
+	for _, iv := range s.ivs {
+		h = (h ^ iv.Lo) * fnvPrime64
+		h = (h ^ iv.Hi) * fnvPrime64
+	}
+	return h
+}
+
+// AppendKey appends a compact binary encoding of the set to b and
+// returns the extended slice: a uvarint interval count followed by
+// 8-byte big-endian Lo/Hi bounds per interval. The count prefix makes
+// concatenated keys uniquely decodable, so composite map keys can be
+// built by appending several sets into one reused buffer — unlike
+// String, AppendKey allocates only when b needs to grow.
+func (s Set) AppendKey(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s.ivs)))
+	for _, iv := range s.ivs {
+		b = binary.BigEndian.AppendUint64(b, iv.Lo)
+		b = binary.BigEndian.AppendUint64(b, iv.Hi)
+	}
+	return b
+}
+
+// AppendIntervals appends the set's canonical intervals to dst and
+// returns the extended slice. It is Intervals without the forced
+// allocation, for callers that gather the intervals of many sets into
+// one buffer (e.g. computing the union of disjoint edge labels).
+func (s Set) AppendIntervals(dst []Interval) []Interval {
+	return append(dst, s.ivs...)
 }
 
 // Enumerate calls fn for every element of the set in ascending order,

@@ -13,6 +13,9 @@ package shape
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"diversefw/internal/fdd"
 	"diversefw/internal/field"
@@ -21,6 +24,10 @@ import (
 
 // MakeSemiIsomorphic returns semi-isomorphic simple FDDs equivalent to fa
 // and fb. The inputs are not modified. Both FDDs must share a schema.
+//
+// Shaping two subtrees hanging off distinct root-edge pairs touches
+// disjoint state (Simplify returns trees), so the recursion fans out per
+// root-edge pair across a GOMAXPROCS-bounded worker pool.
 func MakeSemiIsomorphic(fa, fb *fdd.FDD) (*fdd.FDD, *fdd.FDD, error) {
 	if !fa.Schema.Equal(fb.Schema) {
 		return nil, nil, fmt.Errorf("shape: schemas differ: %v vs %v", fa.Schema, fb.Schema)
@@ -29,8 +36,40 @@ func MakeSemiIsomorphic(fa, fb *fdd.FDD) (*fdd.FDD, *fdd.FDD, error) {
 	// also deep-copies, so the callers' diagrams stay untouched.
 	sa, sb := fa.Simplify(), fb.Simplify()
 	s := &shaper{schema: fa.Schema}
-	s.shapePair(&sa.Root, &sb.Root)
+	s.shapeRoots(&sa.Root, &sb.Root)
 	return sa, sb, nil
+}
+
+// shapeRoots shapes the root pair, then hands the per-root-edge
+// subproblems — independent by the tree property — to parallel workers.
+func (s *shaper) shapeRoots(pa, pb **fdd.Node) {
+	outA, outB := s.align(pa, pb)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(outA) {
+		workers = len(outA)
+	}
+	if workers < 2 {
+		for k := range outA {
+			s.shapePair(&outA[k].To, &outB[k].To)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(outA) {
+					return
+				}
+				s.shapePair(&outA[k].To, &outB[k].To)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 type shaper struct {
@@ -50,9 +89,20 @@ func (s *shaper) fieldOf(n *fdd.Node) int {
 // (Node_Shaping, Fig. 10). The references allow node insertion to splice a
 // new node above either one.
 func (s *shaper) shapePair(pa, pb **fdd.Node) {
+	outA, outB := s.align(pa, pb)
+	// The paired children are now shapable; recurse.
+	for k := range outA {
+		s.shapePair(&outA[k].To, &outB[k].To)
+	}
+}
+
+// align performs the node-insertion and edge-splitting steps on the pair
+// (*pa, *pb) and returns the refined edge lists, paired index by index.
+// Both lists are empty iff both nodes are terminal.
+func (s *shaper) align(pa, pb **fdd.Node) (outA, outB []*fdd.Edge) {
 	a, b := *pa, *pb
 	if a.IsTerminal() && b.IsTerminal() {
-		return
+		return nil, nil
 	}
 
 	// Step 1 — node insertion: give both nodes the same label. If F(a)
@@ -71,7 +121,6 @@ func (s *shaper) shapePair(pa, pb **fdd.Node) {
 	// single-interval, and tile the domain, so the two lists can be merged
 	// left to right; by induction both current intervals start at the same
 	// value.
-	var outA, outB []*fdd.Edge
 	i, j := 0, 0
 	for i < len(a.Edges) && j < len(b.Edges) {
 		ia := singleInterval(a.Edges[i])
@@ -90,11 +139,7 @@ func (s *shaper) shapePair(pa, pb **fdd.Node) {
 		}
 	}
 	a.Edges, b.Edges = outA, outB
-
-	// The paired children are now shapable; recurse.
-	for k := range outA {
-		s.shapePair(&outA[k].To, &outB[k].To)
-	}
+	return outA, outB
 }
 
 // insertAbove splices a new node labeled with field k above *ref, with a

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 gate plus the race gate: everything a PR must pass locally.
+# The -race run matters because the pipeline fans out across goroutines
+# (compare.Diff constructs concurrently; shaping and the lockstep walk
+# shard per root edge; CrossCompare bounds a worker pool) and several
+# tests raise GOMAXPROCS to force those paths even on 1-CPU machines.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
