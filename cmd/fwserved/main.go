@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fwserved [-addr :8080]
+//	fwserved [-addr :8080] [-request-timeout 60s] [-drain-timeout 15s]
 //
 // Endpoints (all POST with JSON bodies; see internal/api for the types):
 //
@@ -15,44 +15,126 @@
 //	POST /v1/audit   {"schema":"five","policy":"...","complete":true}
 //	POST /v1/query   {"schema":"five","policy":"...","query":"select ..."}
 //	GET  /healthz
+//	GET  /metrics      Prometheus text format: per-endpoint request
+//	                   counts/latency/status, in-flight gauge, and
+//	                   construct/shape/compare phase timings
+//	GET  /debug/pprof  runtime profiles (CPU, heap, goroutines, ...)
+//
+// Every request is access-logged (structured, one line per request) and
+// runs under panic recovery (a bug yields a 500, not a dropped
+// connection). -request-timeout bounds each request's pipeline work: the
+// deadline propagates through construction, shaping, and the comparison
+// walk, which abort mid-walk, and the client gets 503. A client that
+// disconnects early cancels its pipeline the same way.
+//
+// On SIGINT or SIGTERM the server stops accepting connections and
+// drains in-flight requests for up to -drain-timeout before exiting
+// (exit code 0 on a clean drain, 1 if connections had to be cut).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"diversefw/internal/api"
+	"diversefw/internal/metrics"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
-func run() int {
+func run(args []string) int {
 	fs := flag.NewFlagSet("fwserved", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	requestTimeout := fs.Duration("request-timeout", 60*time.Second,
+		"per-request pipeline deadline (0 disables); timed-out requests get 503")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second,
+		"how long graceful shutdown waits for in-flight requests")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port]")
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d]")
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg := metrics.NewRegistry()
+	handler := api.NewServer(
+		api.WithMetrics(reg),
+		api.WithLogger(logger),
+		api.WithRequestTimeout(*requestTimeout),
+	)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	// WriteTimeout must outlast the request deadline, or the connection
+	// dies before the 503 can be written.
+	writeTimeout := 60 * time.Second
+	if *requestTimeout > 0 {
+		writeTimeout = *requestTimeout + 10*time.Second
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           api.NewServer(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
+		WriteTimeout:      writeTimeout,
 	}
-	fmt.Fprintf(os.Stderr, "fwserved: listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "fwserved:", err)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
-	return 0
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"requestTimeout", *requestTimeout, "drainTimeout", *drainTimeout)
+	return serve(srv, ln, stop, *drainTimeout, logger)
+}
+
+// serve runs srv on ln until it fails or a signal arrives on stop, then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to drain to finish, and only then are connections cut.
+func serve(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, logger *slog.Logger) int {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			logger.Error("server failed", "err", err)
+			return 1
+		}
+		return 0
+	case sig := <-stop:
+		logger.Info("shutting down", "signal", fmt.Sprint(sig), "drainTimeout", drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("drain deadline exceeded, cutting connections", "err", err)
+			srv.Close()
+			return 1
+		}
+		<-errCh // Serve has returned http.ErrServerClosed
+		logger.Info("drained cleanly")
+		return 0
+	}
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestRunFlagError(t *testing.T) {
+	t.Parallel()
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Fatalf("run with bad flag = %d, want 2", code)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight: a SIGTERM mid-request must let the
+// in-flight request complete (200, full body) while immediately closing
+// the listener to new connections, and serve must exit 0.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	t.Parallel()
+	var entered sync.Once
+	enteredCh := make(chan struct{})
+	release := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		entered.Do(func() { close(enteredCh) })
+		<-release
+		w.Write([]byte("done"))
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	stop := make(chan os.Signal, 1)
+	exitCh := make(chan int, 1)
+	go func() { exitCh <- serve(srv, ln, stop, 5*time.Second, discardLogger()) }()
+
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/")
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+
+	<-enteredCh // the request is in flight
+	stop <- syscall.SIGTERM
+
+	// The listener must close promptly: new connections get refused
+	// while the old request is still draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after SIGTERM")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The in-flight request still completes.
+	close(release)
+	select {
+	case resp := <-respCh:
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "done" {
+			t.Fatalf("in-flight request: status %d body %q", resp.StatusCode, body)
+		}
+	case err := <-errCh:
+		t.Fatalf("in-flight request failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request did not complete")
+	}
+
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("serve exit = %d, want 0", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not exit after drain")
+	}
+}
+
+// TestShutdownDrainDeadline: a request that outlives the drain window
+// forces connections to be cut and serve to exit 1.
+func TestShutdownDrainDeadline(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	defer close(release)
+	var entered sync.Once
+	enteredCh := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		entered.Do(func() { close(enteredCh) })
+		<-release
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	exitCh := make(chan int, 1)
+	go func() { exitCh <- serve(srv, ln, stop, 50*time.Millisecond, discardLogger()) }()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-enteredCh
+	stop <- syscall.SIGTERM
+
+	select {
+	case code := <-exitCh:
+		if code != 1 {
+			t.Fatalf("serve exit = %d, want 1 after drain deadline", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not exit after drain deadline")
+	}
+}

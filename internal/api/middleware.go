@@ -1,0 +1,157 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/metrics"
+)
+
+// Option configures a Server (see NewServer).
+type Option func(*Server)
+
+// WithMetrics instruments every endpoint on the given registry —
+// per-endpoint request counts by status code, latency histograms, an
+// in-flight gauge, a recovered-panic counter, and per-phase pipeline
+// timing histograms (construct/shape/compare, fed from compare.Timing) —
+// and mounts the registry's text exposition at GET /metrics.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) {
+		s.inst = newInstruments(reg)
+		s.metricsHandler = reg.Handler()
+	}
+}
+
+// WithLogger enables structured access logging (one record per request:
+// method, path, status, duration, bytes, remote) and panic reports on
+// the given logger. Without it the server is silent.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// WithRequestTimeout bounds every request's handler work: the request
+// context is given the deadline, so the comparison pipeline aborts
+// mid-walk (compare.DiffContext) and the client gets 503 instead of
+// holding a connection forever. Zero or negative disables the bound.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// instruments holds the serving-path metrics; nil when no registry was
+// configured.
+type instruments struct {
+	requests *metrics.CounterVec
+	latency  *metrics.HistogramVec
+	inflight *metrics.Gauge
+	panics   *metrics.Counter
+	phases   *metrics.HistogramVec
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	return &instruments{
+		requests: reg.NewCounterVec("fwserved_http_requests_total",
+			"HTTP requests by endpoint and status code.", "path", "code"),
+		latency: reg.NewHistogramVec("fwserved_http_request_duration_seconds",
+			"HTTP request latency by endpoint.", nil, "path"),
+		inflight: reg.NewGauge("fwserved_http_inflight_requests",
+			"Requests currently being served."),
+		panics: reg.NewCounter("fwserved_http_panics_total",
+			"Handler panics recovered and returned as 500s."),
+		phases: reg.NewHistogramVec("fwserved_pipeline_phase_seconds",
+			"Comparison pipeline phase durations.", nil, "phase"),
+	}
+}
+
+// observeTiming records one pipeline run's per-phase durations.
+func (s *Server) observeTiming(t compare.Timing) {
+	if s.inst == nil {
+		return
+	}
+	s.inst.phases.With("construct").Observe(t.Construct.Seconds())
+	s.inst.phases.With("shape").Observe(t.Shape.Seconds())
+	s.inst.phases.With("compare").Observe(t.Compare.Seconds())
+}
+
+// statusWriter records the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// handle registers the handler at pattern behind the middleware chain.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.wrap(pattern, h))
+}
+
+// wrap is the middleware chain every endpoint runs under: request
+// timeout (context deadline), in-flight gauge, panic recovery (500
+// instead of a dropped connection), request count/latency metrics, and
+// one structured access-log record. pattern is used as the metric label
+// so per-request paths cannot explode the label space.
+func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if s.inst != nil {
+			s.inst.inflight.Inc()
+			defer s.inst.inflight.Dec()
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				if s.inst != nil {
+					s.inst.panics.Inc()
+				}
+				s.log.Error("panic in handler",
+					"path", pattern, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+				}
+			}
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			elapsed := time.Since(start)
+			if s.inst != nil {
+				s.inst.requests.With(pattern, strconv.Itoa(status)).Inc()
+				s.inst.latency.With(pattern).Observe(elapsed.Seconds())
+			}
+			s.log.Info("request",
+				"method", r.Method,
+				"path", pattern,
+				"status", status,
+				"durationMs", float64(elapsed.Microseconds())/1000,
+				"bytes", sw.bytes,
+				"remote", r.RemoteAddr)
+		}()
+		h(sw, r)
+	})
+}

@@ -1,10 +1,15 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"diversefw/internal/anomaly"
 	"diversefw/internal/compare"
@@ -20,20 +25,40 @@ import (
 // paper discusses (a few thousand rules) fit comfortably.
 const maxBodyBytes = 4 << 20
 
+// statusClientClosedRequest is the nginx convention for "the client went
+// away before we could answer"; it only ever shows up in metrics and
+// logs, never on the wire.
+const statusClientClosedRequest = 499
+
 // Server exposes the analyses over HTTP with JSON bodies.
 type Server struct {
-	mux *http.ServeMux
+	mux            *http.ServeMux
+	log            *slog.Logger
+	timeout        time.Duration
+	inst           *instruments
+	metricsHandler http.Handler
 }
 
-// NewServer builds the handler tree.
-func NewServer() *Server {
-	s := &Server{mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.health)
-	s.mux.HandleFunc("/v1/diff", s.diff)
-	s.mux.HandleFunc("/v1/impact", s.impact)
-	s.mux.HandleFunc("/v1/audit", s.audit)
-	s.mux.HandleFunc("/v1/query", s.query)
-	s.mux.HandleFunc("/v1/resolve", s.resolve)
+// NewServer builds the handler tree. With no options the server is bare:
+// no metrics, no logging, no request timeout — see WithMetrics,
+// WithLogger, and WithRequestTimeout.
+func NewServer(opts ...Option) *Server {
+	s := &Server{
+		mux: http.NewServeMux(),
+		log: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.handle("/healthz", s.health)
+	s.handle("/v1/diff", s.diff)
+	s.handle("/v1/impact", s.impact)
+	s.handle("/v1/audit", s.audit)
+	s.handle("/v1/query", s.query)
+	s.handle("/v1/resolve", s.resolve)
+	if s.metricsHandler != nil {
+		s.handle("/metrics", s.metricsHandler.ServeHTTP)
+	}
 	return s
 }
 
@@ -46,19 +71,59 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// decodeInto reads a JSON request body.
+// decodeInto reads a JSON request body: POST only (405 carries the
+// required Allow header), bodies over maxBodyBytes are 413 not 400, and
+// the body must be exactly one JSON value — trailing garbage such as
+// `{...}{...}` is a 400, not silently ignored.
 func decodeInto(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		writeBodyError(w, err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		if err == nil {
+			err = fmt.Errorf("trailing data after JSON body")
+		}
+		writeBodyError(w, err)
 		return false
 	}
 	return true
+}
+
+// writeBodyError maps a body-decoding failure to its status: an
+// oversized body (MaxBytesReader tripping, possibly mid-decode) is 413,
+// anything else the client sent is 400.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+}
+
+// writeAnalysisError maps a pipeline error to a response. Cancellation
+// and deadline errors come out of the pipeline when the request context
+// dies (client disconnect or WithRequestTimeout); everything else is a
+// semantic error in otherwise well-formed input.
+func writeAnalysisError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request timed out"))
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status only feeds metrics and logs.
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
 }
 
 // schemaByName resolves the wire schema name.
@@ -103,11 +168,12 @@ func (s *Server) diff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	report, err := compare.Diff(pa, pb)
+	report, err := compare.DiffContext(r.Context(), pa, pb)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeAnalysisError(w, err)
 		return
 	}
+	s.observeTiming(report.Timing)
 	writeJSON(w, http.StatusOK, ConvertReport(schema, report))
 }
 
@@ -153,11 +219,12 @@ func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	im, err := impact.Analyze(before, after)
+	im, err := impact.AnalyzeContext(r.Context(), before, after)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeAnalysisError(w, err)
 		return
 	}
+	s.observeTiming(im.Report.Timing)
 	writeJSON(w, http.StatusOK, ConvertImpact(im))
 }
 
@@ -241,6 +308,29 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// parseDecisions validates the wire decision map: keys must be canonical
+// 1-based decimal row numbers — "01", "+1", or " 1" would otherwise
+// alias row 1 and silently overwrite each other's decisions — and no two
+// keys may target the same row.
+func parseDecisions(decisions map[string]string) (map[int]rule.Decision, error) {
+	out := make(map[int]rule.Decision, len(decisions))
+	for key, decText := range decisions {
+		row, err := strconv.Atoi(key)
+		if err != nil || row < 1 || strconv.Itoa(row) != key {
+			return nil, fmt.Errorf("bad decision row %q (rows are 1-based decimal integers)", key)
+		}
+		if _, dup := out[row]; dup {
+			return nil, fmt.Errorf("duplicate decision for row %d", row)
+		}
+		dec, err := rule.ParseDecision(decText)
+		if err != nil {
+			return nil, err
+		}
+		out[row] = dec
+	}
+	return out, nil
+}
+
 func (s *Server) resolve(w http.ResponseWriter, r *http.Request) {
 	var req ResolveRequest
 	if !decodeInto(w, r, &req) {
@@ -261,22 +351,18 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	plan, err := resolve.NewPlan(pa, pb)
+	decisions, err := parseDecisions(req.Decisions)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	for key, decText := range req.Decisions {
-		row, err := strconv.Atoi(key)
-		if err != nil || row < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad decision row %q", key))
-			return
-		}
-		dec, err := rule.ParseDecision(decText)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
+	plan, err := resolve.NewPlanContext(r.Context(), pa, pb)
+	if err != nil {
+		writeAnalysisError(w, err)
+		return
+	}
+	s.observeTiming(plan.Report.Timing)
+	for row, dec := range decisions {
 		if err := plan.Resolve(row-1, dec); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return

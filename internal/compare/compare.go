@@ -12,6 +12,7 @@
 package compare
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
@@ -66,6 +67,14 @@ func (r *Report) Equivalent() bool { return len(r.Discrepancies) == 0 }
 // Diff runs the full pipeline on two policies over the same schema and
 // returns all functional discrepancies between them.
 func Diff(pa, pb *rule.Policy) (*Report, error) {
+	return DiffContext(context.Background(), pa, pb)
+}
+
+// DiffContext is Diff with cancellation: construction, shaping, and the
+// lockstep comparison all poll ctx and return ctx.Err() (wrapped) as
+// soon as it is canceled or past its deadline, so an abandoned HTTP
+// request or a timed-out job stops burning CPU mid-pipeline.
+func DiffContext(ctx context.Context, pa, pb *rule.Policy) (*Report, error) {
 	if !pa.Schema.Equal(pb.Schema) {
 		return nil, fmt.Errorf("compare: schemas differ")
 	}
@@ -83,9 +92,9 @@ func Diff(pa, pb *rule.Policy) (*Report, error) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		fb, errB = fdd.Construct(pb)
+		fb, errB = fdd.ConstructContext(ctx, pb)
 	}()
-	fa, err := fdd.Construct(pa)
+	fa, err := fdd.ConstructContext(ctx, pa)
 	<-done
 	if err != nil {
 		return nil, fmt.Errorf("compare: first policy: %w", err)
@@ -96,14 +105,17 @@ func Diff(pa, pb *rule.Policy) (*Report, error) {
 	tConstruct := time.Since(start)
 
 	start = time.Now()
-	sa, sb, err := shape.MakeSemiIsomorphic(fa, fb)
+	sa, sb, err := shape.MakeSemiIsomorphicContext(ctx, fa, fb)
 	if err != nil {
 		return nil, err
 	}
 	tShape := time.Since(start)
 
 	start = time.Now()
-	report := CompareSemiIsomorphic(sa, sb)
+	report, err := CompareSemiIsomorphicContext(ctx, sa, sb)
+	if err != nil {
+		return nil, err
+	}
 	report.Timing = Timing{Construct: tConstruct, Shape: tShape, Compare: time.Since(start)}
 	return report, nil
 }
@@ -160,12 +172,24 @@ func checkDecisionRange(p *rule.Policy) error {
 // hash-conses into its own store shard, and the shards are stitched under
 // a fresh root and re-interned once.
 func CompareSemiIsomorphic(sa, sb *fdd.FDD) *Report {
+	// Background contexts never cancel, so the error is impossible.
+	report, _ := CompareSemiIsomorphicContext(context.Background(), sa, sb)
+	return report
+}
+
+// CompareSemiIsomorphicContext is CompareSemiIsomorphic with
+// cancellation: every walker polls ctx every cancelCheckEvery node
+// visits, and once one sees it canceled the whole walk unwinds and the
+// partial difference diagram is discarded. The only possible error is a
+// wrapped ctx.Err().
+func CompareSemiIsomorphicContext(ctx context.Context, sa, sb *fdd.FDD) (*Report, error) {
 	if !shape.SemiIsomorphic(sa, sb) {
 		// Programming error in the pipeline, not user input.
 		panic("compare: diagrams are not semi-isomorphic")
 	}
 	report := &Report{}
-	w := &cmpWalker{fulls: fullSets(sa.Schema)}
+	var canceled atomic.Bool
+	w := &cmpWalker{fulls: fullSets(sa.Schema), ctx: ctx, canceled: &canceled, budget: cancelCheckEvery}
 
 	var diff *fdd.FDD
 	workers := runtime.GOMAXPROCS(0)
@@ -179,6 +203,9 @@ func CompareSemiIsomorphic(sa, sb *fdd.FDD) *Report {
 	} else {
 		diff = w.walkParallel(sa, sb, workers)
 	}
+	if canceled.Load() {
+		return nil, fmt.Errorf("compare: canceled: %w", ctx.Err())
+	}
 	report.PathsCompared, report.RawPaths = w.paths, w.raw
 
 	for _, r := range diff.Rules() {
@@ -189,8 +216,13 @@ func CompareSemiIsomorphic(sa, sb *fdd.FDD) *Report {
 		report.Discrepancies = append(report.Discrepancies, Discrepancy{Pred: r.Pred, A: da, B: db})
 	}
 	report.Discrepancies = MergeDiscrepancies(sa.Schema.NumFields(), report.Discrepancies)
-	return report
+	return report, nil
 }
+
+// cancelCheckEvery is how many node visits pass between context polls in
+// the lockstep walk (see the identically named constant in package
+// shape for the rationale).
+const cancelCheckEvery = 256
 
 // fullSets caches every field's full-domain set (Schema.FullSet
 // allocates a fresh Set per call, and the walk needs one per node).
@@ -208,11 +240,39 @@ type cmpWalker struct {
 	fulls []interval.Set
 	paths int // decision-path pairs walked
 	raw   int // pairs with differing terminal decisions
+
+	ctx      context.Context
+	canceled *atomic.Bool // shared cancellation latch across all shards
+	budget   int          // goroutine-local countdown to the next ctx poll
+}
+
+// stop reports whether the walk should abort, polling ctx once per
+// cancelCheckEvery node visits and latching the result for the other
+// shards.
+func (w *cmpWalker) stop() bool {
+	if w.canceled.Load() {
+		return true
+	}
+	w.budget--
+	if w.budget > 0 {
+		return false
+	}
+	w.budget = cancelCheckEvery
+	if w.ctx.Err() != nil {
+		w.canceled.Store(true)
+		return true
+	}
+	return false
 }
 
 // walk compares the semi-isomorphic subtrees a and b and returns the
 // canonical (hash-consed) root of their difference diagram.
 func (w *cmpWalker) walk(a, b *fdd.Node) *fdd.Node {
+	if w.stop() {
+		// Unwind with an arbitrary agreeing terminal; the caller checks
+		// the cancellation latch and discards the diagram.
+		return w.in.CanonicalTerminal(1<<pairShift | 1)
+	}
 	if a.IsTerminal() {
 		w.paths++
 		if a.Decision != b.Decision {
@@ -248,6 +308,7 @@ func (w *cmpWalker) walkParallel(sa, sb *fdd.FDD, workers int) *fdd.FDD {
 			defer wg.Done()
 			sw.in = fdd.NewInterner()
 			sw.fulls = w.fulls
+			sw.ctx, sw.canceled, sw.budget = w.ctx, w.canceled, cancelCheckEvery
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= n {
@@ -266,6 +327,11 @@ func (w *cmpWalker) walkParallel(sa, sb *fdd.FDD, workers int) *fdd.FDD {
 		w.raw += shards[i].raw
 	}
 	root := &fdd.Node{Field: sa.Root.Field, Edges: edges}
+	if w.canceled.Load() {
+		// The shards bailed early; skip the (possibly expensive) final
+		// reduction — the caller discards the diagram anyway.
+		return &fdd.FDD{Schema: sa.Schema, Root: root}
+	}
 	w.in = fdd.NewInterner()
 	return w.in.Reduce(&fdd.FDD{Schema: sa.Schema, Root: root})
 }
@@ -360,6 +426,13 @@ type PairReport struct {
 // deterministic (i, j) order. Pairs are independent, so they are compared
 // concurrently, bounded by GOMAXPROCS workers.
 func CrossCompare(policies []*rule.Policy) ([]PairReport, error) {
+	return CrossCompareContext(context.Background(), policies)
+}
+
+// CrossCompareContext is CrossCompare with cancellation: no new pair
+// starts once ctx is canceled, running pairs abort mid-pipeline (see
+// DiffContext), and the first error — a wrapped ctx.Err() — is returned.
+func CrossCompareContext(ctx context.Context, policies []*rule.Policy) ([]PairReport, error) {
 	type pair struct{ i, j int }
 	var pairs []pair
 	for i := 0; i < len(policies); i++ {
@@ -373,6 +446,10 @@ func CrossCompare(policies []*rule.Policy) ([]PairReport, error) {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for k, pr := range pairs {
+		if err := ctx.Err(); err != nil {
+			errs[k] = fmt.Errorf("compare: pair (%d, %d): %w", pr.i, pr.j, err)
+			break
+		}
 		// Acquire before spawning: at most GOMAXPROCS goroutines exist at
 		// a time, instead of all N*(N-1)/2 launching at once and parking
 		// on the semaphore (each parked goroutine would pin its stack and
@@ -382,7 +459,7 @@ func CrossCompare(policies []*rule.Policy) ([]PairReport, error) {
 		go func(k int, pr pair) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := Diff(policies[pr.i], policies[pr.j])
+			r, err := DiffContext(ctx, policies[pr.i], policies[pr.j])
 			if err != nil {
 				errs[k] = fmt.Errorf("compare: pair (%d, %d): %w", pr.i, pr.j, err)
 				return

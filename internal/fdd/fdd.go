@@ -12,6 +12,7 @@
 package fdd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -64,11 +65,27 @@ func Construct(p *rule.Policy) (*FDD, error) {
 	return f, err
 }
 
+// ConstructContext is Construct with cancellation: it checks ctx between
+// rule appends and returns ctx.Err() (wrapped) as soon as the context is
+// canceled or past its deadline, so an abandoned request stops burning
+// CPU mid-construction.
+func ConstructContext(ctx context.Context, p *rule.Policy) (*FDD, error) {
+	f, _, err := ConstructEffectiveContext(ctx, p)
+	return f, err
+}
+
 // ConstructEffective is Construct but also reports, per rule, whether the
 // rule contributed any region of the packet space — i.e. whether some
 // packet's first match is that rule. Rules with effective[i] == false are
 // upward redundant (the basis of the redundancy substrate).
 func ConstructEffective(p *rule.Policy) (f *FDD, effective []bool, err error) {
+	return ConstructEffectiveContext(context.Background(), p)
+}
+
+// ConstructEffectiveContext is ConstructEffective with cancellation; see
+// ConstructContext. The per-rule ctx check is negligible next to the
+// cost of one append.
+func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, effective []bool, err error) {
 	if p.Size() == 0 {
 		return nil, nil, fmt.Errorf("fdd: cannot construct from an empty policy")
 	}
@@ -83,6 +100,9 @@ func ConstructEffective(p *rule.Policy) (f *FDD, effective []bool, err error) {
 	// latest appends created get hashed.
 	in := NewInterner()
 	for i := 1; i < p.Size(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("fdd: construction canceled: %w", err)
+		}
 		r := p.Rules[i]
 		var added bool
 		f.Root, added = ap.appendRule(f.Root, r.Pred, 0, r.Decision)

@@ -11,6 +11,7 @@
 package impact
 
 import (
+	"context"
 	"fmt"
 
 	"diversefw/internal/compare"
@@ -98,7 +99,13 @@ func (im *Impact) None() bool { return im.Report.Equivalent() }
 
 // Analyze compares a policy before and after a change.
 func Analyze(before, after *rule.Policy) (*Impact, error) {
-	report, err := compare.Diff(before, after)
+	return AnalyzeContext(context.Background(), before, after)
+}
+
+// AnalyzeContext is Analyze with cancellation: the underlying comparison
+// pipeline aborts as soon as ctx is canceled (see compare.DiffContext).
+func AnalyzeContext(ctx context.Context, before, after *rule.Policy) (*Impact, error) {
+	report, err := compare.DiffContext(ctx, before, after)
 	if err != nil {
 		return nil, err
 	}

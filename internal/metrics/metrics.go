@@ -1,0 +1,379 @@
+// Package metrics is a dependency-free instrumentation library for the
+// serving path: counters, gauges, and latency histograms, rendered in
+// the Prometheus text exposition format (version 0.0.4) so any standard
+// scraper can consume them. Only what fwserved needs is implemented —
+// there is deliberately no global default registry, no metric expiry,
+// and no exemplar support.
+//
+// All instruments are safe for concurrent use. Registration
+// (Registry.NewCounter and friends) is expected at startup; observing
+// (Inc, Observe, ...) is lock-free on the hot path except for the first
+// access of a new label combination on a vector.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of named metrics and renders them on demand.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]bool
+	metrics []renderable
+}
+
+// renderable is one named family that can print itself in text format.
+type renderable interface {
+	name() string
+	render(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) register(m renderable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name()] {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", m.name()))
+	}
+	r.byName[m.name()] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus renders every registered metric in text format,
+// families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]renderable, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name() < ms[j].name() })
+	for _, m := range ms {
+		m.render(w)
+	}
+}
+
+// Handler serves the registry over HTTP (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// family carries the metadata shared by all instrument kinds.
+type family struct {
+	fname, help, kind string
+}
+
+func (f *family) name() string { return f.fname }
+
+func (f *family) header(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.fname, f.help, f.fname, f.kind)
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct {
+	family
+	labels string // rendered {k="v",...} suffix, empty for plain counters
+	v      atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) render(w io.Writer) {
+	c.header(w)
+	fmt.Fprintf(w, "%s%s %d\n", c.fname, c.labels, c.v.Load())
+}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{family: family{name, help, "counter"}}
+	r.register(c)
+	return c
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	family
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) render(w io.Writer) {
+	g.header(w)
+	fmt.Fprintf(w, "%s %d\n", g.fname, g.v.Load())
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{family: family{name, help, "gauge"}}
+	r.register(g)
+	return g
+}
+
+// DefBuckets are the default latency buckets, in seconds (the classic
+// Prometheus defaults: 5ms up to 10s).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	family
+	labels string
+	bounds []float64       // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64 // one per bound, plus the +Inf overflow slot
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(f family, labels string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not ascending", f.fname))
+		}
+	}
+	return &Histogram{
+		family: f,
+		labels: labels,
+		bounds: buckets,
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one value (for latencies: seconds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) render(w io.Writer) {
+	h.header(w)
+	h.renderRows(w)
+}
+
+// renderRows prints the bucket/sum/count rows without the family header
+// (vectors print the header once for all children).
+func (h *Histogram) renderRows(w io.Writer) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.fname, addLabel(h.labels, "le", formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.fname, addLabel(h.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.fname, h.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.fname, h.labels, h.count.Load())
+}
+
+// NewHistogram registers a histogram. Nil or empty buckets mean
+// DefBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(family{name, help, "histogram"}, "", buckets)
+	r.register(h)
+	return h
+}
+
+// vec is the shared label-to-child machinery of CounterVec and
+// HistogramVec.
+type vec[T any] struct {
+	family
+	labelNames []string
+	mu         sync.RWMutex
+	children   map[string]*T
+	make       func(labels string) *T
+}
+
+func (v *vec[T]) with(values ...string) *T {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			v.fname, len(v.labelNames), len(values)))
+	}
+	labels := formatLabels(v.labelNames, values)
+	v.mu.RLock()
+	c, ok := v.children[labels]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[labels]; ok {
+		return c
+	}
+	c = v.make(labels)
+	v.children[labels] = c
+	return c
+}
+
+// sortedChildren snapshots the children in deterministic label order.
+func (v *vec[T]) sortedChildren() []*T {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*T, len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	v.mu.RUnlock()
+	return out
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct {
+	vec[Counter]
+}
+
+// With returns the child counter for the label values, creating it on
+// first use. Values must match the registered label names positionally.
+func (v *CounterVec) With(values ...string) *Counter { return v.with(values...) }
+
+func (v *CounterVec) render(w io.Writer) {
+	children := v.sortedChildren()
+	if len(children) == 0 {
+		return
+	}
+	v.header(w)
+	for _, c := range children {
+		fmt.Fprintf(w, "%s%s %d\n", c.fname, c.labels, c.v.Load())
+	}
+}
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	f := family{name, help, "counter"}
+	v := &CounterVec{vec[Counter]{
+		family:     f,
+		labelNames: labelNames,
+		children:   make(map[string]*Counter),
+		make:       func(labels string) *Counter { return &Counter{family: f, labels: labels} },
+	}}
+	r.register(v)
+	return v
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct {
+	vec[Histogram]
+}
+
+// With returns the child histogram for the label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.with(values...) }
+
+func (v *HistogramVec) render(w io.Writer) {
+	children := v.sortedChildren()
+	if len(children) == 0 {
+		return
+	}
+	v.header(w)
+	for _, h := range children {
+		h.renderRows(w)
+	}
+}
+
+// NewHistogramVec registers a labeled histogram family. Nil or empty
+// buckets mean DefBuckets.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	f := family{name, help, "histogram"}
+	v := &HistogramVec{vec[Histogram]{
+		family:     f,
+		labelNames: labelNames,
+		children:   make(map[string]*Histogram),
+		make:       func(labels string) *Histogram { return newHistogram(f, labels, buckets) },
+	}}
+	r.register(v)
+	return v
+}
+
+// formatLabels renders {k="v",...} with values escaped per the text
+// format (backslash, double quote, newline).
+func formatLabels(names, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// addLabel inserts one more label pair into an already-rendered label
+// set (used for histogram "le").
+func addLabel(labels, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

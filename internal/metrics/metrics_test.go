@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Total requests.")
+	g := r.NewGauge("inflight", "In-flight requests.")
+	c.Inc()
+	c.Add(4)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	out := render(r)
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		"requests_total 5",
+		"# TYPE inflight gauge",
+		"inflight 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(out, "inflight") > strings.Index(out, "requests_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	v := r.NewCounterVec("http_requests_total", "Requests by path and code.", "path", "code")
+	v.With("/v1/diff", "200").Inc()
+	v.With("/v1/diff", "200").Inc()
+	v.With("/v1/diff", "400").Inc()
+	out := render(r)
+	for _, want := range []string{
+		`http_requests_total{path="/v1/diff",code="200"} 2`,
+		`http_requests_total{path="/v1/diff",code="400"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The header appears exactly once for the whole family.
+	if strings.Count(out, "# TYPE http_requests_total counter") != 1 {
+		t.Fatalf("family header not unique:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 20.65; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	out := render(r)
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // cumulative: 0.05 and 0.1 (le is inclusive)
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		`latency_seconds_sum 20.65`,
+		`latency_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	v := r.NewHistogramVec("phase_seconds", "Phase timings.", []float64{1}, "phase")
+	v.With("construct").Observe(0.5)
+	v.With("compare").Observe(2)
+	out := render(r)
+	for _, want := range []string{
+		`phase_seconds_bucket{phase="construct",le="1"} 1`,
+		`phase_seconds_bucket{phase="compare",le="+Inf"} 1`,
+		`phase_seconds_count{phase="construct"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	v := r.NewCounterVec("weird_total", "Escaping.", "path")
+	v.With("a\"b\\c\nd").Inc()
+	out := render(r)
+	if !strings.Contains(out, `weird_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.NewCounter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup", "second")
+}
+
+func TestHandler(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.NewCounter("served_total", "Served.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentObserve exercises the lock-free paths under the race
+// detector.
+func TestConcurrentObserve(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	h := r.NewHistogram("h_seconds", "h", nil)
+	v := r.NewCounterVec("v_total", "v", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+				v.With("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || v.With("x").Value() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d v=%d", c.Value(), h.Count(), v.With("x").Value())
+	}
+	render(r) // rendering while done observing should be stable
+}
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}

@@ -16,6 +16,7 @@
 package resolve
 
 import (
+	"context"
 	"fmt"
 
 	"diversefw/internal/compare"
@@ -39,7 +40,13 @@ type Plan struct {
 // NewPlan compares the two firewalls and returns a plan with all
 // discrepancies unresolved.
 func NewPlan(a, b *rule.Policy) (*Plan, error) {
-	report, err := compare.Diff(a, b)
+	return NewPlanContext(context.Background(), a, b)
+}
+
+// NewPlanContext is NewPlan with cancellation: the underlying comparison
+// pipeline aborts as soon as ctx is canceled (see compare.DiffContext).
+func NewPlanContext(ctx context.Context, a, b *rule.Policy) (*Plan, error) {
+	report, err := compare.DiffContext(ctx, a, b)
 	if err != nil {
 		return nil, err
 	}

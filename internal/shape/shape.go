@@ -12,6 +12,7 @@
 package shape
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -29,16 +30,34 @@ import (
 // disjoint state (Simplify returns trees), so the recursion fans out per
 // root-edge pair across a GOMAXPROCS-bounded worker pool.
 func MakeSemiIsomorphic(fa, fb *fdd.FDD) (*fdd.FDD, *fdd.FDD, error) {
+	return MakeSemiIsomorphicContext(context.Background(), fa, fb)
+}
+
+// MakeSemiIsomorphicContext is MakeSemiIsomorphic with cancellation:
+// every worker polls ctx every cancelCheckEvery node visits and the whole
+// shaping returns ctx.Err() (wrapped) once any worker sees it, so an
+// abandoned request stops burning CPU mid-shape. The partially shaped
+// diagrams are discarded.
+func MakeSemiIsomorphicContext(ctx context.Context, fa, fb *fdd.FDD) (*fdd.FDD, *fdd.FDD, error) {
 	if !fa.Schema.Equal(fb.Schema) {
 		return nil, nil, fmt.Errorf("shape: schemas differ: %v vs %v", fa.Schema, fb.Schema)
 	}
 	// The shaping algorithm requires simple FDDs (Section 4.1); Simplify
 	// also deep-copies, so the callers' diagrams stay untouched.
 	sa, sb := fa.Simplify(), fb.Simplify()
-	s := &shaper{schema: fa.Schema}
+	s := &shaper{schema: fa.Schema, ctx: ctx}
 	s.shapeRoots(&sa.Root, &sb.Root)
+	if s.canceled.Load() {
+		return nil, nil, fmt.Errorf("shape: canceled: %w", ctx.Err())
+	}
 	return sa, sb, nil
 }
+
+// cancelCheckEvery is how many node visits pass between context polls in
+// the shaping and comparison walks: frequent enough that cancellation
+// lands within microseconds of work, rare enough that the poll (a mutex
+// acquisition inside context) stays invisible in profiles.
+const cancelCheckEvery = 256
 
 // shapeRoots shapes the root pair, then hands the per-root-edge
 // subproblems — independent by the tree property — to parallel workers.
@@ -49,8 +68,9 @@ func (s *shaper) shapeRoots(pa, pb **fdd.Node) {
 		workers = len(outA)
 	}
 	if workers < 2 {
+		budget := cancelCheckEvery
 		for k := range outA {
-			s.shapePair(&outA[k].To, &outB[k].To)
+			s.shapePair(&outA[k].To, &outB[k].To, &budget)
 		}
 		return
 	}
@@ -60,12 +80,13 @@ func (s *shaper) shapeRoots(pa, pb **fdd.Node) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			budget := cancelCheckEvery
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= len(outA) {
 					return
 				}
-				s.shapePair(&outA[k].To, &outB[k].To)
+				s.shapePair(&outA[k].To, &outB[k].To, &budget)
 			}
 		}()
 	}
@@ -74,6 +95,29 @@ func (s *shaper) shapeRoots(pa, pb **fdd.Node) {
 
 type shaper struct {
 	schema *field.Schema
+	ctx    context.Context
+	// canceled latches the first worker's ctx observation so every other
+	// worker (and the sequential path) bails without re-polling.
+	canceled atomic.Bool
+}
+
+// stop reports whether shaping should abort, polling ctx once per
+// cancelCheckEvery calls. budget is the caller goroutine's local
+// countdown, kept outside the shared shaper so workers do not contend.
+func (s *shaper) stop(budget *int) bool {
+	if s.canceled.Load() {
+		return true
+	}
+	*budget--
+	if *budget > 0 {
+		return false
+	}
+	*budget = cancelCheckEvery
+	if s.ctx.Err() != nil {
+		s.canceled.Store(true)
+		return true
+	}
+	return false
 }
 
 // fieldOf orders nodes by their label position; terminals sort after every
@@ -87,12 +131,17 @@ func (s *shaper) fieldOf(n *fdd.Node) int {
 
 // shapePair makes the two shapable nodes *pa and *pb semi-isomorphic
 // (Node_Shaping, Fig. 10). The references allow node insertion to splice a
-// new node above either one.
-func (s *shaper) shapePair(pa, pb **fdd.Node) {
+// new node above either one. budget is the goroutine-local cancellation
+// countdown (see shaper.stop); on cancellation the recursion unwinds
+// immediately, leaving the pair partially shaped.
+func (s *shaper) shapePair(pa, pb **fdd.Node, budget *int) {
+	if s.stop(budget) {
+		return
+	}
 	outA, outB := s.align(pa, pb)
 	// The paired children are now shapable; recurse.
 	for k := range outA {
-		s.shapePair(&outA[k].To, &outB[k].To)
+		s.shapePair(&outA[k].To, &outB[k].To, budget)
 	}
 }
 

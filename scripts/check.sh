@@ -7,6 +7,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Formatting is part of the gate: gofmt -l prints nothing when clean.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not gofmt-formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race ./...
