@@ -83,7 +83,10 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	if r0.Rules != 40 || r0.GOMAXPROCS < 1 || r0.GoVersion == "" {
 		t.Fatalf("bad provenance: %+v", r0)
 	}
-	want := map[string]bool{"construct": true, "shape": true, "compare": true, "diff_end_to_end": true}
+	want := map[string]bool{
+		"construct": true, "shape": true, "compare": true,
+		"diff_end_to_end": true, "diff_warm_cache": true,
+	}
 	for _, p := range r0.Phases {
 		if !want[p.Name] {
 			t.Fatalf("unexpected phase %q", p.Name)
@@ -109,13 +112,18 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	if r1.Baseline != base {
 		t.Fatalf("baseline not recorded: %q", r1.Baseline)
 	}
-	if len(r1.SpeedupVsBaseline) != 4 {
-		t.Fatalf("want 4 speedup entries, got %v", r1.SpeedupVsBaseline)
+	// Five per-phase ratios plus the warm-vs-cold-baseline headline.
+	if len(r1.SpeedupVsBaseline) != 6 {
+		t.Fatalf("want 6 speedup entries, got %v", r1.SpeedupVsBaseline)
 	}
 	for name, s := range r1.SpeedupVsBaseline {
 		if s <= 0 {
 			t.Fatalf("phase %s: nonpositive speedup %v", name, s)
 		}
+	}
+	warm, ok := r1.SpeedupVsBaseline["diff_warm_cache_vs_cold_baseline"]
+	if !ok || warm < 1 {
+		t.Fatalf("warm repeat-diff should beat the cold baseline: %v (ok=%v)", warm, ok)
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,7 +20,7 @@ import (
 
 	"diversefw/internal/api"
 	"diversefw/internal/cli"
-	"diversefw/internal/compare"
+	"diversefw/internal/engine"
 	"diversefw/internal/textio"
 )
 
@@ -62,7 +63,9 @@ func run() int {
 		return 2
 	}
 
-	report, err := compare.Diff(pa, pb)
+	// One-shot runs gain nothing from the cache, but going through the
+	// engine keeps the CLI on the same code path the server uses.
+	report, _, err := engine.New(engine.Config{}).DiffPolicies(context.Background(), pa, pb)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fwdiff:", err)
 		return 2

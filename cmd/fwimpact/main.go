@@ -17,12 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"diversefw/internal/cli"
+	"diversefw/internal/engine"
 	"diversefw/internal/impact"
 	"diversefw/internal/ruldiff"
 	"diversefw/internal/rule"
@@ -112,11 +114,14 @@ func run() int {
 		}
 	}
 
-	im, err := impact.Analyze(before, after)
+	// Route the comparison through the engine — same code path as the
+	// server — then derive the impact view from the shared report.
+	report, _, err := engine.New(engine.Config{}).DiffPolicies(context.Background(), before, after)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fwimpact:", err)
 		return 2
 	}
+	im := impact.FromReport(before, after, report)
 	if *showRules {
 		d, err := ruldiff.Compute(before, after)
 		if err != nil {

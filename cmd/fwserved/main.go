@@ -6,19 +6,29 @@
 // Usage:
 //
 //	fwserved [-addr :8080] [-request-timeout 60s] [-drain-timeout 15s]
+//	         [-compile-cache-mb 128] [-report-cache-mb 32]
 //
-// Endpoints (all POST with JSON bodies; see internal/api for the types):
+// Endpoints (see docs/API.md for the full reference):
 //
-//	POST /v1/diff    {"schema":"five","a":"...","b":"..."}
-//	POST /v1/impact  {"schema":"five","before":"...","after":"..."}
-//	POST /v1/resolve {"schema":"five","a":"...","b":"...","decisions":{"1":"discard"}}
-//	POST /v1/audit   {"schema":"five","policy":"...","complete":true}
-//	POST /v1/query   {"schema":"five","policy":"...","query":"select ..."}
-//	GET  /healthz
+//	POST /v1/diff         {"schema":"five","a":"...","b":"..."}
+//	POST /v1/crosscompare {"schema":"five","policies":[{"name":"a","policy":"..."},...]}
+//	POST /v1/impact       {"schema":"five","before":"...","after":"..."}
+//	POST /v1/resolve      {"schema":"five","a":"...","b":"...","decisions":{"1":"discard"}}
+//	POST /v1/audit        {"schema":"five","policy":"...","complete":true}
+//	POST /v1/query        {"schema":"five","policy":"...","query":"select ..."}
+//	GET  /v1/version   build info, schema names, limits, cache stats
+//	GET  /healthz      liveness + cache readiness
 //	GET  /metrics      Prometheus text format: per-endpoint request
-//	                   counts/latency/status, in-flight gauge, and
-//	                   construct/shape/compare phase timings
+//	                   counts/latency/status, in-flight gauge,
+//	                   construct/shape/compare phase timings, and
+//	                   engine cache hit/miss/eviction/resident-bytes
 //	GET  /debug/pprof  runtime profiles (CPU, heap, goroutines, ...)
+//
+// All analysis requests run through a content-addressed compilation
+// cache (internal/engine): repeated policies are parsed and constructed
+// once, repeated pairs are compared once, and concurrent identical
+// requests are deduplicated. -compile-cache-mb and -report-cache-mb
+// bound the two caches' resident memory.
 //
 // Every request is access-logged (structured, one line per request) and
 // runs under panic recovery (a bug yields a 500, not a dropped
@@ -46,6 +56,7 @@ import (
 	"time"
 
 	"diversefw/internal/api"
+	"diversefw/internal/engine"
 	"diversefw/internal/metrics"
 )
 
@@ -60,8 +71,12 @@ func run(args []string) int {
 		"per-request pipeline deadline (0 disables); timed-out requests get 503")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second,
 		"how long graceful shutdown waits for in-flight requests")
+	compileCacheMB := fs.Int64("compile-cache-mb", engine.DefaultCompileCacheBytes>>20,
+		"compiled-policy (FDD) cache budget in MiB")
+	reportCacheMB := fs.Int64("report-cache-mb", engine.DefaultReportCacheBytes>>20,
+		"pairwise comparison-report cache budget in MiB")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d]")
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +85,13 @@ func run(args []string) int {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	reg := metrics.NewRegistry()
+	eng := engine.New(engine.Config{
+		CompileCacheBytes: *compileCacheMB << 20,
+		ReportCacheBytes:  *reportCacheMB << 20,
+		Metrics:           reg,
+	})
 	handler := api.NewServer(
+		api.WithEngine(eng),
 		api.WithMetrics(reg),
 		api.WithLogger(logger),
 		api.WithRequestTimeout(*requestTimeout),

@@ -10,6 +10,7 @@ import (
 
 	"diversefw/internal/anomaly"
 	"diversefw/internal/compare"
+	"diversefw/internal/engine"
 	"diversefw/internal/field"
 	"diversefw/internal/impact"
 	"diversefw/internal/rule"
@@ -41,6 +42,9 @@ type DiffResponse struct {
 	ConstructMillis float64 `json:"constructMillis"`
 	ShapeMillis     float64 `json:"shapeMillis"`
 	CompareMillis   float64 `json:"compareMillis"`
+	// Cached reports that the result was served from the engine's report
+	// cache; the timings then describe the run that produced it.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ImpactRequest asks for the functional impact of a policy change. The
@@ -128,9 +132,128 @@ type QueryResponse struct {
 	Empty  bool   `json:"empty"`
 }
 
-// Error is the JSON error body for non-2xx responses.
+// NamedPolicy is one entry of a cross-comparison: a policy in the rule
+// text format under a caller-chosen name the response refers back to.
+type NamedPolicy struct {
+	// Name identifies the policy in the response; defaults to "policyN"
+	// (1-based position) when empty. Names must be unique.
+	Name   string `json:"name,omitempty"`
+	Policy string `json:"policy"`
+}
+
+// CrossCompareRequest asks for the pairwise discrepancy matrix of N
+// policies over one schema (the paper's N-team cross comparison).
+type CrossCompareRequest struct {
+	Schema   string        `json:"schema"`
+	Policies []NamedPolicy `json:"policies"`
+}
+
+// CrossPair is one cell of the discrepancy matrix: the comparison of
+// policies A and B (by name), in deterministic pair order.
+type CrossPair struct {
+	A             string        `json:"a"`
+	B             string        `json:"b"`
+	Equivalent    bool          `json:"equivalent"`
+	Discrepancies []Discrepancy `json:"discrepancies,omitempty"`
+}
+
+// CrossCompareResponse reports the full matrix.
+type CrossCompareResponse struct {
+	// Policies lists the resolved names in request order.
+	Policies []string `json:"policies"`
+	// Pairs holds the N*(N-1)/2 comparisons ordered by (i, j).
+	Pairs         []CrossPair `json:"pairs"`
+	AllEquivalent bool        `json:"allEquivalent"`
+	// ElapsedMillis is the server-side wall time for compiling and
+	// comparing, cache hits included.
+	ElapsedMillis float64 `json:"elapsedMillis"`
+}
+
+// Limits describes the server's request bounds (see /v1/version).
+type Limits struct {
+	MaxBodyBytes         int64 `json:"maxBodyBytes"`
+	MaxCrossPolicies     int   `json:"maxCrossPolicies"`
+	RequestTimeoutMillis int64 `json:"requestTimeoutMillis,omitempty"`
+}
+
+// VersionResponse is the GET /v1/version introspection document.
+type VersionResponse struct {
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS revision baked into the binary, when known.
+	Revision string   `json:"revision,omitempty"`
+	Schemas  []string `json:"schemas"`
+	Limits   Limits   `json:"limits"`
+	// Cache is the engine's cache/singleflight snapshot.
+	Cache engine.Stats `json:"cache"`
+}
+
+// CacheHealth is the cache readiness section of GET /healthz.
+type CacheHealth struct {
+	Ready          bool  `json:"ready"`
+	CompileEntries int   `json:"compileEntries"`
+	ReportEntries  int   `json:"reportEntries"`
+	ResidentBytes  int64 `json:"residentBytes"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status string      `json:"status"`
+	Cache  CacheHealth `json:"cache"`
+}
+
+// Machine-readable error codes carried in ErrorDetail.Code. These are
+// part of the v1 contract: clients switch on the code, the message is
+// for humans and may change.
+const (
+	// CodeBadRequest: malformed request (bad JSON, wrong method target,
+	// invalid parameters).
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed: wrong HTTP method; the Allow header lists the
+	// accepted one.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodePayloadTooLarge: request body exceeded the size limit.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeUnknownSchema: the schema name is not one the server knows.
+	CodeUnknownSchema = "unknown_schema"
+	// CodeUnparseablePolicy: a policy (or edit/query) failed to parse.
+	CodeUnparseablePolicy = "unparseable_policy"
+	// CodeIncompletePolicy: a policy parsed but is not comprehensive —
+	// some packet matches no rule, so no FDD exists for it.
+	CodeIncompletePolicy = "incomplete_policy"
+	// CodeTooManyPolicies: a cross-compare request exceeded the policy
+	// count limit.
+	CodeTooManyPolicies = "too_many_policies"
+	// CodeUnprocessable: well-formed input the analysis rejects for
+	// another semantic reason.
+	CodeUnprocessable = "unprocessable"
+	// CodeTimeout: the server's request timeout elapsed mid-analysis.
+	CodeTimeout = "timeout"
+	// CodeClientClosed: the client disconnected before the answer (the
+	// status is the nginx 499 convention; only logs/metrics see it).
+	CodeClientClosed = "client_closed"
+	// CodeInternal: a server-side failure (recovered panic).
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the machine-readable error object.
+type ErrorDetail struct {
+	// Code is one of the Code* constants.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RequestID echoes the X-Request-ID the response carries.
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// Error is the JSON error body for non-2xx responses:
+// {"error": {"code": ..., "message": ...}, "message": ...}.
 type Error struct {
-	Message string `json:"error"`
+	Err ErrorDetail `json:"error"`
+	// Message duplicates Err.Message at the top level for clients of the
+	// pre-envelope contract ({"error": "<message>"} readers break either
+	// way, but one-field "message" readers keep working).
+	//
+	// Deprecated: read Err.Message; this alias goes away next release.
+	Message string `json:"message"`
 }
 
 // ConvertDiscrepancy renders a pipeline discrepancy into wire form.

@@ -2,6 +2,8 @@ package api
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"diversefw/internal/compare"
+	"diversefw/internal/engine"
 	"diversefw/internal/metrics"
 )
 
@@ -24,6 +27,7 @@ type Option func(*Server)
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(s *Server) {
 		s.inst = newInstruments(reg)
+		s.metricsReg = reg
 		s.metricsHandler = reg.Handler()
 	}
 }
@@ -41,6 +45,13 @@ func WithLogger(l *slog.Logger) Option {
 // holding a connection forever. Zero or negative disables the bound.
 func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.timeout = d }
+}
+
+// WithEngine makes the server use the given engine instead of building a
+// default one — the way to share caches with other components, size them
+// (engine.Config), and hook the engine into the metrics registry.
+func WithEngine(eng *engine.Engine) Option {
+	return func(s *Server) { s.eng = eng }
 }
 
 // instruments holds the serving-path metrics; nil when no registry was
@@ -106,14 +117,52 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.Handle(pattern, s.wrap(pattern, h))
 }
 
+// maxRequestIDLen bounds accepted client request IDs; longer (or
+// non-printable) values are replaced with a generated one so logs and
+// headers stay clean.
+const maxRequestIDLen = 128
+
+// requestID returns the client's X-Request-ID when acceptable, otherwise
+// a fresh one. IDs are opaque tokens for correlating a response with
+// logs; only obviously hostile values (empty, oversized, control bytes)
+// are rejected.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > maxRequestIDLen {
+		return newRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7e { // no spaces, controls, or non-ASCII
+			return newRequestID()
+		}
+	}
+	return id
+}
+
+// newRequestID generates a 16-hex-digit random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; IDs are best-effort.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // wrap is the middleware chain every endpoint runs under: request
-// timeout (context deadline), in-flight gauge, panic recovery (500
-// instead of a dropped connection), request count/latency metrics, and
-// one structured access-log record. pattern is used as the metric label
-// so per-request paths cannot explode the label space.
+// identity (X-Request-ID accepted or generated, echoed on the response),
+// request timeout (context deadline), in-flight gauge, panic recovery
+// (500 instead of a dropped connection), request count/latency metrics,
+// and one structured access-log record. pattern is used as the metric
+// label so per-request paths cannot explode the label space.
 func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// The ID goes onto the response header before the handler runs:
+		// error envelopes read it back from there, and it is echoed even
+		// when the handler panics.
+		reqID := requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
 		if s.timeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 			defer cancel()
@@ -130,9 +179,11 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 					s.inst.panics.Inc()
 				}
 				s.log.Error("panic in handler",
-					"path", pattern, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+					"path", pattern, "requestId", reqID,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				if sw.status == 0 {
-					writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+					writeError(sw, http.StatusInternalServerError, CodeInternal,
+						fmt.Errorf("internal server error"))
 				}
 			}
 			status := sw.status
@@ -148,6 +199,7 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 				"method", r.Method,
 				"path", pattern,
 				"status", status,
+				"requestId", reqID,
 				"durationMs", float64(elapsed.Microseconds())/1000,
 				"bytes", sw.bytes,
 				"remote", r.RemoteAddr)

@@ -147,10 +147,21 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("metrics output missing %q:\n%s", want, out)
 		}
 	}
-	// diff + impact + resolve each ran the pipeline once: three
-	// observations per phase.
-	if !strings.Contains(out, `fwserved_pipeline_phase_seconds_count{phase="construct"} 3`) {
+	// diff ran the pipeline; impact asked for the same (teamA, teamB)
+	// pair and was served from the engine's report cache (no second
+	// observation — cached timings must not double-count); resolve's
+	// (teamA, teamA) pair ran the pipeline again. Two observations.
+	if !strings.Contains(out, `fwserved_pipeline_phase_seconds_count{phase="construct"} 2`) {
 		t.Fatalf("construct phase count wrong:\n%s", out)
+	}
+	// The engine's own families are exported through the same registry.
+	for _, want := range []string{
+		`fwengine_cache_hits_total{cache="report"} 1`,
+		`fwengine_compilations_total`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
 	}
 }
 

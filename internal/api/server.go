@@ -8,13 +8,17 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"diversefw/internal/anomaly"
-	"diversefw/internal/compare"
+	"diversefw/internal/engine"
+	"diversefw/internal/fdd"
 	"diversefw/internal/field"
 	"diversefw/internal/impact"
+	"diversefw/internal/metrics"
 	"diversefw/internal/query"
 	"diversefw/internal/redundancy"
 	"diversefw/internal/resolve"
@@ -25,23 +29,35 @@ import (
 // paper discusses (a few thousand rules) fit comfortably.
 const maxBodyBytes = 4 << 20
 
+// maxCrossPolicies bounds one cross-comparison: N policies cost
+// N*(N-1)/2 pairwise pipelines, so the limit is deliberately small.
+const maxCrossPolicies = 16
+
 // statusClientClosedRequest is the nginx convention for "the client went
 // away before we could answer"; it only ever shows up in metrics and
 // logs, never on the wire.
 const statusClientClosedRequest = 499
 
-// Server exposes the analyses over HTTP with JSON bodies.
+// schemaNames are the wire schema names, in the order /v1/version lists
+// them (see schemaByName).
+var schemaNames = []string{"five", "four", "paper"}
+
+// Server exposes the analyses over HTTP with JSON bodies. All analysis
+// work goes through an engine, so repeated policies are compiled once and
+// repeated pairs are compared once.
 type Server struct {
 	mux            *http.ServeMux
 	log            *slog.Logger
 	timeout        time.Duration
+	eng            *engine.Engine
 	inst           *instruments
+	metricsReg     *metrics.Registry
 	metricsHandler http.Handler
 }
 
-// NewServer builds the handler tree. With no options the server is bare:
-// no metrics, no logging, no request timeout — see WithMetrics,
-// WithLogger, and WithRequestTimeout.
+// NewServer builds the handler tree. With no options the server is bare —
+// no metrics, no logging, no request timeout, a default-sized engine —
+// see WithMetrics, WithLogger, WithRequestTimeout, and WithEngine.
 func NewServer(opts ...Option) *Server {
 	s := &Server{
 		mux: http.NewServeMux(),
@@ -50,8 +66,15 @@ func NewServer(opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.eng == nil {
+		// A caller-provided engine brings its own metrics wiring (or none);
+		// the default one joins the server's registry when there is one.
+		s.eng = engine.New(engine.Config{Metrics: s.metricsReg})
+	}
 	s.handle("/healthz", s.health)
+	s.handle("/v1/version", s.version)
 	s.handle("/v1/diff", s.diff)
+	s.handle("/v1/crosscompare", s.crossCompare)
 	s.handle("/v1/impact", s.impact)
 	s.handle("/v1/audit", s.audit)
 	s.handle("/v1/query", s.query)
@@ -67,8 +90,60 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 var _ http.Handler = (*Server)(nil)
 
-func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// Engine returns the server's engine (for stats in tests and tooling).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// requireGet guards the read-only endpoints the way decodeInto guards
+// the POST ones.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Cache: CacheHealth{
+			Ready:          true,
+			CompileEntries: st.Compile.Entries,
+			ReportEntries:  st.Reports.Entries,
+			ResidentBytes:  st.Compile.Bytes + st.Reports.Bytes,
+		},
+	})
+}
+
+func (s *Server) version(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	resp := VersionResponse{
+		GoVersion: runtime.Version(),
+		Schemas:   schemaNames,
+		Limits: Limits{
+			MaxBodyBytes:     maxBodyBytes,
+			MaxCrossPolicies: maxCrossPolicies,
+		},
+		Cache: s.eng.Stats(),
+	}
+	if s.timeout > 0 {
+		resp.Limits.RequestTimeoutMillis = s.timeout.Milliseconds()
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // decodeInto reads a JSON request body: POST only (405 carries the
@@ -78,7 +153,7 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 func decodeInto(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -103,26 +178,29 @@ func decodeInto(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 func writeBodyError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 			fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
 		return
 	}
-	writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+	writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad request body: %v", err))
 }
 
 // writeAnalysisError maps a pipeline error to a response. Cancellation
 // and deadline errors come out of the pipeline when the request context
-// dies (client disconnect or WithRequestTimeout); everything else is a
-// semantic error in otherwise well-formed input.
+// dies (client disconnect or WithRequestTimeout); a non-comprehensive
+// policy gets its own code (it parses fine but has no FDD); everything
+// else is a semantic error in otherwise well-formed input.
 func writeAnalysisError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request timed out"))
+		writeError(w, http.StatusServiceUnavailable, CodeTimeout, fmt.Errorf("request timed out"))
 	case errors.Is(err, context.Canceled):
 		// The client is gone; the status only feeds metrics and logs.
-		writeError(w, statusClientClosedRequest, err)
+		writeError(w, statusClientClosedRequest, CodeClientClosed, err)
+	case errors.Is(err, fdd.ErrIncomplete):
+		writeError(w, http.StatusUnprocessableEntity, CodeIncompletePolicy, err)
 	default:
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 	}
 }
 
@@ -155,26 +233,113 @@ func (s *Server) diff(w http.ResponseWriter, r *http.Request) {
 	}
 	schema, err := schemaByName(req.Schema)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
 	pa, err := parsePolicy(schema, req.A, "policy a")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 		return
 	}
 	pb, err := parsePolicy(schema, req.B, "policy b")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 		return
 	}
-	report, err := compare.DiffContext(r.Context(), pa, pb)
+	report, stats, err := s.eng.DiffPolicies(r.Context(), pa, pb)
 	if err != nil {
 		writeAnalysisError(w, err)
 		return
 	}
-	s.observeTiming(report.Timing)
-	writeJSON(w, http.StatusOK, ConvertReport(schema, report))
+	if !stats.ReportCached {
+		// Cached reports carry the timings of the run that produced them;
+		// feeding those into the phase histograms again would double-count.
+		s.observeTiming(report.Timing)
+	}
+	resp := ConvertReport(schema, report)
+	resp.Cached = stats.ReportCached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) crossCompare(w http.ResponseWriter, r *http.Request) {
+	var req CrossCompareRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
+		return
+	}
+	if len(req.Policies) < 2 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("need at least 2 policies, got %d", len(req.Policies)))
+		return
+	}
+	if len(req.Policies) > maxCrossPolicies {
+		writeError(w, http.StatusBadRequest, CodeTooManyPolicies,
+			fmt.Errorf("at most %d policies per cross-comparison, got %d", maxCrossPolicies, len(req.Policies)))
+		return
+	}
+	names := make([]string, len(req.Policies))
+	seen := make(map[string]bool, len(req.Policies))
+	policies := make([]*rule.Policy, len(req.Policies))
+	for i, np := range req.Policies {
+		name := np.Name
+		if name == "" {
+			name = fmt.Sprintf("policy%d", i+1)
+		}
+		if seen[name] {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("duplicate policy name %q", name))
+			return
+		}
+		seen[name] = true
+		names[i] = name
+		p, err := parsePolicy(schema, np.Policy, fmt.Sprintf("policy %q", name))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+			return
+		}
+		policies[i] = p
+	}
+
+	start := time.Now()
+	compiled := make([]*engine.Compiled, len(policies))
+	for i, p := range policies {
+		c, _, err := s.eng.Compile(r.Context(), p)
+		if err != nil {
+			writeAnalysisError(w, fmt.Errorf("policy %q: %w", names[i], err))
+			return
+		}
+		compiled[i] = c
+	}
+	pairs, err := s.eng.CrossCompare(r.Context(), compiled)
+	if err != nil {
+		writeAnalysisError(w, err)
+		return
+	}
+	resp := CrossCompareResponse{
+		Policies:      names,
+		Pairs:         make([]CrossPair, 0, len(pairs)),
+		AllEquivalent: true,
+		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, pr := range pairs {
+		cell := CrossPair{
+			A:          names[pr.I],
+			B:          names[pr.J],
+			Equivalent: pr.Report.Equivalent(),
+		}
+		for _, d := range pr.Report.Discrepancies {
+			cell.Discrepancies = append(cell.Discrepancies, ConvertDiscrepancy(schema, d))
+		}
+		if !cell.Equivalent {
+			resp.AllEquivalent = false
+		}
+		resp.Pairs = append(resp.Pairs, cell)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
@@ -184,23 +349,24 @@ func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
 	}
 	schema, err := schemaByName(req.Schema)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
 	before, err := parsePolicy(schema, req.Before, "before")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 		return
 	}
 	if (req.After != "") == (len(req.Edits) > 0) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("provide exactly one of after and edits"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("provide exactly one of after and edits"))
 		return
 	}
 	var after *rule.Policy
 	if req.After != "" {
 		after, err = parsePolicy(schema, req.After, "after")
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 			return
 		}
 	} else {
@@ -208,24 +374,27 @@ func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
 		for i, line := range req.Edits {
 			e, err := impact.ParseEdit(schema, line)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("edit %d: %v", i+1, err))
+				writeError(w, http.StatusBadRequest, CodeUnparseablePolicy,
+					fmt.Errorf("edit %d: %v", i+1, err))
 				return
 			}
 			edits = append(edits, e)
 		}
 		after, err = impact.Apply(before, edits)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 			return
 		}
 	}
-	im, err := impact.AnalyzeContext(r.Context(), before, after)
+	report, stats, err := s.eng.DiffPolicies(r.Context(), before, after)
 	if err != nil {
 		writeAnalysisError(w, err)
 		return
 	}
-	s.observeTiming(im.Report.Timing)
-	writeJSON(w, http.StatusOK, ConvertImpact(im))
+	if !stats.ReportCached {
+		s.observeTiming(report.Timing)
+	}
+	writeJSON(w, http.StatusOK, ConvertImpact(impact.FromReport(before, after, report)))
 }
 
 func (s *Server) audit(w http.ResponseWriter, r *http.Request) {
@@ -235,12 +404,12 @@ func (s *Server) audit(w http.ResponseWriter, r *http.Request) {
 	}
 	schema, err := schemaByName(req.Schema)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
 	p, err := parsePolicy(schema, req.Policy, "policy")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 		return
 	}
 
@@ -248,7 +417,7 @@ func (s *Server) audit(w http.ResponseWriter, r *http.Request) {
 
 	shadowed, err := anomaly.CompletelyShadowed(p)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 		return
 	}
 	for _, i := range shadowed {
@@ -262,7 +431,7 @@ func (s *Server) audit(w http.ResponseWriter, r *http.Request) {
 	if req.Complete {
 		_, removed, err := redundancy.RemoveAll(p)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 			return
 		}
 		for _, i := range removed {
@@ -283,22 +452,22 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	}
 	schema, err := schemaByName(req.Schema)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
 	p, err := parsePolicy(schema, req.Policy, "policy")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 		return
 	}
 	q, err := query.Parse(schema, req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	result, err := query.RunPolicy(p, q)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 		return
 	}
 	resp := QueryResponse{Empty: result.Empty()}
@@ -338,38 +507,44 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) {
 	}
 	schema, err := schemaByName(req.Schema)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
 	pa, err := parsePolicy(schema, req.A, "policy a")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 		return
 	}
 	pb, err := parsePolicy(schema, req.B, "policy b")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 		return
 	}
 	decisions, err := parseDecisions(req.Decisions)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	plan, err := resolve.NewPlanContext(r.Context(), pa, pb)
+	// Going through the engine means the same cached report backs
+	// /v1/diff and /v1/resolve for one pair, so the 1-based row numbers
+	// clients took from the diff stay valid here.
+	report, stats, err := s.eng.DiffPolicies(r.Context(), pa, pb)
 	if err != nil {
 		writeAnalysisError(w, err)
 		return
 	}
-	s.observeTiming(plan.Report.Timing)
+	if !stats.ReportCached {
+		s.observeTiming(report.Timing)
+	}
+	plan := resolve.NewPlanFromReport(pa, pb, report)
 	for row, dec := range decisions {
 		if err := plan.Resolve(row-1, dec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
 	}
 	if !plan.Resolved() {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Errorf("%d discrepancies, not all resolved", len(plan.Report.Discrepancies)))
 		return
 	}
@@ -382,15 +557,15 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) {
 	case "b":
 		final, err = plan.Method2(false)
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown method %q", req.Method))
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 		return
 	}
 	if err := plan.Verify(final); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ResolveResponse{
@@ -407,6 +582,14 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, Error{Message: err.Error()})
+// writeError emits the v1 error envelope. The request ID was stamped
+// onto the response headers by the middleware before the handler ran, so
+// it is read back from there.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	detail := ErrorDetail{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: w.Header().Get("X-Request-ID"),
+	}
+	writeJSON(w, status, Error{Err: detail, Message: detail.Message})
 }

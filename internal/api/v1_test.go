@@ -1,0 +1,367 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// errorBody decodes the v1 error envelope from a recorder.
+func errorBody(t *testing.T, rec *httptest.ResponseRecorder) Error {
+	t.Helper()
+	var e Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("decode error body: %v\n%s", err, rec.Body.String())
+	}
+	return e
+}
+
+// doRec posts a JSON body and returns the raw recorder.
+func doRec(t *testing.T, srv http.Handler, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestCrossCompareEndpoint(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+	var resp CrossCompareResponse
+	code := do(t, srv, "/v1/crosscompare", CrossCompareRequest{
+		Schema: "paper",
+		Policies: []NamedPolicy{
+			{Name: "teamA", Policy: teamA},
+			{Name: "teamB", Policy: teamB},
+			{Policy: teamA}, // unnamed: defaults to policy3
+		},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if want := []string{"teamA", "teamB", "policy3"}; strings.Join(resp.Policies, ",") != strings.Join(want, ",") {
+		t.Fatalf("policies = %v, want %v", resp.Policies, want)
+	}
+	if len(resp.Pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(resp.Pairs))
+	}
+	if resp.AllEquivalent {
+		t.Fatal("teamA and teamB differ")
+	}
+	// Deterministic (i, j) order; the identical pair reports equivalent.
+	byName := map[string]CrossPair{}
+	for _, p := range resp.Pairs {
+		byName[p.A+"|"+p.B] = p
+	}
+	if p, ok := byName["teamA|policy3"]; !ok || !p.Equivalent {
+		t.Fatalf("teamA vs its copy should be equivalent: %+v", resp.Pairs)
+	}
+	if p, ok := byName["teamA|teamB"]; !ok || p.Equivalent || len(p.Discrepancies) != 3 {
+		t.Fatalf("teamA vs teamB should show the 3 Table-3 rows: %+v", p)
+	}
+
+	// The acceptance criterion: N policies, exactly N compilations — two
+	// distinct policies here, since the third is a content-address twin
+	// of the first, which is better than N.
+	if got := srv.Engine().Stats().Compilations; got != 2 {
+		t.Fatalf("compilations = %d, want 2 (one per distinct policy)", got)
+	}
+
+	// Three distinct policies through a fresh server: exactly 3.
+	srv2 := NewServer()
+	code = do(t, srv2, "/v1/crosscompare", CrossCompareRequest{
+		Schema: "paper",
+		Policies: []NamedPolicy{
+			{Name: "a", Policy: teamA},
+			{Name: "b", Policy: teamB},
+			{Name: "c", Policy: "any -> discard\n"},
+		},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if got := srv2.Engine().Stats().Compilations; got != 3 {
+		t.Fatalf("compilations = %d, want exactly N = 3", got)
+	}
+}
+
+func TestCrossCompareErrors(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+
+	rec := doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
+		Schema:   "paper",
+		Policies: []NamedPolicy{{Policy: teamA}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("one policy: status = %d", rec.Code)
+	}
+	if e := errorBody(t, rec); e.Err.Code != CodeBadRequest {
+		t.Fatalf("one policy: code = %q", e.Err.Code)
+	}
+
+	many := make([]NamedPolicy, maxCrossPolicies+1)
+	for i := range many {
+		many[i] = NamedPolicy{Policy: teamA}
+	}
+	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{Schema: "paper", Policies: many})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("too many: status = %d", rec.Code)
+	}
+	if e := errorBody(t, rec); e.Err.Code != CodeTooManyPolicies {
+		t.Fatalf("too many: code = %q", e.Err.Code)
+	}
+
+	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
+		Schema:   "paper",
+		Policies: []NamedPolicy{{Name: "x", Policy: teamA}, {Name: "x", Policy: teamB}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate names: status = %d", rec.Code)
+	}
+
+	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
+		Schema:   "paper",
+		Policies: []NamedPolicy{{Policy: teamA}, {Policy: "zork"}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unparseable: status = %d", rec.Code)
+	}
+	if e := errorBody(t, rec); e.Err.Code != CodeUnparseablePolicy {
+		t.Fatalf("unparseable: code = %q", e.Err.Code)
+	}
+
+	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
+		Schema:   "paper",
+		Policies: []NamedPolicy{{Policy: teamA}, {Policy: "I in 0 -> accept\n"}},
+	})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("incomplete: status = %d", rec.Code)
+	}
+	if e := errorBody(t, rec); e.Err.Code != CodeIncompletePolicy {
+		t.Fatalf("incomplete: code = %q", e.Err.Code)
+	}
+
+	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{Schema: "warp"})
+	if e := errorBody(t, rec); rec.Code != http.StatusBadRequest || e.Err.Code != CodeUnknownSchema {
+		t.Fatalf("unknown schema: status = %d code = %q", rec.Code, e.Err.Code)
+	}
+}
+
+// TestErrorEnvelope pins the v1 error contract: every non-2xx body
+// carries error.code + error.message, plus the deprecated top-level
+// message alias, plus the request ID.
+func TestErrorEnvelope(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+
+	cases := []struct {
+		name       string
+		path       string
+		body       interface{}
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown schema", "/v1/diff", DiffRequest{Schema: "warp", A: teamA, B: teamB}, 400, CodeUnknownSchema},
+		{"unparseable", "/v1/diff", DiffRequest{Schema: "paper", A: "zork", B: teamB}, 400, CodeUnparseablePolicy},
+		{"incomplete", "/v1/diff", DiffRequest{Schema: "paper", A: "I in 0 -> accept\n", B: teamB}, 422, CodeIncompletePolicy},
+		{"bad impact request", "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA}, 400, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		rec := doRec(t, srv, tc.path, tc.body)
+		if rec.Code != tc.wantStatus {
+			t.Fatalf("%s: status = %d, want %d", tc.name, rec.Code, tc.wantStatus)
+		}
+		e := errorBody(t, rec)
+		if e.Err.Code != tc.wantCode {
+			t.Fatalf("%s: code = %q, want %q", tc.name, e.Err.Code, tc.wantCode)
+		}
+		if e.Err.Message == "" {
+			t.Fatalf("%s: empty error.message", tc.name)
+		}
+		if e.Message != e.Err.Message {
+			t.Fatalf("%s: top-level alias %q != error.message %q", tc.name, e.Message, e.Err.Message)
+		}
+		if e.Err.RequestID == "" {
+			t.Fatalf("%s: error envelope missing requestId", tc.name)
+		}
+	}
+
+	// Method and body-shape errors carry codes too.
+	req := httptest.NewRequest(http.MethodGet, "/v1/diff", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if e := errorBody(t, rec); e.Err.Code != CodeMethodNotAllowed {
+		t.Fatalf("405 code = %q", e.Err.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/v1/diff", strings.NewReader("{"))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if e := errorBody(t, rec); e.Err.Code != CodeBadRequest {
+		t.Fatalf("bad JSON code = %q", e.Err.Code)
+	}
+	body := `{"a":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`
+	rec = post(srv, "/v1/diff", body)
+	if e := errorBody(t, rec); rec.Code != http.StatusRequestEntityTooLarge || e.Err.Code != CodePayloadTooLarge {
+		t.Fatalf("413 status = %d code = %q", rec.Code, e.Err.Code)
+	}
+}
+
+func TestRequestIDEchoAndGenerate(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+
+	// A well-formed client ID is echoed, on success and on error.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-id-42")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "client-id-42" {
+		t.Fatalf("echoed ID = %q", got)
+	}
+	raw, _ := json.Marshal(DiffRequest{Schema: "warp"})
+	req = httptest.NewRequest(http.MethodPost, "/v1/diff", bytes.NewReader(raw))
+	req.Header.Set("X-Request-ID", "client-id-42")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "client-id-42" {
+		t.Fatalf("echoed ID on error = %q", got)
+	}
+	if e := errorBody(t, rec); e.Err.RequestID != "client-id-42" {
+		t.Fatalf("envelope requestId = %q", e.Err.RequestID)
+	}
+
+	// Absent or hostile IDs are replaced with generated ones.
+	for _, id := range []string{"", "has space", strings.Repeat("x", 500), "ctl\x01char"} {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		if id != "" {
+			req.Header.Set("X-Request-ID", id)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		got := rec.Header().Get("X-Request-ID")
+		if len(got) != 16 || got == id {
+			t.Fatalf("ID %q: generated ID = %q, want 16 hex chars", id, got)
+		}
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	t.Parallel()
+	srv := NewServer(WithRequestTimeout(2500 * time.Millisecond))
+	req := httptest.NewRequest(http.MethodGet, "/v1/version", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp VersionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.GoVersion == "" {
+		t.Fatal("goVersion missing")
+	}
+	if strings.Join(resp.Schemas, ",") != "five,four,paper" {
+		t.Fatalf("schemas = %v", resp.Schemas)
+	}
+	if resp.Limits.MaxBodyBytes != maxBodyBytes || resp.Limits.MaxCrossPolicies != maxCrossPolicies {
+		t.Fatalf("limits = %+v", resp.Limits)
+	}
+	if resp.Limits.RequestTimeoutMillis != 2500 {
+		t.Fatalf("requestTimeoutMillis = %d", resp.Limits.RequestTimeoutMillis)
+	}
+
+	// POST is rejected with the right Allow header.
+	rec = post(srv, "/v1/version", "{}")
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != http.MethodGet {
+		t.Fatalf("POST: status = %d Allow = %q", rec.Code, rec.Header().Get("Allow"))
+	}
+}
+
+func TestHealthzReportsCacheReadiness(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+	get := func() HealthResponse {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		var resp HealthResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	h := get()
+	if h.Status != "ok" || !h.Cache.Ready {
+		t.Fatalf("health = %+v", h)
+	}
+	// After a diff the caches hold the compiled pair and its report.
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, nil); code != http.StatusOK {
+		t.Fatalf("diff status = %d", code)
+	}
+	h = get()
+	if h.Cache.CompileEntries != 2 || h.Cache.ReportEntries != 1 || h.Cache.ResidentBytes <= 0 {
+		t.Fatalf("post-diff health = %+v", h.Cache)
+	}
+}
+
+// TestDiffEndpointCachedFlag: a repeated pair is served from the report
+// cache and says so on the wire.
+func TestDiffEndpointCachedFlag(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+	var first, second DiffResponse
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &first); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first diff cannot be cached")
+	}
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &second); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !second.Cached {
+		t.Fatal("second diff should be served from the report cache")
+	}
+	if len(second.Discrepancies) != len(first.Discrepancies) {
+		t.Fatalf("cached diff differs: %d vs %d rows", len(second.Discrepancies), len(first.Discrepancies))
+	}
+}
+
+// TestResolveRowOrderMatchesDiff: because /v1/diff and /v1/resolve share
+// the cached report, the 1-based rows a client reads from the diff are
+// the rows resolve expects.
+func TestResolveRowOrderMatchesDiff(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+	var dr DiffResponse
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &dr); code != http.StatusOK {
+		t.Fatalf("diff status = %d", code)
+	}
+	decisions := map[string]string{}
+	for i := range dr.Discrepancies {
+		decisions[itoa(i+1)] = "discard"
+	}
+	var rr ResolveResponse
+	if code := do(t, srv, "/v1/resolve", ResolveRequest{
+		Schema: "paper", A: teamA, B: teamB, Decisions: decisions,
+	}, &rr); code != http.StatusOK {
+		t.Fatalf("resolve status = %d", code)
+	}
+	if rr.Rows != len(dr.Discrepancies) {
+		t.Fatalf("resolve rows = %d, diff rows = %d", rr.Rows, len(dr.Discrepancies))
+	}
+}

@@ -123,15 +123,35 @@ func DiffContext(ctx context.Context, pa, pb *rule.Policy) (*Report, error) {
 // DiffFDDs runs shaping and comparison on two already-constructed FDDs.
 // Useful when one version was designed directly as an FDD (Section 7.2).
 func DiffFDDs(fa, fb *fdd.FDD) (*Report, error) {
+	return DiffFDDsContext(context.Background(), fa, fb)
+}
+
+// DiffFDDsContext is DiffFDDs with cancellation (see DiffContext). It is
+// the pipeline entry for callers that cache constructed FDDs: shaping
+// deep-copies its inputs, so fa and fb come back untouched and can be
+// reused across calls.
+func DiffFDDsContext(ctx context.Context, fa, fb *fdd.FDD) (*Report, error) {
+	if !fa.Schema.Equal(fb.Schema) {
+		return nil, fmt.Errorf("compare: schemas differ")
+	}
+	if err := checkFDDDecisionRange(fa); err != nil {
+		return nil, err
+	}
+	if err := checkFDDDecisionRange(fb); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	sa, sb, err := shape.MakeSemiIsomorphic(fa, fb)
+	sa, sb, err := shape.MakeSemiIsomorphicContext(ctx, fa, fb)
 	if err != nil {
 		return nil, err
 	}
 	tShape := time.Since(start)
 
 	start = time.Now()
-	report := CompareSemiIsomorphic(sa, sb)
+	report, err := CompareSemiIsomorphicContext(ctx, sa, sb)
+	if err != nil {
+		return nil, err
+	}
 	report.Timing = Timing{Shape: tShape, Compare: time.Since(start)}
 	return report, nil
 }
@@ -150,6 +170,33 @@ func checkDecisionRange(p *rule.Policy) error {
 		}
 	}
 	return nil
+}
+
+// checkFDDDecisionRange is checkDecisionRange for an already-constructed
+// diagram: every terminal's decision must fit the pair encoding.
+func checkFDDDecisionRange(f *fdd.FDD) error {
+	seen := make(map[*fdd.Node]bool)
+	var walk func(n *fdd.Node) error
+	walk = func(n *fdd.Node) error {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		if n.IsTerminal() {
+			if n.Decision >= 1<<pairShift {
+				return fmt.Errorf("compare: decision %d exceeds the supported range (< %d)",
+					int(n.Decision), 1<<pairShift)
+			}
+			return nil
+		}
+		for _, e := range n.Edges {
+			if err := walk(e.To); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(f.Root)
 }
 
 // CompareSemiIsomorphic implements the comparison algorithm of Section 5:
@@ -433,10 +480,22 @@ func CrossCompare(policies []*rule.Policy) ([]PairReport, error) {
 // starts once ctx is canceled, running pairs abort mid-pipeline (see
 // DiffContext), and the first error — a wrapped ctx.Err() — is returned.
 func CrossCompareContext(ctx context.Context, policies []*rule.Policy) ([]PairReport, error) {
+	return CrossCompareFunc(ctx, len(policies), func(ctx context.Context, i, j int) (*Report, error) {
+		return DiffContext(ctx, policies[i], policies[j])
+	})
+}
+
+// CrossCompareFunc runs diff over every pair (i, j) with i < j among n
+// items and returns the n*(n-1)/2 reports in deterministic (i, j) order.
+// It owns the scheduling — a GOMAXPROCS-bounded worker pool, no new pair
+// once ctx dies — while the caller owns the comparison itself, which is
+// how a caching layer substitutes memoized reports without reimplementing
+// the fan-out.
+func CrossCompareFunc(ctx context.Context, n int, diff func(ctx context.Context, i, j int) (*Report, error)) ([]PairReport, error) {
 	type pair struct{ i, j int }
 	var pairs []pair
-	for i := 0; i < len(policies); i++ {
-		for j := i + 1; j < len(policies); j++ {
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
 			pairs = append(pairs, pair{i, j})
 		}
 	}
@@ -459,7 +518,7 @@ func CrossCompareContext(ctx context.Context, policies []*rule.Policy) ([]PairRe
 		go func(k int, pr pair) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := DiffContext(ctx, policies[pr.i], policies[pr.j])
+			r, err := diff(ctx, pr.i, pr.j)
 			if err != nil {
 				errs[k] = fmt.Errorf("compare: pair (%d, %d): %w", pr.i, pr.j, err)
 				return

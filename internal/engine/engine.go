@@ -1,0 +1,418 @@
+// Package engine is the caching service layer between the HTTP API / CLI
+// front ends and the analysis pipeline. The dominant real workload for
+// diverse design is one stable policy set diffed against many candidates,
+// over and over; the pipeline packages (fdd, shape, compare) recompute
+// everything per call. The engine content-addresses the expensive
+// intermediate results so repeated work is served from memory:
+//
+//   - Compile caches (schema, canonical-policy-hash) -> parsed policy +
+//     constructed, reduced FDD. Two requests carrying the same policy —
+//     regardless of whitespace, comments, or value spelling — share one
+//     construction.
+//   - Diff caches (hash(A), hash(B)) -> the full comparison report, so a
+//     repeated diff of the same pair costs two hash lookups. Reusing the
+//     report also makes discrepancy row numbering stable across /v1/diff
+//     and /v1/resolve for the same pair.
+//
+// Concurrent identical requests are deduplicated with a singleflight
+// group: a thundering herd of N requests for the same policy compiles it
+// once, and the other N-1 wait for that flight. Flights are detached from
+// any single request's context — a caller that aborts stops waiting
+// without failing the flight for everyone else, and only when the last
+// waiter leaves is the flight canceled and forgotten. Failed or canceled
+// flights are never cached, so an aborted request can neither poison nor
+// pin a cache entry mid-compile.
+//
+// Both caches are size-aware LRUs; hits, misses, evictions, and resident
+// bytes are exported through internal/metrics when a registry is given.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"diversefw/internal/compare"
+	"diversefw/internal/fdd"
+	"diversefw/internal/metrics"
+	"diversefw/internal/rule"
+)
+
+// Config configures an Engine. The zero value is usable: default cache
+// budgets, no metrics.
+type Config struct {
+	// CompileCacheBytes bounds the compiled-policy cache (default 128 MiB).
+	CompileCacheBytes int64
+	// ReportCacheBytes bounds the pairwise-report cache (default 32 MiB).
+	ReportCacheBytes int64
+	// Metrics, when non-nil, receives the fwengine_* instrument families.
+	Metrics *metrics.Registry
+}
+
+// DefaultCompileCacheBytes and DefaultReportCacheBytes are the cache
+// budgets used when Config leaves them zero.
+const (
+	DefaultCompileCacheBytes = 128 << 20
+	DefaultReportCacheBytes  = 32 << 20
+)
+
+// Compiled is one content-addressed compilation: a parsed policy and its
+// constructed, reduced FDD. Instances are shared across requests and must
+// be treated as immutable; the pipeline already does (shaping deep-copies
+// its inputs, comparison only reads).
+type Compiled struct {
+	Policy *rule.Policy
+	FDD    *fdd.FDD
+	// Hash is the content address: sha256 over the schema signature and
+	// the canonical policy text.
+	Hash string
+	// SizeBytes is the resident-memory estimate the LRU charges.
+	SizeBytes int64
+}
+
+// Engine is the caching service layer. Safe for concurrent use.
+type Engine struct {
+	compiled *lruCache[*Compiled]
+	reports  *lruCache[*compare.Report]
+
+	compileFlights flightGroup[*Compiled]
+	reportFlights  flightGroup[*compare.Report]
+
+	// construct is fdd.ConstructContext, swappable in tests to observe
+	// and stall compilations.
+	construct func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error)
+
+	compilations atomic.Uint64
+	coalesced    atomic.Uint64
+
+	inst *instruments
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.CompileCacheBytes <= 0 {
+		cfg.CompileCacheBytes = DefaultCompileCacheBytes
+	}
+	if cfg.ReportCacheBytes <= 0 {
+		cfg.ReportCacheBytes = DefaultReportCacheBytes
+	}
+	e := &Engine{
+		compiled:  newLRU[*Compiled](cfg.CompileCacheBytes),
+		reports:   newLRU[*compare.Report](cfg.ReportCacheBytes),
+		construct: fdd.ConstructContext,
+	}
+	if cfg.Metrics != nil {
+		e.inst = newInstruments(cfg.Metrics)
+	}
+	return e
+}
+
+// PolicyHash returns the canonical content address of a parsed policy:
+// sha256 over the schema signature and rule.FormatPolicy's canonical
+// rendering, so formatting differences (whitespace, comments, value
+// spelling) do not split cache entries.
+func PolicyHash(p *rule.Policy) string {
+	h := sha256.New()
+	io.WriteString(h, p.Schema.String())
+	h.Write([]byte{0})
+	io.WriteString(h, rule.FormatPolicy(p))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Compile returns the compiled form of p, from the cache when its content
+// address is resident, deduplicating concurrent identical compilations.
+// hit reports whether the result came from the cache without waiting on
+// any compilation. On ctx death the caller gets ctx.Err() while an
+// in-flight compilation keeps running for its other waiters.
+func (e *Engine) Compile(ctx context.Context, p *rule.Policy) (c *Compiled, hit bool, err error) {
+	hash := PolicyHash(p)
+	if c, ok := e.compiled.get(hash); ok {
+		e.observeGet(cacheCompile, true)
+		return c, true, nil
+	}
+	e.observeGet(cacheCompile, false)
+	c, shared, err := e.compileFlights.do(ctx, hash, func(fctx context.Context) (*Compiled, error) {
+		// A flight that completed between the miss above and this call
+		// may have filled the cache already.
+		if c, ok := e.compiled.get(hash); ok {
+			return c, nil
+		}
+		f, err := e.construct(fctx, p)
+		if err != nil {
+			return nil, err
+		}
+		e.compilations.Add(1)
+		if e.inst != nil {
+			e.inst.compilations.Inc()
+		}
+		c := &Compiled{Policy: p, FDD: f, Hash: hash}
+		c.SizeBytes = policyBytes(p) + fddBytes(f)
+		e.addCompiled(hash, c)
+		return c, nil
+	})
+	if shared {
+		e.coalesced.Add(1)
+		if e.inst != nil {
+			e.inst.coalesced.With(cacheCompile).Inc()
+		}
+	}
+	return c, false, err
+}
+
+// DiffStats describes how much of a DiffPolicies call was served from the
+// caches.
+type DiffStats struct {
+	// ReportCached reports a pair-cache hit: no pipeline work ran.
+	ReportCached bool
+	// CompileHits counts compile-cache hits among the two policies (0-2).
+	CompileHits int
+}
+
+// DiffPolicies compiles both policies (cached, deduplicated) and returns
+// their comparison report (cached by content-address pair). On the cold
+// path the report's Timing.Construct records the wall time this call
+// spent obtaining the two FDDs; cached reports keep the timing of the run
+// that produced them.
+func (e *Engine) DiffPolicies(ctx context.Context, pa, pb *rule.Policy) (*compare.Report, DiffStats, error) {
+	if !pa.Schema.Equal(pb.Schema) {
+		return nil, DiffStats{}, fmt.Errorf("engine: schemas differ")
+	}
+	var stats DiffStats
+	start := time.Now()
+	// The two compilations are independent; overlap them like
+	// compare.DiffContext overlaps its constructions.
+	var cb *Compiled
+	var hitB bool
+	var errB error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cb, hitB, errB = e.Compile(ctx, pb)
+	}()
+	ca, hitA, err := e.Compile(ctx, pa)
+	<-done
+	if err != nil {
+		return nil, stats, fmt.Errorf("engine: first policy: %w", err)
+	}
+	if errB != nil {
+		return nil, stats, fmt.Errorf("engine: second policy: %w", errB)
+	}
+	for _, hit := range []bool{hitA, hitB} {
+		if hit {
+			stats.CompileHits++
+		}
+	}
+	r, cached, err := e.diff(ctx, ca, cb, time.Since(start))
+	stats.ReportCached = cached
+	return r, stats, err
+}
+
+// Diff returns the comparison report for two already-compiled policies,
+// from the pair cache when resident. hit reports a pair-cache hit.
+func (e *Engine) Diff(ctx context.Context, a, b *Compiled) (r *compare.Report, hit bool, err error) {
+	return e.diff(ctx, a, b, 0)
+}
+
+// diff is Diff with the construct wall time to stamp into a freshly built
+// report's timing (zero when the FDDs were already at hand). The stamp
+// happens inside the flight, before the report is cached or shared, so
+// coalesced waiters never race a write.
+func (e *Engine) diff(ctx context.Context, a, b *Compiled, construct time.Duration) (*compare.Report, bool, error) {
+	key := a.Hash + "|" + b.Hash
+	if r, ok := e.reports.get(key); ok {
+		e.observeGet(cacheReport, true)
+		return r, true, nil
+	}
+	e.observeGet(cacheReport, false)
+	r, shared, err := e.reportFlights.do(ctx, key, func(fctx context.Context) (*compare.Report, error) {
+		if r, ok := e.reports.get(key); ok {
+			return r, nil
+		}
+		r, err := compare.DiffFDDsContext(fctx, a.FDD, b.FDD)
+		if err != nil {
+			return nil, err
+		}
+		r.Timing.Construct = construct
+		e.addReport(key, r)
+		return r, nil
+	})
+	if shared {
+		e.coalesced.Add(1)
+		if e.inst != nil {
+			e.inst.coalesced.With(cacheReport).Inc()
+		}
+	}
+	return r, false, err
+}
+
+// CrossCompare compares every pair among N compiled policies, reusing
+// each FDD across its N-1 pairs and each pair report across requests.
+// Reports come back in deterministic (i, j) order; the worker pool and
+// cancellation semantics are compare.CrossCompareFunc's.
+func (e *Engine) CrossCompare(ctx context.Context, policies []*Compiled) ([]compare.PairReport, error) {
+	return compare.CrossCompareFunc(ctx, len(policies), func(ctx context.Context, i, j int) (*compare.Report, error) {
+		r, _, err := e.Diff(ctx, policies[i], policies[j])
+		return r, err
+	})
+}
+
+// CacheStats is a point-in-time snapshot of one cache.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats is a point-in-time snapshot of the engine.
+type Stats struct {
+	Compile CacheStats `json:"compile"`
+	Reports CacheStats `json:"reports"`
+	// Compilations counts FDD constructions actually performed (cache
+	// misses that ran, not deduplicated waiters).
+	Compilations uint64 `json:"compilations"`
+	// Coalesced counts callers that joined another caller's flight
+	// instead of starting their own.
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// Stats returns current cache and dedup counters.
+func (e *Engine) Stats() Stats {
+	toCache := func(s lruStats) CacheStats {
+		return CacheStats{Entries: s.Entries, Bytes: s.Bytes, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions}
+	}
+	return Stats{
+		Compile:      toCache(e.compiled.stats()),
+		Reports:      toCache(e.reports.stats()),
+		Compilations: e.compilations.Load(),
+		Coalesced:    e.coalesced.Load(),
+	}
+}
+
+const (
+	cacheCompile = "compile"
+	cacheReport  = "report"
+)
+
+// instruments holds the engine's metric families; nil without a registry.
+type instruments struct {
+	hits         *metrics.CounterVec
+	misses       *metrics.CounterVec
+	evictions    *metrics.CounterVec
+	bytes        *metrics.GaugeVec
+	entries      *metrics.GaugeVec
+	compilations *metrics.Counter
+	coalesced    *metrics.CounterVec
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	return &instruments{
+		hits: reg.NewCounterVec("fwengine_cache_hits_total",
+			"Engine cache hits by cache.", "cache"),
+		misses: reg.NewCounterVec("fwengine_cache_misses_total",
+			"Engine cache misses by cache.", "cache"),
+		evictions: reg.NewCounterVec("fwengine_cache_evictions_total",
+			"Engine cache LRU evictions by cache.", "cache"),
+		bytes: reg.NewGaugeVec("fwengine_cache_resident_bytes",
+			"Estimated resident bytes per engine cache.", "cache"),
+		entries: reg.NewGaugeVec("fwengine_cache_entries",
+			"Entries per engine cache.", "cache"),
+		compilations: reg.NewCounter("fwengine_compilations_total",
+			"FDD constructions actually performed (not served from cache or coalesced)."),
+		coalesced: reg.NewCounterVec("fwengine_singleflight_coalesced_total",
+			"Callers that joined an in-flight identical computation.", "cache"),
+	}
+}
+
+func (e *Engine) observeGet(cache string, hit bool) {
+	if e.inst == nil {
+		return
+	}
+	if hit {
+		e.inst.hits.With(cache).Inc()
+	} else {
+		e.inst.misses.With(cache).Inc()
+	}
+}
+
+func (e *Engine) addCompiled(key string, c *Compiled) {
+	evicted := e.compiled.add(key, c, c.SizeBytes)
+	e.observeAdd(cacheCompile, e.compiled.stats(), evicted)
+}
+
+func (e *Engine) addReport(key string, r *compare.Report) {
+	evicted := e.reports.add(key, r, reportBytes(r))
+	e.observeAdd(cacheReport, e.reports.stats(), evicted)
+}
+
+func (e *Engine) observeAdd(cache string, s lruStats, evicted int) {
+	if e.inst == nil {
+		return
+	}
+	if evicted > 0 {
+		e.inst.evictions.With(cache).Add(uint64(evicted))
+	}
+	e.inst.bytes.With(cache).Set(s.Bytes)
+	e.inst.entries.With(cache).Set(int64(s.Entries))
+}
+
+// Resident-size estimates for the LRU budgets. These charge Go object
+// overheads (headers, slices, pointers) approximately; the goal is that
+// the budget tracks real memory within a small constant factor.
+const (
+	nodeCost     = 64
+	edgeCost     = 48
+	intervalCost = 16
+	ruleCost     = 64
+	rowCost      = 96
+)
+
+// fddBytes estimates the resident size of a reduced FDD, counting shared
+// nodes once.
+func fddBytes(f *fdd.FDD) int64 {
+	seen := make(map[*fdd.Node]bool)
+	var total int64
+	var walk func(n *fdd.Node)
+	walk = func(n *fdd.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		total += nodeCost
+		for _, e := range n.Edges {
+			total += edgeCost + intervalCost*int64(e.Label.NumIntervals())
+			walk(e.To)
+		}
+	}
+	walk(f.Root)
+	return total
+}
+
+// policyBytes estimates the resident size of a parsed policy.
+func policyBytes(p *rule.Policy) int64 {
+	var total int64
+	for _, r := range p.Rules {
+		total += ruleCost
+		for _, s := range r.Pred {
+			total += intervalCost * int64(s.NumIntervals())
+		}
+	}
+	return total
+}
+
+// reportBytes estimates the resident size of a comparison report.
+func reportBytes(r *compare.Report) int64 {
+	var total int64 = rowCost
+	for _, d := range r.Discrepancies {
+		total += rowCost
+		for _, s := range d.Pred {
+			total += intervalCost * int64(s.NumIntervals())
+		}
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a size-aware LRU: every entry carries a byte cost and the
+// cache evicts least-recently-used entries whenever the total cost
+// exceeds the budget. Costs are the caller's estimates (see compiledBytes
+// and reportBytes); the point is bounding resident memory, not exact
+// accounting.
+type lruCache[V any] struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type lruEntry[V any] struct {
+	key  string
+	val  V
+	size int64
+}
+
+func newLRU[V any](maxBytes int64) *lruCache[V] {
+	return &lruCache[V]{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *lruCache[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// add inserts (or replaces) key, then evicts from the cold end until the
+// budget holds again, returning how many entries were evicted. An entry
+// larger than the whole budget is evicted immediately — admitting it
+// would just flush everything else for a value that can never stay
+// resident.
+func (c *lruCache[V]) add(key string, v V, size int64) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry[V])
+		c.bytes += size - e.size
+		e.val, e.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		e := back.Value.(*lruEntry[V])
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// lruStats is a point-in-time snapshot of one cache's counters.
+type lruStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+func (c *lruCache[V]) stats() lruStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return lruStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// keysMRU returns the cached keys from most to least recently used
+// (test/introspection helper).
+func (c *lruCache[V]) keysMRU() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).key)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	t.Parallel()
+	c := newLRU[int](30)
+	c.add("a", 1, 10)
+	c.add("b", 2, 10)
+	c.add("c", 3, 10)
+	if got := c.keysMRU(); !reflect.DeepEqual(got, []string{"c", "b", "a"}) {
+		t.Fatalf("keysMRU = %v", got)
+	}
+	// Touching "a" makes "b" the coldest entry...
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get a = %d, %v", v, ok)
+	}
+	// ...so admitting "d" evicts "b", not "a".
+	if evicted := c.add("d", 4, 10); evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", evicted)
+	}
+	if got := c.keysMRU(); !reflect.DeepEqual(got, []string{"d", "a", "c"}) {
+		t.Fatalf("keysMRU after eviction = %v", got)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	st := c.stats()
+	if st.Entries != 3 || st.Bytes != 30 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictsUntilBudgetHolds(t *testing.T) {
+	t.Parallel()
+	c := newLRU[int](25)
+	c.add("a", 1, 10)
+	c.add("b", 2, 10)
+	// One large entry pushes both older entries out at once.
+	if evicted := c.add("c", 3, 20); evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", evicted)
+	}
+	if got := c.keysMRU(); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("keysMRU = %v", got)
+	}
+}
+
+func TestLRUOversizedEntryNotRetained(t *testing.T) {
+	t.Parallel()
+	c := newLRU[int](10)
+	c.add("a", 1, 5)
+	// An entry larger than the whole budget flushes everything, itself
+	// included: nothing can stay resident.
+	c.add("big", 2, 100)
+	if got := c.keysMRU(); len(got) != 0 {
+		t.Fatalf("keysMRU = %v, want empty", got)
+	}
+	if st := c.stats(); st.Bytes != 0 {
+		t.Fatalf("bytes = %d, want 0", st.Bytes)
+	}
+}
+
+func TestLRUReplaceAdjustsBytes(t *testing.T) {
+	t.Parallel()
+	c := newLRU[int](100)
+	c.add("a", 1, 10)
+	c.add("a", 2, 30)
+	st := c.stats()
+	if st.Entries != 1 || st.Bytes != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if v, ok := c.get("a"); !ok || v != 2 {
+		t.Fatalf("get a = %d, %v", v, ok)
+	}
+}

@@ -13,6 +13,7 @@ package fdd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,11 @@ import (
 	"diversefw/internal/interval"
 	"diversefw/internal/rule"
 )
+
+// ErrIncomplete marks construction failures caused by a non-comprehensive
+// policy (some packet matches no rule). Callers distinguish this
+// bad-input case from infrastructure errors with errors.Is.
+var ErrIncomplete = errors.New("policy is not comprehensive")
 
 // TerminalField marks terminal nodes in Node.Field.
 const TerminalField = -1
@@ -116,7 +122,7 @@ func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, eff
 	}
 	f.Root = in.ReduceNode(p.Schema, f.Root)
 	if err := f.checkComplete(); err != nil {
-		return nil, nil, fmt.Errorf("fdd: policy is not comprehensive: %w", err)
+		return nil, nil, fmt.Errorf("fdd: %w: %w", ErrIncomplete, err)
 	}
 	return f, effective, nil
 }

@@ -112,6 +112,13 @@ func AnalyzeContext(ctx context.Context, before, after *rule.Policy) (*Impact, e
 	return &Impact{Before: before, After: after, Report: report}, nil
 }
 
+// FromReport builds an Impact from an already-computed comparison report
+// for (before, after) — the entry point for callers that cache reports
+// (see internal/engine). The report is only read.
+func FromReport(before, after *rule.Policy, report *compare.Report) *Impact {
+	return &Impact{Before: before, After: after, Report: report}
+}
+
 // AnalyzeEdits applies the edits and analyzes their impact in one step.
 func AnalyzeEdits(before *rule.Policy, edits []Edit) (*Impact, error) {
 	after, err := Apply(before, edits)

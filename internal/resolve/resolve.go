@@ -58,6 +58,20 @@ func NewPlanContext(ctx context.Context, a, b *rule.Policy) (*Plan, error) {
 	}, nil
 }
 
+// NewPlanFromReport builds a plan from an already-computed comparison
+// report for (a, b) — the entry point for callers that cache reports
+// (see internal/engine). The report is only read, so one cached report
+// can back many concurrent plans; this also keeps discrepancy numbering
+// identical between a diff and the resolve session built on it.
+func NewPlanFromReport(a, b *rule.Policy, report *compare.Report) *Plan {
+	return &Plan{
+		A:         a,
+		B:         b,
+		Report:    report,
+		Decisions: make([]rule.Decision, len(report.Discrepancies)),
+	}
+}
+
 // Resolve records the agreed decision for discrepancy i.
 func (p *Plan) Resolve(i int, d rule.Decision) error {
 	if i < 0 || i >= len(p.Decisions) {
