@@ -15,8 +15,10 @@ import (
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/fdd"
+	"diversefw/internal/rule"
 	"diversefw/internal/shape"
 	"diversefw/internal/synth"
+	"diversefw/internal/trace"
 )
 
 // benchSchema identifies the BENCH_*.json format; bump it on any
@@ -49,6 +51,14 @@ type benchReport struct {
 	// baseline_ns / current_ns (>1 means this snapshot is faster).
 	Baseline          string             `json:"baseline,omitempty"`
 	SpeedupVsBaseline map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	// TracedOverheadPct is (diff_end_to_end_traced / diff_end_to_end - 1)
+	// * 100: what carrying a live span tree through the pipeline costs.
+	TracedOverheadPct float64 `json:"traced_overhead_pct,omitempty"`
+	// SpanStats records, from one traced run of the benchmark pair, the
+	// numeric span attributes summed per span name (construct runs once
+	// per policy, so its stats are the pair's totals) — the deep FDD
+	// shape of the workload alongside its timings.
+	SpanStats map[string]map[string]int64 `json:"span_stats,omitempty"`
 }
 
 // gitCommit best-effort resolves HEAD for provenance; benchmarks must
@@ -90,6 +100,9 @@ func benchJSON(cfg config) error {
 		if base, err = readBenchReport(cfg.baseline); err != nil {
 			return fmt.Errorf("baseline: %w", err)
 		}
+	}
+	if cfg.gatePct > 0 && base == nil {
+		return fmt.Errorf("-gate requires -baseline")
 	}
 
 	pa := synth.Synthetic(synth.Config{Rules: cfg.benchRules, Seed: 1})
@@ -148,6 +161,20 @@ func benchJSON(cfg config) error {
 				}
 			}
 		}},
+		{"diff_end_to_end_traced", func(b *testing.B) {
+			// Same work as diff_end_to_end but with a live trace carried
+			// through the pipeline and retained the way fwserved retains
+			// it; the ratio of the two phases is the tracing overhead.
+			buf := trace.NewBuffer(64, 250*time.Millisecond, 8)
+			for i := 0; i < b.N; i++ {
+				ctx, tr := trace.New(context.Background(), "diff", "")
+				if _, err := compare.DiffContext(ctx, pa, pb); err != nil {
+					b.Fatal(err)
+				}
+				tr.Finish()
+				buf.Observe(tr)
+			}
+		}},
 		{"diff_warm_cache", func(b *testing.B) {
 			// The serving scenario: the same pair diffed repeatedly against a
 			// primed engine, so every iteration is a report-cache hit.
@@ -190,6 +217,16 @@ func benchJSON(cfg config) error {
 		report.Phases = append(report.Phases, pr)
 		fmt.Printf("%-16s %-14d %-14d %d\n", pr.Name, pr.NsPerOp, pr.BytesPerOp, pr.AllocsPerOp)
 	}
+
+	phaseNs := make(map[string]int64, len(report.Phases))
+	for _, p := range report.Phases {
+		phaseNs[p.Name] = p.NsPerOp
+	}
+	if cold, traced := phaseNs["diff_end_to_end"], phaseNs["diff_end_to_end_traced"]; cold > 0 && traced > 0 {
+		report.TracedOverheadPct = (float64(traced)/float64(cold) - 1) * 100
+		fmt.Printf("\ntracing overhead: %+.2f%% (traced vs untraced end-to-end diff)\n", report.TracedOverheadPct)
+	}
+	report.SpanStats = spanStats(pa, pb)
 
 	if base != nil {
 		report.Baseline = cfg.baseline
@@ -236,7 +273,113 @@ func benchJSON(cfg config) error {
 		return err
 	}
 	fmt.Println("\nwrote", path)
+
+	// The gate runs after the snapshot is written: a failing run still
+	// leaves its numbers on disk for the investigation.
+	if cfg.gatePct > 0 {
+		remeasure := func(name string) (int64, bool) {
+			for _, p := range phases {
+				if p.name == name {
+					runtime.GC()
+					return testing.Benchmark(p.fn).NsPerOp(), true
+				}
+			}
+			return 0, false
+		}
+		return gate(cfg, base, report.Phases, remeasure)
+	}
 	return nil
+}
+
+// gate fails the run if any of cfg.gatePhases regressed more than
+// cfg.gatePct percent against the baseline's ns/op. Phases the baseline
+// never measured are skipped (a new phase cannot regress). A phase that
+// appears over the limit is re-measured up to twice and judged on its
+// minimum: on a small shared machine single testing.Benchmark runs
+// swing well past 5% from scheduler noise alone, and the minimum is
+// the standard noise-robust statistic for threshold gates (a real
+// regression cannot benchmark faster than the code allows). The
+// snapshot keeps the first measurement; retries only inform the
+// verdict.
+func gate(cfg config, base *benchReport, phases []phaseResult, remeasure func(string) (int64, bool)) error {
+	baseNs := make(map[string]int64, len(base.Phases))
+	for _, p := range base.Phases {
+		baseNs[p.Name] = p.NsPerOp
+	}
+	curNs := make(map[string]int64, len(phases))
+	for _, p := range phases {
+		curNs[p.Name] = p.NsPerOp
+	}
+	var failures []string
+	for _, name := range strings.Split(cfg.gatePhases, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cur, ok := curNs[name]
+		if !ok {
+			return fmt.Errorf("gate: unknown phase %q", name)
+		}
+		bn, ok := baseNs[name]
+		if !ok || bn <= 0 {
+			continue
+		}
+		limit := float64(bn) * (1 + cfg.gatePct/100)
+		for retry := 0; float64(cur) > limit && retry < 2 && remeasure != nil; retry++ {
+			again, ok := remeasure(name)
+			if !ok {
+				break
+			}
+			fmt.Printf("gate: %s over limit (%d ns/op), re-measuring: %d ns/op\n", name, cur, again)
+			if again < cur {
+				cur = again
+			}
+		}
+		pct := (float64(cur)/float64(bn) - 1) * 100
+		if float64(cur) > limit {
+			failures = append(failures, fmt.Sprintf("%s: %d ns/op vs baseline %d (%+.1f%%, limit +%.1f%%)",
+				name, cur, bn, pct, cfg.gatePct))
+		} else {
+			fmt.Printf("gate ok: %-12s %+.1f%% vs baseline (limit +%.1f%%)\n", name, pct, cfg.gatePct)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// spanStats runs the benchmark pair through one traced diff and folds
+// the resulting span tree into name -> attr -> summed value, keeping
+// only numeric attributes. Spans that run once per policy (construct)
+// therefore report pair totals.
+func spanStats(pa, pb *rule.Policy) map[string]map[string]int64 {
+	ctx, tr := trace.New(context.Background(), "diff", "")
+	if _, err := compare.DiffContext(ctx, pa, pb); err != nil {
+		return nil
+	}
+	tr.Finish()
+	stats := make(map[string]map[string]int64)
+	tr.Snapshot().Root.Walk(func(s trace.SpanRecord) {
+		for k, v := range s.Attrs {
+			var n int64
+			switch v := v.(type) {
+			case int:
+				n = int64(v)
+			case int64:
+				n = v
+			case float64:
+				n = int64(v)
+			default:
+				continue
+			}
+			if stats[s.Name] == nil {
+				stats[s.Name] = make(map[string]int64)
+			}
+			stats[s.Name][k] += n
+		}
+	})
+	return stats
 }
 
 // readBenchReport loads and validates a BENCH_*.json file.

@@ -85,7 +85,8 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	}
 	want := map[string]bool{
 		"construct": true, "shape": true, "compare": true,
-		"diff_end_to_end": true, "diff_warm_cache": true,
+		"diff_end_to_end": true, "diff_end_to_end_traced": true,
+		"diff_warm_cache": true,
 	}
 	for _, p := range r0.Phases {
 		if !want[p.Name] {
@@ -99,10 +100,23 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	if len(want) != 0 {
 		t.Fatalf("missing phases: %v", want)
 	}
+	if r0.TracedOverheadPct == 0 {
+		t.Fatal("traced_overhead_pct not recorded")
+	}
+	for _, span := range []string{"construct", "shape", "compare"} {
+		if len(r0.SpanStats[span]) == 0 {
+			t.Fatalf("span_stats missing %q: %v", span, r0.SpanStats)
+		}
+	}
+	if r0.SpanStats["construct"]["rules"] != 80 {
+		t.Fatalf("construct span stats should sum the pair: %v", r0.SpanStats["construct"])
+	}
 
-	// A second run appends BENCH_1.json and embeds baseline speedups.
+	// A second run appends BENCH_1.json, embeds baseline speedups, and
+	// passes a generous regression gate against the first run.
 	base := filepath.Join(dir, "BENCH_0.json")
-	if code := withArgs(t, "-json", "-out", dir, "-benchrules", "40", "-baseline", base); code != 0 {
+	if code := withArgs(t, "-json", "-out", dir, "-benchrules", "40",
+		"-baseline", base, "-gate", "10000"); code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
 	r1, err := readBenchReport(filepath.Join(dir, "BENCH_1.json"))
@@ -112,9 +126,9 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	if r1.Baseline != base {
 		t.Fatalf("baseline not recorded: %q", r1.Baseline)
 	}
-	// Five per-phase ratios plus the warm-vs-cold-baseline headline.
-	if len(r1.SpeedupVsBaseline) != 6 {
-		t.Fatalf("want 6 speedup entries, got %v", r1.SpeedupVsBaseline)
+	// Six per-phase ratios plus the warm-vs-cold-baseline headline.
+	if len(r1.SpeedupVsBaseline) != 7 {
+		t.Fatalf("want 7 speedup entries, got %v", r1.SpeedupVsBaseline)
 	}
 	for name, s := range r1.SpeedupVsBaseline {
 		if s <= 0 {
@@ -127,6 +141,14 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	}
 }
 
+// TestGateRequiresBaseline pins that -gate without -baseline is a usage
+// error caught before any benchmarking runs.
+func TestGateRequiresBaseline(t *testing.T) {
+	if code := withArgs(t, "-json", "-gate", "5"); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
 func TestJSONBenchBadBaseline(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "junk.json")
@@ -135,5 +157,25 @@ func TestJSONBenchBadBaseline(t *testing.T) {
 	}
 	if code := withArgs(t, "-json", "-out", dir, "-benchrules", "20", "-baseline", bad); code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+// TestGateCatchesRegression runs the gate against a fabricated baseline
+// claiming the phases once took 1 ns/op: any real measurement is a
+// regression, so the run must fail — after still writing its snapshot.
+func TestGateCatchesRegression(t *testing.T) {
+	dir := t.TempDir()
+	fast := filepath.Join(dir, "fast.json")
+	doc := `{"schema":"fwbench-json/v1","phases":[` +
+		`{"name":"construct","ns_per_op":1},{"name":"compare","ns_per_op":1}]}`
+	if err := os.WriteFile(fast, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := withArgs(t, "-json", "-out", dir, "-benchrules", "20",
+		"-baseline", fast, "-gate", "5"); code != 1 {
+		t.Fatalf("exit = %d, want 1 (gate must fail)", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_0.json")); err != nil {
+		t.Fatalf("failing gate must still leave the snapshot: %v", err)
 	}
 }

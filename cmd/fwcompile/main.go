@@ -11,10 +11,12 @@
 //	fwcompile -tofdd in.fw > out.fdd         # export the reduced FDD
 //
 // -compact additionally runs complete redundancy removal on the generated
-// rules.
+// rules. -trace writes the run's span tree (construct + generate, with
+// FDD node counts) to a JSON file; see docs/OBSERVABILITY.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ import (
 	"diversefw/internal/gen"
 	"diversefw/internal/redundancy"
 	"diversefw/internal/rule"
+	"diversefw/internal/trace"
 )
 
 func main() {
@@ -37,8 +40,9 @@ func run() int {
 	stats := fs.Bool("stats", false, "print FDD statistics to stderr")
 	fromFDD := fs.Bool("fromfdd", false, "input is an FDD file, not a policy file")
 	toFDD := fs.Bool("tofdd", false, "output the reduced FDD instead of rules")
+	traceFile := fs.String("trace", "", "write the run's span tree to this file as JSON")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwcompile [-schema name] [-compact] [-stats] [-fromfdd] [-tofdd] in > out")
+		fmt.Fprintln(os.Stderr, "usage: fwcompile [-schema name] [-compact] [-stats] [-fromfdd] [-tofdd] [-trace file] in > out")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -53,6 +57,18 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fwcompile:", err)
 		return 2
+	}
+
+	ctx := context.Background()
+	var tr *trace.Trace
+	if *traceFile != "" {
+		ctx, tr = trace.New(ctx, "fwcompile", "")
+		defer func() {
+			tr.Finish()
+			if werr := trace.WriteFileJSON(*traceFile, tr.Snapshot()); werr != nil {
+				fmt.Fprintln(os.Stderr, "fwcompile: writing trace:", werr)
+			}
+		}()
 	}
 
 	var f *fdd.FDD
@@ -76,7 +92,7 @@ func run() int {
 			return 2
 		}
 		inRules = p.Size()
-		f, err = fdd.Construct(p)
+		f, err = fdd.ConstructContext(ctx, p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fwcompile:", err)
 			return 2
@@ -94,11 +110,14 @@ func run() int {
 		}
 		return 0
 	}
+	_, genSpan := trace.Start(ctx, "generate")
 	out, err := gen.Generate(f)
+	genSpan.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fwcompile:", err)
 		return 2
 	}
+	genSpan.SetAttr("rules", out.Size())
 	if *compact {
 		compacted, removed, err := redundancy.RemoveAll(out)
 		if err != nil {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"diversefw/internal/trace"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -91,6 +94,35 @@ func TestCompileFDDRoundTrip(t *testing.T) {
 	})
 	if !strings.Contains(rules, "224.168.0.0/16") {
 		t.Fatalf("expected the malicious block in the compiled rules:\n%s", rules)
+	}
+}
+
+// TestCompileTraceFile checks -trace captures construction and rule
+// generation as spans.
+func TestCompileTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "in.fw", policy)
+	out := filepath.Join(dir, "trace.json")
+	captureStdout(t, func() {
+		if code := withArgs(t, "-trace", out, in); code != 0 {
+			t.Fatalf("exit = %d", code)
+		}
+	})
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc trace.FileDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].Root.Name != "fwcompile" {
+		t.Fatalf("unexpected trace doc: %+v", doc)
+	}
+	for _, name := range []string{"construct", "generate"} {
+		if _, ok := doc.Traces[0].Root.Find(name); !ok {
+			t.Fatalf("trace missing %q span:\n%s", name, raw)
+		}
 	}
 }
 

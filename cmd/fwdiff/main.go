@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	fwdiff [-schema five|four|paper] [-format text|iptables] [-v] [-json] a.fw b.fw
+//	fwdiff [-schema five|four|paper] [-format text|iptables] [-v] [-json]
+//	       [-trace trace.json] a.fw b.fw
+//
+// -trace writes the run's span tree (construct/shape/compare with FDD
+// node counts and discrepancy stats) to the named file; load it with
+// docs/OBSERVABILITY.md's reading guide or feed the spans to jq.
 //
 // Exit status is 0 when the policies are equivalent, 1 when they differ,
 // and 2 on usage or input errors.
@@ -22,6 +27,7 @@ import (
 	"diversefw/internal/cli"
 	"diversefw/internal/engine"
 	"diversefw/internal/textio"
+	"diversefw/internal/trace"
 )
 
 func main() {
@@ -35,8 +41,9 @@ func run() int {
 	chain := fs.String("chain", "INPUT", "chain to read when -format iptables")
 	verbose := fs.Bool("v", false, "print per-phase timing and path statistics")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON (the /v1/diff wire format)")
+	traceFile := fs.String("trace", "", "write the run's span tree to this file as JSON")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwdiff [-schema name] [-format text|iptables] [-v] a.fw b.fw")
+		fmt.Fprintln(os.Stderr, "usage: fwdiff [-schema name] [-format text|iptables] [-v] [-trace file] a.fw b.fw")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -65,7 +72,19 @@ func run() int {
 
 	// One-shot runs gain nothing from the cache, but going through the
 	// engine keeps the CLI on the same code path the server uses.
-	report, _, err := engine.New(engine.Config{}).DiffPolicies(context.Background(), pa, pb)
+	ctx := context.Background()
+	var tr *trace.Trace
+	if *traceFile != "" {
+		ctx, tr = trace.New(ctx, "fwdiff", "")
+	}
+	report, _, err := engine.New(engine.Config{}).DiffPolicies(ctx, pa, pb)
+	if tr != nil {
+		tr.Finish()
+		// A failed trace write shouldn't mask the comparison result.
+		if werr := trace.WriteFileJSON(*traceFile, tr.Snapshot()); werr != nil {
+			fmt.Fprintln(os.Stderr, "fwdiff: writing trace:", werr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fwdiff:", err)
 		return 2

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"diversefw/internal/trace"
 )
 
 // writeFile drops a fixture into the test's temp dir.
@@ -87,6 +90,40 @@ func TestRunUsageErrors(t *testing.T) {
 	partial := writeFile(t, dir, "partial.fw", "dport in 25 -> accept\n")
 	if code := withArgs(t, a, partial); code != 2 {
 		t.Fatalf("non-comprehensive: exit = %d, want 2", code)
+	}
+}
+
+// TestRunTraceFile checks -trace writes a span tree holding the whole
+// pipeline: the engine's diff span with construct, shape, and compare
+// children carrying FDD stats.
+func TestRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.fw", teamA)
+	b := writeFile(t, dir, "b.fw", teamB)
+	out := filepath.Join(dir, "trace.json")
+	if code := withArgs(t, "-trace", out, a, b); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc trace.FileDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].Root.Name != "fwdiff" {
+		t.Fatalf("unexpected trace doc: %+v", doc)
+	}
+	root := doc.Traces[0].Root
+	for _, name := range []string{"construct", "shape", "compare"} {
+		if _, ok := root.Find(name); !ok {
+			t.Fatalf("trace missing %q span:\n%s", name, raw)
+		}
+	}
+	cons, _ := root.Find("construct")
+	if _, ok := cons.Attrs["nodes"]; !ok {
+		t.Fatalf("construct span missing nodes attr: %v", cons.Attrs)
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fwimpact [-schema five|four|paper] before.fw after.fw
+//	fwimpact [-schema five|four|paper] [-trace trace.json] before.fw after.fw
 //	fwimpact -edit 'insert 1: dport in 25 -> discard' before.fw   # what-if
 //
 // With one or more -edit flags (or -edits script.txt) the "after" policy
@@ -29,6 +29,7 @@ import (
 	"diversefw/internal/ruldiff"
 	"diversefw/internal/rule"
 	"diversefw/internal/textio"
+	"diversefw/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run() int {
 	var editLines editFlags
 	fs.Var(&editLines, "edit", "edit to apply to the before policy (repeatable); see docs/FORMATS.md")
 	editsFile := fs.String("edits", "", "file holding an edit script, one edit per line")
+	traceFile := fs.String("trace", "", "write the run's span tree to this file as JSON")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: fwimpact [-schema name] [-format text|iptables] before.fw after.fw")
 		fmt.Fprintln(os.Stderr, "       fwimpact [-edit '...']... [-edits script.txt] before.fw")
@@ -116,7 +118,18 @@ func run() int {
 
 	// Route the comparison through the engine — same code path as the
 	// server — then derive the impact view from the shared report.
-	report, _, err := engine.New(engine.Config{}).DiffPolicies(context.Background(), before, after)
+	ctx := context.Background()
+	var tr *trace.Trace
+	if *traceFile != "" {
+		ctx, tr = trace.New(ctx, "fwimpact", "")
+	}
+	report, _, err := engine.New(engine.Config{}).DiffPolicies(ctx, before, after)
+	if tr != nil {
+		tr.Finish()
+		if werr := trace.WriteFileJSON(*traceFile, tr.Snapshot()); werr != nil {
+			fmt.Fprintln(os.Stderr, "fwimpact: writing trace:", werr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fwimpact:", err)
 		return 2

@@ -7,8 +7,11 @@
 //
 //	fwserved [-addr :8080] [-request-timeout 60s] [-drain-timeout 15s]
 //	         [-compile-cache-mb 128] [-report-cache-mb 32]
+//	         [-log-format json|text] [-log-level info]
+//	         [-trace-capacity 128] [-slow-trace-threshold 250ms]
 //
-// Endpoints (see docs/API.md for the full reference):
+// Endpoints (see docs/API.md and docs/OBSERVABILITY.md for the full
+// reference):
 //
 //	POST /v1/diff         {"schema":"five","a":"...","b":"..."}
 //	POST /v1/crosscompare {"schema":"five","policies":[{"name":"a","policy":"..."},...]}
@@ -20,9 +23,18 @@
 //	GET  /healthz      liveness + cache readiness
 //	GET  /metrics      Prometheus text format: per-endpoint request
 //	                   counts/latency/status, in-flight gauge,
-//	                   construct/shape/compare phase timings, and
-//	                   engine cache hit/miss/eviction/resident-bytes
+//	                   construct/shape/compare phase timings, span
+//	                   durations, and engine cache counters
+//	GET  /debug/traces recent + slowest request traces as span trees
+//	                   (?format=chrome for about:tracing / Perfetto)
 //	GET  /debug/pprof  runtime profiles (CPU, heap, goroutines, ...)
+//
+// Every /v1/* request is traced end to end: the response carries
+// X-Trace-ID and a Server-Timing header with per-phase durations, and
+// the trace (construct/shape/compare spans annotated with FDD node
+// counts, shaping splits, discrepancy counts) is retained in a bounded
+// ring — the slowest are pinned past ring eviction. -trace-capacity
+// sizes the ring; -slow-trace-threshold sets what counts as slow.
 //
 // All analysis requests run through a content-addressed compilation
 // cache (internal/engine): repeated policies are parsed and constructed
@@ -58,10 +70,30 @@ import (
 	"diversefw/internal/api"
 	"diversefw/internal/engine"
 	"diversefw/internal/metrics"
+	"diversefw/internal/trace"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// buildLogger constructs the process logger from the -log-format and
+// -log-level flags. JSON is the default so log lines land in collectors
+// ready to index on requestId/traceId without a parsing stage.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q: use debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q: use json or text", format)
+	}
 }
 
 func run(args []string) int {
@@ -75,26 +107,38 @@ func run(args []string) int {
 		"compiled-policy (FDD) cache budget in MiB")
 	reportCacheMB := fs.Int64("report-cache-mb", engine.DefaultReportCacheBytes>>20,
 		"pairwise comparison-report cache budget in MiB")
+	logFormat := fs.String("log-format", "json", "log output format: json or text")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	traceCapacity := fs.Int("trace-capacity", api.DefaultTraceCapacity,
+		"how many recent request traces /debug/traces retains")
+	slowTraceThreshold := fs.Duration("slow-trace-threshold", api.DefaultSlowTraceThreshold,
+		"requests at least this slow are pinned in the slow-trace list (0 disables)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n]")
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwserved:", err)
+		return 2
+	}
 	reg := metrics.NewRegistry()
 	eng := engine.New(engine.Config{
 		CompileCacheBytes: *compileCacheMB << 20,
 		ReportCacheBytes:  *reportCacheMB << 20,
 		Metrics:           reg,
 	})
+	traces := trace.NewBuffer(*traceCapacity, *slowTraceThreshold, api.DefaultSlowTraceCapacity)
 	handler := api.NewServer(
 		api.WithEngine(eng),
 		api.WithMetrics(reg),
 		api.WithLogger(logger),
 		api.WithRequestTimeout(*requestTimeout),
+		api.WithTracing(traces),
 	)
 
 	mux := http.NewServeMux()

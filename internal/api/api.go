@@ -245,15 +245,11 @@ type ErrorDetail struct {
 }
 
 // Error is the JSON error body for non-2xx responses:
-// {"error": {"code": ..., "message": ...}, "message": ...}.
+// {"error": {"code": ..., "message": ..., "requestId": ...}}.
+// (The pre-envelope top-level "message" alias was deprecated for one
+// release and is gone.)
 type Error struct {
 	Err ErrorDetail `json:"error"`
-	// Message duplicates Err.Message at the top level for clients of the
-	// pre-envelope contract ({"error": "<message>"} readers break either
-	// way, but one-field "message" readers keep working).
-	//
-	// Deprecated: read Err.Message; this alias goes away next release.
-	Message string `json:"message"`
 }
 
 // ConvertDiscrepancy renders a pipeline discrepancy into wire form.

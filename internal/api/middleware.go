@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/metrics"
+	"diversefw/internal/trace"
 )
 
 // Option configures a Server (see NewServer).
@@ -54,6 +56,24 @@ func WithEngine(eng *engine.Engine) Option {
 	return func(s *Server) { s.eng = eng }
 }
 
+// Default sizing of the server's trace retention (see WithTracing): how
+// many recent traces the ring keeps, how many slow ones are pinned, and
+// how slow a request must be to count as slow.
+const (
+	DefaultTraceCapacity      = 128
+	DefaultSlowTraceCapacity  = 32
+	DefaultSlowTraceThreshold = 250 * time.Millisecond
+)
+
+// WithTracing makes the server retain request traces in buf instead of a
+// default-sized buffer — the way to tune capacity and the slow-trace
+// threshold (trace.NewBuffer) or to share the buffer with other
+// components. Tracing itself is always on; every /v1/* request gets a
+// span tree and GET /debug/traces serves the retained ones.
+func WithTracing(buf *trace.Buffer) Option {
+	return func(s *Server) { s.traces = buf }
+}
+
 // instruments holds the serving-path metrics; nil when no registry was
 // configured.
 type instruments struct {
@@ -62,6 +82,7 @@ type instruments struct {
 	inflight *metrics.Gauge
 	panics   *metrics.Counter
 	phases   *metrics.HistogramVec
+	spans    *metrics.HistogramVec
 }
 
 func newInstruments(reg *metrics.Registry) *instruments {
@@ -76,7 +97,24 @@ func newInstruments(reg *metrics.Registry) *instruments {
 			"Handler panics recovered and returned as 500s."),
 		phases: reg.NewHistogramVec("fwserved_pipeline_phase_seconds",
 			"Comparison pipeline phase durations.", nil, "phase"),
+		spans: reg.NewHistogramVec("fwserved_span_duration_seconds",
+			"Trace span durations by span name.", nil, "span"),
 	}
+}
+
+// observeSpans feeds every span of a completed trace into the span
+// histograms (zero-duration marker events excluded — they would drown
+// the distributions in zeros).
+func (s *Server) observeSpans(root trace.SpanRecord) {
+	if s.inst == nil {
+		return
+	}
+	root.Walk(func(sr trace.SpanRecord) {
+		if sr.DurationMicros == 0 {
+			return
+		}
+		s.inst.spans.With(sr.Name).Observe(sr.Duration().Seconds())
+	})
 }
 
 // observeTiming records one pipeline run's per-phase durations.
@@ -90,15 +128,22 @@ func (s *Server) observeTiming(t compare.Timing) {
 }
 
 // statusWriter records the status code and body size a handler produced.
+// beforeWrite, when set, runs once immediately before the header is
+// flushed — the last moment a trailerless header like Server-Timing can
+// still be added.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int
+	status      int
+	bytes       int
+	beforeWrite func(h http.Header)
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
+		if w.beforeWrite != nil {
+			w.beforeWrite(w.Header())
+		}
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -106,6 +151,9 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
+		if w.beforeWrite != nil {
+			w.beforeWrite(w.Header())
+		}
 	}
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += n
@@ -151,11 +199,16 @@ func newRequestID() string {
 
 // wrap is the middleware chain every endpoint runs under: request
 // identity (X-Request-ID accepted or generated, echoed on the response),
-// request timeout (context deadline), in-flight gauge, panic recovery
-// (500 instead of a dropped connection), request count/latency metrics,
-// and one structured access-log record. pattern is used as the metric
-// label so per-request paths cannot explode the label space.
+// a request trace on /v1/* endpoints (root span carrying the request ID,
+// X-Trace-ID and Server-Timing on the response, retained in the trace
+// buffer), request timeout (context deadline), in-flight gauge, panic
+// recovery (500 instead of a dropped connection), request count/latency
+// metrics, and one structured access-log record. pattern is used as the
+// metric label so per-request paths cannot explode the label space.
 func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
+	// Only the analysis endpoints are traced: tracing /metrics,
+	// /healthz, or /debug/traces itself would fill the ring with noise.
+	traced := strings.HasPrefix(pattern, "/v1/")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		// The ID goes onto the response header before the handler runs:
@@ -163,6 +216,15 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 		// when the handler panics.
 		reqID := requestID(r)
 		w.Header().Set("X-Request-ID", reqID)
+		var tr *trace.Trace
+		if traced {
+			ctx, t := trace.New(r.Context(), pattern, trace.NewID())
+			tr = t
+			tr.Root().SetAttr("requestId", reqID)
+			tr.Root().SetAttr("method", r.Method)
+			w.Header().Set("X-Trace-ID", tr.ID())
+			r = r.WithContext(ctx)
+		}
 		if s.timeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 			defer cancel()
@@ -173,6 +235,13 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			defer s.inst.inflight.Dec()
 		}
 		sw := &statusWriter{ResponseWriter: w}
+		if tr != nil {
+			sw.beforeWrite = func(h http.Header) {
+				if st := serverTiming(tr); st != "" {
+					h.Set("Server-Timing", st)
+				}
+			}
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				if s.inst != nil {
@@ -195,15 +264,52 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 				s.inst.requests.With(pattern, strconv.Itoa(status)).Inc()
 				s.inst.latency.With(pattern).Observe(elapsed.Seconds())
 			}
-			s.log.Info("request",
+			logAttrs := []any{
 				"method", r.Method,
 				"path", pattern,
 				"status", status,
 				"requestId", reqID,
-				"durationMs", float64(elapsed.Microseconds())/1000,
+				"durationMs", float64(elapsed.Microseconds()) / 1000,
 				"bytes", sw.bytes,
-				"remote", r.RemoteAddr)
+				"remote", r.RemoteAddr,
+			}
+			if tr != nil {
+				tr.Root().SetAttr("status", status)
+				tr.Finish()
+				rec := s.traces.Observe(tr)
+				s.observeSpans(rec.Root)
+				logAttrs = append(logAttrs, "traceId", tr.ID())
+			}
+			s.log.Info("request", logAttrs...)
 		}()
 		h(sw, r)
 	})
+}
+
+// serverTimingPhases are the pipeline spans surfaced in the
+// Server-Timing response header, in emission order.
+var serverTimingPhases = []string{"construct", "shape", "compare", "resolve-generate", "resolve-verify"}
+
+// serverTiming renders the trace's per-phase durations so far as a
+// Server-Timing header value: the named pipeline phases that actually
+// ran (a phase occurring twice — e.g. construct for each policy — is
+// summed), plus the total elapsed on the root. Empty when nothing ran.
+func serverTiming(tr *trace.Trace) string {
+	root := tr.Root().Snapshot()
+	sums := make(map[string]int64, len(serverTimingPhases))
+	root.Walk(func(sr trace.SpanRecord) { sums[sr.Name] += sr.DurationMicros })
+	var b strings.Builder
+	for _, name := range serverTimingPhases {
+		if sums[name] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s;dur=%.3f", name, float64(sums[name])/1000)
+	}
+	if b.Len() > 0 {
+		fmt.Fprintf(&b, ", total;dur=%.3f", float64(root.DurationMicros)/1000)
+	}
+	return b.String()
 }

@@ -23,6 +23,7 @@ import (
 	"diversefw/internal/redundancy"
 	"diversefw/internal/resolve"
 	"diversefw/internal/rule"
+	"diversefw/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; the largest real-life policies the
@@ -50,6 +51,7 @@ type Server struct {
 	log            *slog.Logger
 	timeout        time.Duration
 	eng            *engine.Engine
+	traces         *trace.Buffer
 	inst           *instruments
 	metricsReg     *metrics.Registry
 	metricsHandler http.Handler
@@ -71,6 +73,10 @@ func NewServer(opts ...Option) *Server {
 		// the default one joins the server's registry when there is one.
 		s.eng = engine.New(engine.Config{Metrics: s.metricsReg})
 	}
+	if s.traces == nil {
+		s.traces = trace.NewBuffer(DefaultTraceCapacity,
+			DefaultSlowTraceThreshold, DefaultSlowTraceCapacity)
+	}
 	s.handle("/healthz", s.health)
 	s.handle("/v1/version", s.version)
 	s.handle("/v1/diff", s.diff)
@@ -79,6 +85,7 @@ func NewServer(opts ...Option) *Server {
 	s.handle("/v1/audit", s.audit)
 	s.handle("/v1/query", s.query)
 	s.handle("/v1/resolve", s.resolve)
+	s.handle("/debug/traces", s.debugTraces)
 	if s.metricsHandler != nil {
 		s.handle("/metrics", s.metricsHandler.ServeHTTP)
 	}
@@ -551,21 +558,21 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) {
 	var final *rule.Policy
 	switch req.Method {
 	case "", "fdd", "1":
-		final, err = plan.Method1()
+		final, err = plan.Method1Context(r.Context())
 	case "a":
-		final, err = plan.Method2(true)
+		final, err = plan.Method2Context(r.Context(), true)
 	case "b":
-		final, err = plan.Method2(false)
+		final, err = plan.Method2Context(r.Context(), false)
 	default:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown method %q", req.Method))
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
+		writeAnalysisError(w, err)
 		return
 	}
-	if err := plan.Verify(final); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
+	if err := plan.VerifyContext(r.Context(), final); err != nil {
+		writeAnalysisError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ResolveResponse{
@@ -591,5 +598,5 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 		Message:   err.Error(),
 		RequestID: w.Header().Get("X-Request-ID"),
 	}
-	writeJSON(w, status, Error{Err: detail, Message: detail.Message})
+	writeJSON(w, status, Error{Err: detail})
 }

@@ -1,0 +1,40 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+
+	"diversefw/internal/trace"
+)
+
+// debugTraces serves the retained request traces. The default format is
+// the buffer snapshot as JSON; ?format=chrome renders the same traces as
+// a Chrome trace_event array for about:tracing / Perfetto.
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	snap := s.traces.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, snap)
+	case "chrome":
+		// Recent and slow overlap (a slow trace is usually still in the
+		// ring); dedup by trace ID so each renders one event row.
+		seen := make(map[string]bool, len(snap.Recent)+len(snap.Slow))
+		records := make([]trace.Record, 0, len(snap.Recent)+len(snap.Slow))
+		for _, rec := range append(snap.Recent, snap.Slow...) {
+			if seen[rec.TraceID] {
+				continue
+			}
+			seen[rec.TraceID] = true
+			records = append(records, rec)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = trace.WriteChrome(w, records)
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("unknown format %q (use json or chrome)", format))
+	}
+}

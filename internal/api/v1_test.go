@@ -158,8 +158,9 @@ func TestCrossCompareErrors(t *testing.T) {
 }
 
 // TestErrorEnvelope pins the v1 error contract: every non-2xx body
-// carries error.code + error.message, plus the deprecated top-level
-// message alias, plus the request ID.
+// carries error.code + error.message + error.requestId, and nothing
+// else at the top level — in particular the deprecated "message" alias
+// is gone.
 func TestErrorEnvelope(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
@@ -188,11 +189,16 @@ func TestErrorEnvelope(t *testing.T) {
 		if e.Err.Message == "" {
 			t.Fatalf("%s: empty error.message", tc.name)
 		}
-		if e.Message != e.Err.Message {
-			t.Fatalf("%s: top-level alias %q != error.message %q", tc.name, e.Message, e.Err.Message)
-		}
 		if e.Err.RequestID == "" {
 			t.Fatalf("%s: error envelope missing requestId", tc.name)
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if _, ok := raw["message"]; ok {
+			t.Fatalf("%s: deprecated top-level message alias still present: %s",
+				tc.name, rec.Body.String())
 		}
 	}
 

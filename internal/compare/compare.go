@@ -25,6 +25,7 @@ import (
 	"diversefw/internal/interval"
 	"diversefw/internal/rule"
 	"diversefw/internal/shape"
+	"diversefw/internal/trace"
 )
 
 // Discrepancy is one functional discrepancy (one row of the paper's
@@ -234,6 +235,8 @@ func CompareSemiIsomorphicContext(ctx context.Context, sa, sb *fdd.FDD) (*Report
 		// Programming error in the pipeline, not user input.
 		panic("compare: diagrams are not semi-isomorphic")
 	}
+	_, sp := trace.Start(ctx, "compare")
+	defer sp.End()
 	report := &Report{}
 	var canceled atomic.Bool
 	w := &cmpWalker{fulls: fullSets(sa.Schema), ctx: ctx, canceled: &canceled, budget: cancelCheckEvery}
@@ -263,6 +266,11 @@ func CompareSemiIsomorphicContext(ctx context.Context, sa, sb *fdd.FDD) (*Report
 		report.Discrepancies = append(report.Discrepancies, Discrepancy{Pred: r.Pred, A: da, B: db})
 	}
 	report.Discrepancies = MergeDiscrepancies(sa.Schema.NumFields(), report.Discrepancies)
+	if sp != nil {
+		sp.SetAttr("pathsCompared", report.PathsCompared)
+		sp.SetAttr("rawPaths", report.RawPaths)
+		sp.SetAttr("discrepancies", len(report.Discrepancies))
+	}
 	return report, nil
 }
 

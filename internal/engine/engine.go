@@ -40,6 +40,7 @@ import (
 	"diversefw/internal/fdd"
 	"diversefw/internal/metrics"
 	"diversefw/internal/rule"
+	"diversefw/internal/trace"
 )
 
 // Config configures an Engine. The zero value is usable: default cache
@@ -132,9 +133,21 @@ func (e *Engine) Compile(ctx context.Context, p *rule.Policy) (c *Compiled, hit 
 	hash := PolicyHash(p)
 	if c, ok := e.compiled.get(hash); ok {
 		e.observeGet(cacheCompile, true)
+		trace.Event(ctx, "cache-lookup",
+			trace.A("cache", "compile"), trace.A("hit", true))
 		return c, true, nil
 	}
 	e.observeGet(cacheCompile, false)
+	trace.Event(ctx, "cache-lookup",
+		trace.A("cache", "compile"), trace.A("hit", false))
+	// The flight context is derived from ctx with values intact
+	// (context.WithoutCancel inside the flight group), so construct's
+	// spans land under this compile span even when the flight outlives
+	// the request.
+	ctx, sp := trace.Start(ctx, "compile")
+	defer sp.End()
+	sp.SetAttr("policyHash", hash[:12])
+	waitStart := time.Now()
 	c, shared, err := e.compileFlights.do(ctx, hash, func(fctx context.Context) (*Compiled, error) {
 		// A flight that completed between the miss above and this call
 		// may have filled the cache already.
@@ -159,6 +172,10 @@ func (e *Engine) Compile(ctx context.Context, p *rule.Policy) (c *Compiled, hit 
 		if e.inst != nil {
 			e.inst.coalesced.With(cacheCompile).Inc()
 		}
+		// Joined another request's flight: the construct span belongs to
+		// the initiating caller's trace, so record the wait explicitly.
+		sp.AddCompleted("singleflight-wait", waitStart, time.Since(waitStart))
+		sp.SetAttr("coalesced", true)
 	}
 	return c, false, err
 }
@@ -225,9 +242,16 @@ func (e *Engine) diff(ctx context.Context, a, b *Compiled, construct time.Durati
 	key := a.Hash + "|" + b.Hash
 	if r, ok := e.reports.get(key); ok {
 		e.observeGet(cacheReport, true)
+		trace.Event(ctx, "cache-lookup",
+			trace.A("cache", "report"), trace.A("hit", true))
 		return r, true, nil
 	}
 	e.observeGet(cacheReport, false)
+	trace.Event(ctx, "cache-lookup",
+		trace.A("cache", "report"), trace.A("hit", false))
+	ctx, sp := trace.Start(ctx, "diff")
+	defer sp.End()
+	waitStart := time.Now()
 	r, shared, err := e.reportFlights.do(ctx, key, func(fctx context.Context) (*compare.Report, error) {
 		if r, ok := e.reports.get(key); ok {
 			return r, nil
@@ -245,6 +269,8 @@ func (e *Engine) diff(ctx context.Context, a, b *Compiled, construct time.Durati
 		if e.inst != nil {
 			e.inst.coalesced.With(cacheReport).Inc()
 		}
+		sp.AddCompleted("singleflight-wait", waitStart, time.Since(waitStart))
+		sp.SetAttr("coalesced", true)
 	}
 	return r, false, err
 }

@@ -20,6 +20,7 @@ import (
 	"diversefw/internal/field"
 	"diversefw/internal/interval"
 	"diversefw/internal/rule"
+	"diversefw/internal/trace"
 )
 
 // ErrIncomplete marks construction failures caused by a non-comprehensive
@@ -95,6 +96,9 @@ func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, eff
 	if p.Size() == 0 {
 		return nil, nil, fmt.Errorf("fdd: cannot construct from an empty policy")
 	}
+	ctx, sp := trace.Start(ctx, "construct")
+	defer sp.End()
+	sp.SetAttr("rules", p.Size())
 	effective = make([]bool, p.Size())
 	ap := newAppender(p.Schema)
 	root := ap.buildPath(p.Rules[0].Pred, 0, p.Rules[0].Decision)
@@ -120,11 +124,45 @@ func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, eff
 			f.Root = in.ReduceNode(p.Schema, f.Root)
 		}
 	}
+	if sp != nil {
+		// The pre/post-reduction delta is the paper's blow-up signal: how
+		// much structure the final hash-consing pass collapsed.
+		nodes, edges := countGraph(f.Root)
+		sp.SetAttr("nodesPreReduce", nodes)
+		sp.SetAttr("edgesPreReduce", edges)
+	}
 	f.Root = in.ReduceNode(p.Schema, f.Root)
 	if err := f.checkComplete(); err != nil {
 		return nil, nil, fmt.Errorf("fdd: %w: %w", ErrIncomplete, err)
 	}
+	if sp != nil {
+		nodes, edges := countGraph(f.Root)
+		sp.SetAttr("nodes", nodes)
+		sp.SetAttr("edges", edges)
+	}
 	return f, effective, nil
+}
+
+// countGraph counts distinct nodes and edges of the DAG rooted at root.
+// Unlike Stats it never enumerates decision paths, whose count can be
+// exponential in the node count on reduced diagrams — this is the cheap
+// walk trace attributes are allowed to pay for.
+func countGraph(root *Node) (nodes, edges int) {
+	seen := make(map[*Node]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		nodes++
+		edges += len(n.Edges)
+		for _, e := range n.Edges {
+			walk(e.To)
+		}
+	}
+	walk(root)
+	return nodes, edges
 }
 
 // reduceEvery is how many appended rules pass between incremental

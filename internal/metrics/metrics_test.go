@@ -182,3 +182,69 @@ func render(r *Registry) string {
 	r.WritePrometheus(&b)
 	return b.String()
 }
+
+// TestHistogramConcurrentWithScrapes drives concurrent writers against a
+// histogram while the registry renders (the /metrics scrape racing live
+// requests) under -race: no observation may be lost, the sum must be
+// exact (the CAS loop cannot drop an add), and the rendered cumulative
+// bucket counts must be internally consistent.
+func TestHistogramConcurrentWithScrapes(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.NewHistogram("hc_seconds", "hc", nil)
+	hv := r.NewHistogramVec("hcv_seconds", "hcv", nil, "k")
+
+	const writers, perWriter = 8, 10000
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					render(r)
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(1.5)
+				hv.With("x").Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	const n = writers * perWriter
+	if h.Count() != n {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), n)
+	}
+	// 1.5 is exactly representable, so the CAS-summed total is exact.
+	if want := 1.5 * n; h.Sum() != want {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), want)
+	}
+	if hv.With("x").Count() != n {
+		t.Fatalf("vec histogram count = %d, want %d", hv.With("x").Count(), n)
+	}
+	out := render(r)
+	if !strings.Contains(out, `hc_seconds_bucket{le="+Inf"} 80000`) {
+		t.Fatalf("final render missing exact +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `hc_seconds_bucket{le="1"} 0`) {
+		t.Fatalf("1.5 observations leaked into the le=1 bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `hc_seconds_bucket{le="2.5"} 80000`) {
+		t.Fatalf("le=2.5 bucket should hold every 1.5 observation:\n%s", out)
+	}
+}

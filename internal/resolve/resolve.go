@@ -25,6 +25,7 @@ import (
 	"diversefw/internal/redundancy"
 	"diversefw/internal/rule"
 	"diversefw/internal/shape"
+	"diversefw/internal/trace"
 )
 
 // Plan is a resolution session for one pair of firewalls: the comparison
@@ -127,25 +128,40 @@ func (p *Plan) referenceSemantics() (*rule.Policy, error) {
 // FDD according to the resolution, and run the structured-design generator
 // on the result (Section 6.1).
 func (p *Plan) Method1() (*rule.Policy, error) {
+	return p.Method1Context(context.Background())
+}
+
+// Method1Context is Method1 with cancellation and tracing: the pipeline
+// stages it runs poll ctx, and when ctx carries a trace the generation
+// appears as a "resolve-generate" span over the construct/shape children.
+func (p *Plan) Method1Context(ctx context.Context) (*rule.Policy, error) {
 	if !p.Resolved() {
 		return nil, fmt.Errorf("resolve: method 1: unresolved discrepancies remain")
 	}
-	fa, err := fdd.Construct(p.A)
+	ctx, sp := trace.Start(ctx, "resolve-generate")
+	defer sp.End()
+	sp.SetAttr("method", "fdd")
+	fa, err := fdd.ConstructContext(ctx, p.A)
 	if err != nil {
 		return nil, err
 	}
-	fb, err := fdd.Construct(p.B)
+	fb, err := fdd.ConstructContext(ctx, p.B)
 	if err != nil {
 		return nil, err
 	}
-	sa, sb, err := shape.MakeSemiIsomorphic(fa, fb)
+	sa, sb, err := shape.MakeSemiIsomorphicContext(ctx, fa, fb)
 	if err != nil {
 		return nil, err
 	}
 	if err := p.correctTerminals(sa, sb); err != nil {
 		return nil, err
 	}
-	return gen.Generate(sa)
+	out, err := gen.Generate(sa)
+	if err != nil {
+		return nil, err
+	}
+	sp.SetAttr("rules", out.Size())
+	return out, nil
 }
 
 // correctTerminals walks the semi-isomorphic pair; wherever the terminals
@@ -236,8 +252,22 @@ func (p *Plan) CorrectedFDDs() (*fdd.FDD, *fdd.FDD, error) {
 // incorrectly, then remove redundant rules. useA selects which original
 // to start from.
 func (p *Plan) Method2(useA bool) (*rule.Policy, error) {
+	return p.Method2Context(context.Background(), useA)
+}
+
+// Method2Context is Method2 with cancellation and tracing (a
+// "resolve-generate" span with method "a" or "b" and the correction
+// count; the redundancy removal dominates its duration).
+func (p *Plan) Method2Context(ctx context.Context, useA bool) (*rule.Policy, error) {
 	if !p.Resolved() {
 		return nil, fmt.Errorf("resolve: method 2: unresolved discrepancies remain")
+	}
+	_, sp := trace.Start(ctx, "resolve-generate")
+	defer sp.End()
+	if useA {
+		sp.SetAttr("method", "a")
+	} else {
+		sp.SetAttr("method", "b")
 	}
 	base := p.B
 	wrongDecision := func(i int) rule.Decision { return p.Report.Discrepancies[i].B }
@@ -251,6 +281,7 @@ func (p *Plan) Method2(useA bool) (*rule.Policy, error) {
 			corrections = append(corrections, rule.Rule{Pred: d.Pred.Clone(), Decision: p.Decisions[i]})
 		}
 	}
+	sp.SetAttr("corrections", len(corrections))
 	composed, err := rule.NewPolicy(base.Schema, append(corrections, base.Rules...))
 	if err != nil {
 		return nil, err
@@ -259,6 +290,7 @@ func (p *Plan) Method2(useA bool) (*rule.Policy, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("rules", compacted.Size())
 	return compacted, nil
 }
 
@@ -266,17 +298,27 @@ func (p *Plan) Method2(useA bool) (*rule.Policy, error) {
 // resolved semantics: the agreed decision on every discrepancy region and
 // the (already agreeing) original behaviour everywhere else.
 func (p *Plan) Verify(candidate *rule.Policy) error {
+	return p.VerifyContext(context.Background(), candidate)
+}
+
+// VerifyContext is Verify with cancellation and tracing (a
+// "resolve-verify" span wrapping the reference-vs-candidate diff).
+func (p *Plan) VerifyContext(ctx context.Context, candidate *rule.Policy) error {
 	if !p.Resolved() {
 		return fmt.Errorf("resolve: verify: unresolved discrepancies remain")
 	}
+	ctx, sp := trace.Start(ctx, "resolve-verify")
+	defer sp.End()
 	ref, err := p.referenceSemantics()
 	if err != nil {
 		return err
 	}
-	eq, err := compare.Equivalent(ref, candidate)
+	r, err := compare.DiffContext(ctx, ref, candidate)
 	if err != nil {
 		return err
 	}
+	eq := r.Equivalent()
+	sp.SetAttr("equivalent", eq)
 	if !eq {
 		return fmt.Errorf("resolve: candidate firewall deviates from the resolved semantics")
 	}

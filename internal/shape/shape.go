@@ -21,6 +21,7 @@ import (
 	"diversefw/internal/fdd"
 	"diversefw/internal/field"
 	"diversefw/internal/interval"
+	"diversefw/internal/trace"
 )
 
 // MakeSemiIsomorphic returns semi-isomorphic simple FDDs equivalent to fa
@@ -42,6 +43,8 @@ func MakeSemiIsomorphicContext(ctx context.Context, fa, fb *fdd.FDD) (*fdd.FDD, 
 	if !fa.Schema.Equal(fb.Schema) {
 		return nil, nil, fmt.Errorf("shape: schemas differ: %v vs %v", fa.Schema, fb.Schema)
 	}
+	_, sp := trace.Start(ctx, "shape")
+	defer sp.End()
 	// The shaping algorithm requires simple FDDs (Section 4.1); Simplify
 	// also deep-copies, so the callers' diagrams stay untouched.
 	sa, sb := fa.Simplify(), fb.Simplify()
@@ -49,6 +52,14 @@ func MakeSemiIsomorphicContext(ctx context.Context, fa, fb *fdd.FDD) (*fdd.FDD, 
 	s.shapeRoots(&sa.Root, &sb.Root)
 	if s.canceled.Load() {
 		return nil, nil, fmt.Errorf("shape: canceled: %w", ctx.Err())
+	}
+	if sp != nil {
+		// The paper's §4 complexity drivers: how many edges the common
+		// refinement split, how many subtrees replication duplicated, and
+		// how many nodes insertion spliced in to align skipped fields.
+		sp.SetAttr("edgeSplits", s.splits)
+		sp.SetAttr("subgraphCopies", s.copies)
+		sp.SetAttr("nodeInsertions", s.inserts)
 	}
 	return sa, sb, nil
 }
@@ -62,31 +73,34 @@ const cancelCheckEvery = 256
 // shapeRoots shapes the root pair, then hands the per-root-edge
 // subproblems — independent by the tree property — to parallel workers.
 func (s *shaper) shapeRoots(pa, pb **fdd.Node) {
-	outA, outB := s.align(pa, pb)
+	rootSt := newWalkState()
+	outA, outB := s.align(pa, pb, rootSt)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(outA) {
 		workers = len(outA)
 	}
 	if workers < 2 {
-		budget := cancelCheckEvery
 		for k := range outA {
-			s.shapePair(&outA[k].To, &outB[k].To, &budget)
+			s.shapePair(&outA[k].To, &outB[k].To, rootSt)
 		}
+		s.merge(rootSt)
 		return
 	}
+	s.merge(rootSt)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			budget := cancelCheckEvery
+			st := newWalkState()
+			defer s.merge(st)
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= len(outA) {
 					return
 				}
-				s.shapePair(&outA[k].To, &outB[k].To, &budget)
+				s.shapePair(&outA[k].To, &outB[k].To, st)
 			}
 		}()
 	}
@@ -99,20 +113,49 @@ type shaper struct {
 	// canceled latches the first worker's ctx observation so every other
 	// worker (and the sequential path) bails without re-polling.
 	canceled atomic.Bool
+
+	// Shaping-operation totals, merged from the workers' walkStates once
+	// each finishes (never touched on the hot path).
+	statsMu sync.Mutex
+	splits  int
+	copies  int
+	inserts int
+}
+
+// walkState is one goroutine's private shaping state: the cancellation
+// countdown plus counters for the three shaping operations. Keeping the
+// counters goroutine-local (merged once at worker exit) means tracing
+// adds no shared-memory traffic to the recursion.
+type walkState struct {
+	budget  int
+	splits  int
+	copies  int
+	inserts int
+}
+
+func newWalkState() *walkState { return &walkState{budget: cancelCheckEvery} }
+
+// merge folds a finished goroutine's counters into the shaper totals.
+func (s *shaper) merge(st *walkState) {
+	s.statsMu.Lock()
+	s.splits += st.splits
+	s.copies += st.copies
+	s.inserts += st.inserts
+	s.statsMu.Unlock()
 }
 
 // stop reports whether shaping should abort, polling ctx once per
-// cancelCheckEvery calls. budget is the caller goroutine's local
+// cancelCheckEvery calls. st.budget is the caller goroutine's local
 // countdown, kept outside the shared shaper so workers do not contend.
-func (s *shaper) stop(budget *int) bool {
+func (s *shaper) stop(st *walkState) bool {
 	if s.canceled.Load() {
 		return true
 	}
-	*budget--
-	if *budget > 0 {
+	st.budget--
+	if st.budget > 0 {
 		return false
 	}
-	*budget = cancelCheckEvery
+	st.budget = cancelCheckEvery
 	if s.ctx.Err() != nil {
 		s.canceled.Store(true)
 		return true
@@ -131,24 +174,24 @@ func (s *shaper) fieldOf(n *fdd.Node) int {
 
 // shapePair makes the two shapable nodes *pa and *pb semi-isomorphic
 // (Node_Shaping, Fig. 10). The references allow node insertion to splice a
-// new node above either one. budget is the goroutine-local cancellation
-// countdown (see shaper.stop); on cancellation the recursion unwinds
-// immediately, leaving the pair partially shaped.
-func (s *shaper) shapePair(pa, pb **fdd.Node, budget *int) {
-	if s.stop(budget) {
+// new node above either one. st is the goroutine-local cancellation
+// countdown and operation counters (see shaper.stop); on cancellation the
+// recursion unwinds immediately, leaving the pair partially shaped.
+func (s *shaper) shapePair(pa, pb **fdd.Node, st *walkState) {
+	if s.stop(st) {
 		return
 	}
-	outA, outB := s.align(pa, pb)
+	outA, outB := s.align(pa, pb, st)
 	// The paired children are now shapable; recurse.
 	for k := range outA {
-		s.shapePair(&outA[k].To, &outB[k].To, budget)
+		s.shapePair(&outA[k].To, &outB[k].To, st)
 	}
 }
 
 // align performs the node-insertion and edge-splitting steps on the pair
 // (*pa, *pb) and returns the refined edge lists, paired index by index.
 // Both lists are empty iff both nodes are terminal.
-func (s *shaper) align(pa, pb **fdd.Node) (outA, outB []*fdd.Edge) {
+func (s *shaper) align(pa, pb **fdd.Node, st *walkState) (outA, outB []*fdd.Edge) {
 	a, b := *pa, *pb
 	if a.IsTerminal() && b.IsTerminal() {
 		return nil, nil
@@ -161,8 +204,10 @@ func (s *shaper) align(pa, pb **fdd.Node) (outA, outB []*fdd.Edge) {
 	switch ka, kb := s.fieldOf(a), s.fieldOf(b); {
 	case ka < kb:
 		b = s.insertAbove(pb, ka)
+		st.inserts++
 	case kb < ka:
 		a = s.insertAbove(pa, kb)
+		st.inserts++
 	}
 
 	// Step 2 — edge splitting + subgraph replication: refine both edge
@@ -178,8 +223,8 @@ func (s *shaper) align(pa, pb **fdd.Node) (outA, outB []*fdd.Edge) {
 		if ib.Hi < hi {
 			hi = ib.Hi
 		}
-		outA = append(outA, s.slicePiece(a.Edges, i, hi))
-		outB = append(outB, s.slicePiece(b.Edges, j, hi))
+		outA = append(outA, s.slicePiece(a.Edges, i, hi, st))
+		outB = append(outB, s.slicePiece(b.Edges, j, hi, st))
 		if ia.Hi == hi {
 			i++
 		}
@@ -207,12 +252,16 @@ func (s *shaper) insertAbove(ref **fdd.Node, k int) *fdd.Node {
 // whole remaining edge, the edge itself is reused; otherwise the piece
 // gets a fresh copy of the subtree (subgraph replication) and edges[i] is
 // shrunk to the remainder [hi+1, curHi] keeping the original subtree.
-func (s *shaper) slicePiece(edges []*fdd.Edge, i int, hi uint64) *fdd.Edge {
+// Every carve is one edge split and one subgraph replication, counted on
+// st for the shape span's attributes.
+func (s *shaper) slicePiece(edges []*fdd.Edge, i int, hi uint64, st *walkState) *fdd.Edge {
 	e := edges[i]
 	iv := singleInterval(e)
 	if iv.Hi == hi {
 		return e
 	}
+	st.splits++
+	st.copies++
 	piece := &fdd.Edge{
 		Label: interval.SetOf(iv.Lo, hi),
 		To:    e.To.Copy(),

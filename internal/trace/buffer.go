@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Buffer retains completed traces: a bounded ring of the most recent
+// records, plus a separate slowest-N list of traces whose root duration
+// met a threshold — the slow ones are what an operator actually needs,
+// and the ring alone would evict them under steady load. All methods
+// are safe for concurrent use; records are immutable snapshots, so a
+// Snapshot taken while writers are racing can neither tear a record nor
+// observe a half-written one.
+type Buffer struct {
+	mu       sync.Mutex
+	recent   []Record
+	next     int // ring index of the oldest entry once the ring is full
+	observed uint64
+
+	capacity      int
+	slowThreshold time.Duration
+	slowCap       int
+	slow          []Record // sorted by Root.DurationMicros, descending
+}
+
+// NewBuffer builds a buffer retaining the last capacity traces, plus up
+// to slowCapacity traces at least slowThreshold long. A slowCapacity of
+// 0 (or a zero threshold) disables slow retention.
+func NewBuffer(capacity int, slowThreshold time.Duration, slowCapacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if slowCapacity < 0 {
+		slowCapacity = 0
+	}
+	return &Buffer{
+		capacity:      capacity,
+		slowThreshold: slowThreshold,
+		slowCap:       slowCapacity,
+	}
+}
+
+// Observe snapshots a finished trace, retains the record, and returns it
+// so the caller can reuse the snapshot (e.g. for span metrics) without
+// paying for a second one.
+func (b *Buffer) Observe(t *Trace) Record {
+	rec := t.Snapshot()
+	b.Add(rec)
+	return rec
+}
+
+// Add retains an already-snapshotted record.
+func (b *Buffer) Add(rec Record) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observed++
+	if len(b.recent) < b.capacity {
+		b.recent = append(b.recent, rec)
+	} else {
+		b.recent[b.next] = rec
+		b.next = (b.next + 1) % b.capacity
+	}
+	if b.slowCap > 0 && b.slowThreshold > 0 &&
+		rec.Root.DurationMicros >= b.slowThreshold.Microseconds() {
+		i := sort.Search(len(b.slow), func(i int) bool {
+			return b.slow[i].Root.DurationMicros < rec.Root.DurationMicros
+		})
+		b.slow = append(b.slow, Record{})
+		copy(b.slow[i+1:], b.slow[i:])
+		b.slow[i] = rec
+		if len(b.slow) > b.slowCap {
+			b.slow = b.slow[:b.slowCap]
+		}
+	}
+}
+
+// Snapshot is the state served at GET /debug/traces.
+type Snapshot struct {
+	Capacity            int      `json:"capacity"`
+	Observed            uint64   `json:"observed"`
+	SlowThresholdMillis float64  `json:"slowThresholdMillis,omitempty"`
+	Recent              []Record `json:"recent"`
+	Slow                []Record `json:"slow,omitempty"`
+}
+
+// Snapshot returns the retained traces: the recent ring oldest-first,
+// and the slow list slowest-first.
+func (b *Buffer) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recent := make([]Record, 0, len(b.recent))
+	if len(b.recent) == b.capacity {
+		recent = append(recent, b.recent[b.next:]...)
+		recent = append(recent, b.recent[:b.next]...)
+	} else {
+		recent = append(recent, b.recent...)
+	}
+	slow := make([]Record, len(b.slow))
+	copy(slow, b.slow)
+	return Snapshot{
+		Capacity:            b.capacity,
+		Observed:            b.observed,
+		SlowThresholdMillis: float64(b.slowThreshold) / float64(time.Millisecond),
+		Recent:              recent,
+		Slow:                slow,
+	}
+}

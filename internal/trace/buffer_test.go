@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rec builds a synthetic record with a chosen duration, bypassing the
+// clock so retention logic is testable deterministically.
+func rec(name string, d time.Duration) Record {
+	return Record{
+		TraceID: name,
+		Root:    SpanRecord{Name: name, DurationMicros: d.Microseconds()},
+	}
+}
+
+func TestBufferRing(t *testing.T) {
+	b := NewBuffer(3, 0, 0)
+	for i := 1; i <= 5; i++ {
+		b.Add(rec(fmt.Sprintf("t%d", i), time.Duration(i)*time.Millisecond))
+	}
+	s := b.Snapshot()
+	if s.Observed != 5 {
+		t.Fatalf("Observed = %d, want 5", s.Observed)
+	}
+	if s.Capacity != 3 {
+		t.Fatalf("Capacity = %d, want 3", s.Capacity)
+	}
+	var names []string
+	for _, r := range s.Recent {
+		names = append(names, r.TraceID)
+	}
+	want := []string{"t3", "t4", "t5"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("Recent = %v, want %v (oldest first)", names, want)
+	}
+	if len(s.Slow) != 0 {
+		t.Fatalf("slow retention disabled but Slow = %v", s.Slow)
+	}
+}
+
+func TestBufferSlowRetention(t *testing.T) {
+	b := NewBuffer(2, 10*time.Millisecond, 3)
+	durations := []time.Duration{
+		5 * time.Millisecond,  // under threshold
+		50 * time.Millisecond, // kept
+		20 * time.Millisecond, // kept
+		80 * time.Millisecond, // kept
+		30 * time.Millisecond, // kept, evicts the 20ms one
+	}
+	for i, d := range durations {
+		b.Add(rec(fmt.Sprintf("t%d", i), d))
+	}
+	s := b.Snapshot()
+	if len(s.Slow) != 3 {
+		t.Fatalf("Slow has %d entries, want 3", len(s.Slow))
+	}
+	// Slowest first; the 20ms trace fell off the end.
+	wantMicros := []int64{80000, 50000, 30000}
+	for i, w := range wantMicros {
+		if got := s.Slow[i].Root.DurationMicros; got != w {
+			t.Fatalf("Slow[%d] = %dµs, want %dµs (full: %+v)", i, got, w, s.Slow)
+		}
+	}
+	// The ring meanwhile only holds the last 2, independent of slowness.
+	if len(s.Recent) != 2 {
+		t.Fatalf("Recent has %d entries, want 2", len(s.Recent))
+	}
+}
+
+func TestBufferCapacityClamp(t *testing.T) {
+	b := NewBuffer(0, 0, -1)
+	b.Add(rec("only", time.Millisecond))
+	b.Add(rec("newer", time.Millisecond))
+	s := b.Snapshot()
+	if s.Capacity != 1 || len(s.Recent) != 1 || s.Recent[0].TraceID != "newer" {
+		t.Fatalf("clamped buffer snapshot = %+v", s)
+	}
+}
+
+// TestBufferConcurrent drives writers against concurrent snapshotters
+// under -race: no record may be lost or torn (a record's TraceID and
+// root name are written together and must always agree), and the final
+// observed count must be exact.
+func TestBufferConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 200
+	b := NewBuffer(64, 5*time.Millisecond, 16)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshotters racing the writers, checking every record they see.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := b.Snapshot()
+				for _, r := range append(s.Recent, s.Slow...) {
+					if r.TraceID != r.Root.Name {
+						t.Errorf("torn record: traceId %q but root %q", r.TraceID, r.Root.Name)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writeWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWg.Add(1)
+		go func(w int) {
+			defer writeWg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				// Mix real Trace observation with synthetic records so both
+				// entry points race the snapshotters.
+				if i%2 == 0 {
+					_, tr := New(context.Background(), id, id)
+					tr.Finish()
+					b.Observe(tr)
+				} else {
+					b.Add(rec(id, time.Duration(i)*time.Millisecond))
+				}
+			}
+		}(w)
+	}
+	writeWg.Wait()
+	close(stop)
+	wg.Wait()
+
+	s := b.Snapshot()
+	if want := uint64(writers * perWriter); s.Observed != want {
+		t.Fatalf("Observed = %d, want %d", s.Observed, want)
+	}
+	if len(s.Recent) != 64 {
+		t.Fatalf("ring holds %d records, want full capacity 64", len(s.Recent))
+	}
+	if len(s.Slow) != 16 {
+		t.Fatalf("slow list holds %d records, want full capacity 16", len(s.Slow))
+	}
+	// Slow list stays sorted, slowest first.
+	for i := 1; i < len(s.Slow); i++ {
+		if s.Slow[i].Root.DurationMicros > s.Slow[i-1].Root.DurationMicros {
+			t.Fatalf("slow list out of order at %d: %d > %d",
+				i, s.Slow[i].Root.DurationMicros, s.Slow[i-1].Root.DurationMicros)
+		}
+	}
+}
+
+// TestSpanConcurrentChildren covers the pipeline's real shape: two
+// goroutines adding children and attrs to the same parent while another
+// snapshots it.
+func TestSpanConcurrentChildren(t *testing.T) {
+	_, tr := New(context.Background(), "root", "")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := root.StartChild(fmt.Sprintf("g%d-%d", g, i))
+				c.SetAttr("i", i)
+				c.End()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	tr.Finish()
+	if got := len(tr.Snapshot().Root.Children); got != 400 {
+		t.Fatalf("root has %d children, want 400", got)
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// chromeEvent is one complete ("X"-phase) event in the Chrome
+// trace_event JSON-array format, loadable in about:tracing or Perfetto.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders records as a Chrome trace_event JSON array. Each
+// trace becomes its own "thread" (tid = index+1) so concurrent requests
+// stack as separate rows instead of overlapping on one.
+func WriteChrome(w io.Writer, records []Record) error {
+	events := make([]chromeEvent, 0, len(records)*4)
+	for i, rec := range records {
+		tid := i + 1
+		rec.Root.Walk(func(s SpanRecord) {
+			ev := chromeEvent{
+				Name:  s.Name,
+				Phase: "X",
+				Ts:    s.StartUnixMicros,
+				Dur:   s.DurationMicros,
+				PID:   1,
+				TID:   tid,
+			}
+			if len(s.Attrs) > 0 || s.Name == rec.Root.Name {
+				ev.Args = make(map[string]any, len(s.Attrs)+1)
+				for k, v := range s.Attrs {
+					ev.Args[k] = v
+				}
+				if s.Name == rec.Root.Name {
+					ev.Args["traceId"] = rec.TraceID
+				}
+			}
+			events = append(events, ev)
+		})
+	}
+	return json.NewEncoder(w).Encode(events)
+}
+
+// FileDoc is the envelope the CLIs' -trace flag writes: the same Record
+// schema the server serves, wrapped so the file is self-describing and
+// can later hold more than one trace.
+type FileDoc struct {
+	Traces []Record `json:"traces"`
+}
+
+// WriteFileJSON writes records to path as an indented FileDoc.
+func WriteFileJSON(path string, records ...Record) error {
+	buf, err := json.MarshalIndent(FileDoc{Traces: records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

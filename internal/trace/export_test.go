@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChromeRoundTrip(t *testing.T) {
+	ctx, tr := New(context.Background(), "/v1/diff", "feedbeef00000000")
+	tr.Root().SetAttr("requestId", "r1")
+	_, sp := Start(ctx, "construct")
+	sp.SetAttr("nodes", 7)
+	sp.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []Record{tr.Snapshot(), tr.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4 (2 traces x 2 spans)", len(events))
+	}
+	var sawRoot, sawConstruct bool
+	tids := map[float64]bool{}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event phase = %v, want X", ev["ph"])
+		}
+		tids[ev["tid"].(float64)] = true
+		switch ev["name"] {
+		case "/v1/diff":
+			sawRoot = true
+			args := ev["args"].(map[string]any)
+			if args["traceId"] != "feedbeef00000000" {
+				t.Fatalf("root args = %v", args)
+			}
+		case "construct":
+			sawConstruct = true
+			if ev["args"].(map[string]any)["nodes"] != float64(7) {
+				t.Fatalf("construct args = %v", ev["args"])
+			}
+		}
+	}
+	if !sawRoot || !sawConstruct {
+		t.Fatalf("missing events: root=%v construct=%v", sawRoot, sawConstruct)
+	}
+	if len(tids) != 2 {
+		t.Fatalf("traces share tids: %v", tids)
+	}
+}
+
+func TestWriteFileJSON(t *testing.T) {
+	_, tr := New(context.Background(), "fwdiff", "")
+	tr.Finish()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteFileJSON(path, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc FileDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].Root.Name != "fwdiff" {
+		t.Fatalf("round-tripped doc = %+v", doc)
+	}
+}

@@ -18,3 +18,19 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# The observability primitives are the layer every request path shares,
+# so their concurrency tests rerun uncached: a flaky span buffer or
+# histogram race must not hide behind a stale test-cache entry.
+GOFLAGS=-count=1 go vet ./internal/trace/...
+GOFLAGS=-count=1 go test -race ./internal/trace/... ./internal/metrics/...
+
+# Performance gate: the traced pipeline must stay within 5% of the
+# last committed snapshot on the phases tracing touches. Skippable for
+# doc-only loops (SKIP_BENCH_GATE=1) — CI always runs it.
+if [ "${SKIP_BENCH_GATE:-}" != "1" ]; then
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    go run ./cmd/fwbench -json -out "$tmpdir" \
+        -baseline results/BENCH_2.json -gate 5 -gatephases construct,compare
+fi
