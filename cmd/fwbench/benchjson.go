@@ -59,7 +59,40 @@ type benchReport struct {
 	// per policy, so its stats are the pair's totals) — the deep FDD
 	// shape of the workload alongside its timings.
 	SpanStats map[string]map[string]int64 `json:"span_stats,omitempty"`
+	// Overload is the admission-control measurement: offered load above
+	// capacity, shed rate, and latency of the admitted requests.
+	Overload *overloadResult `json:"overload,omitempty"`
+	// CalibrationNsPerOp is the ns/op of a fixed allocation-free integer
+	// workload measured alongside the phases. It captures the machine's
+	// speed at snapshot time (host frequency scaling and noisy
+	// neighbors shift this box's timings by tens of percent between
+	// sessions with byte-identical allocation profiles), so the gate
+	// can compare code speed rather than machine speed.
+	CalibrationNsPerOp int64 `json:"calibration_ns_per_op,omitempty"`
 }
+
+// calibrate measures the fixed reference workload: 1<<24 xorshift64
+// steps, no allocation, no memory traffic beyond registers — pure CPU.
+// Code changes in the repo cannot affect it; only the machine can.
+func calibrate() int64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		var sum uint64
+		for i := 0; i < b.N; i++ {
+			x := uint64(88172645463325252)
+			for j := 0; j < 1<<24; j++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				sum += x
+			}
+		}
+		calibrationSink = sum
+	})
+	return r.NsPerOp()
+}
+
+// calibrationSink defeats dead-code elimination of the calibration loop.
+var calibrationSink uint64
 
 // gitCommit best-effort resolves HEAD for provenance; benchmarks must
 // still work from an exported tarball.
@@ -193,14 +226,16 @@ func benchJSON(cfg config) error {
 	}
 
 	report := benchReport{
-		Schema:     benchSchema,
-		GitCommit:  gitCommit(),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		When:       time.Now().UTC().Format(time.RFC3339),
-		Rules:      cfg.benchRules,
-		Trials:     cfg.trials,
+		Schema:             benchSchema,
+		GitCommit:          gitCommit(),
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		When:               time.Now().UTC().Format(time.RFC3339),
+		Rules:              cfg.benchRules,
+		Trials:             cfg.trials,
+		CalibrationNsPerOp: calibrate(),
 	}
+	fmt.Printf("machine calibration: %d ns/op (fixed CPU reference workload)\n", report.CalibrationNsPerOp)
 	fmt.Println("phase            ns/op          B/op           allocs/op")
 	for _, p := range phases {
 		// Settle the heap so phase k+1 is not taxed for phase k's garbage
@@ -227,6 +262,12 @@ func benchJSON(cfg config) error {
 		fmt.Printf("\ntracing overhead: %+.2f%% (traced vs untraced end-to-end diff)\n", report.TracedOverheadPct)
 	}
 	report.SpanStats = spanStats(pa, pb)
+
+	overload, err := runOverload(cfg.benchRules)
+	if err != nil {
+		return err
+	}
+	report.Overload = overload
 
 	if base != nil {
 		report.Baseline = cfg.baseline
@@ -286,7 +327,7 @@ func benchJSON(cfg config) error {
 			}
 			return 0, false
 		}
-		return gate(cfg, base, report.Phases, remeasure)
+		return gate(cfg, base, &report, remeasure)
 	}
 	return nil
 }
@@ -301,10 +342,23 @@ func benchJSON(cfg config) error {
 // regression cannot benchmark faster than the code allows). The
 // snapshot keeps the first measurement; retries only inform the
 // verdict.
-func gate(cfg config, base *benchReport, phases []phaseResult, remeasure func(string) (int64, bool)) error {
+//
+// When both snapshots carry a machine calibration, the baseline is
+// rescaled by the calibration ratio first: this box's absolute timings
+// drift by tens of percent between sessions on byte-identical
+// workloads (host frequency and neighbors), and without normalization
+// the gate measures the machine, not the code. Uncalibrated baselines
+// are compared absolutely, as before.
+func gate(cfg config, base *benchReport, report *benchReport, remeasure func(string) (int64, bool)) error {
+	phases := report.Phases
+	scale := 1.0
+	if base.CalibrationNsPerOp > 0 && report.CalibrationNsPerOp > 0 {
+		scale = float64(report.CalibrationNsPerOp) / float64(base.CalibrationNsPerOp)
+		fmt.Printf("gate: machine calibration ratio %.3f vs baseline (baseline limits rescaled)\n", scale)
+	}
 	baseNs := make(map[string]int64, len(base.Phases))
 	for _, p := range base.Phases {
-		baseNs[p.Name] = p.NsPerOp
+		baseNs[p.Name] = int64(float64(p.NsPerOp) * scale)
 	}
 	curNs := make(map[string]int64, len(phases))
 	for _, p := range phases {

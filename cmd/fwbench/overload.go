@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"diversefw/internal/admission"
+	"diversefw/internal/api"
+	"diversefw/internal/engine"
+	"diversefw/internal/guard"
+	"diversefw/internal/metrics"
+	"diversefw/internal/rule"
+	"diversefw/internal/synth"
+)
+
+// overloadResult is the -json snapshot of the overload phase: offered
+// load deliberately above capacity, measuring how much the admission
+// controller sheds and what latency the admitted requests see. The
+// resilience claim in numbers: under 8x oversubscription the server
+// answers every request — most with a fast 503, the admitted ones at a
+// bounded p99 — instead of queueing without limit.
+type overloadResult struct {
+	Workers       int     `json:"workers"`
+	Capacity      int     `json:"capacity"`
+	Queue         int     `json:"queue"`
+	Offered       int     `json:"offered_requests"`
+	Admitted      int     `json:"admitted"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	ShedRatePct   float64 `json:"shed_rate_pct"`
+	P50AdmittedMs float64 `json:"p50_admitted_ms"`
+	P99AdmittedMs float64 `json:"p99_admitted_ms"`
+}
+
+// runOverload drives `workers` concurrent clients, each issuing fresh
+// (uncached) diff requests, against a server admitting only `capacity`
+// at a time. Every request either completes the analysis (200), sheds
+// with 503/429, or is an error; the three must sum to the offered load.
+func runOverload(benchRules int) (*overloadResult, error) {
+	const (
+		workers   = 16
+		capacity  = 2
+		queue     = 2
+		perWorker = 20
+	)
+	eng := engine.New(engine.Config{
+		Limits: guard.Limits{MaxFDDNodes: 5_000_000, MaxEdgeSplits: 5_000_000},
+	})
+	srv := api.NewServer(
+		api.WithEngine(eng),
+		api.WithMetrics(metrics.NewRegistry()),
+		api.WithAdmission(admission.Config{
+			MaxInFlight:   capacity,
+			MaxQueue:      queue,
+			QueueDeadline: 250 * time.Millisecond,
+		}),
+	)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Each request diffs a distinct perturbation of the base pair so
+	// every admitted request pays the real compile cost; a warm-cache
+	// storm would measure the shedder against no-op work.
+	rules := benchRules
+	if rules > 300 {
+		rules = 300 // keep the overload phase seconds, not minutes
+	}
+	base := synth.Synthetic(synth.Config{Rules: rules, Seed: 1})
+	baseText := rule.FormatPolicy(base)
+	makeBody := func(seq int) string {
+		perturbed, _ := synth.Perturb(base, 10, int64(seq))
+		a, _ := json.Marshal(baseText)
+		b, _ := json.Marshal(rule.FormatPolicy(perturbed))
+		return `{"schema":"five","a":` + string(a) + `,"b":` + string(b) + `}`
+	}
+
+	type sample struct {
+		status int
+		dur    time.Duration
+		err    bool
+	}
+	samples := make([]sample, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; i < perWorker; i++ {
+				seq := w*perWorker + i
+				body := makeBody(seq)
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/diff", "application/json", strings.NewReader(body))
+				if err != nil {
+					samples[seq] = sample{err: true}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				samples[seq] = sample{status: resp.StatusCode, dur: time.Since(t0)}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &overloadResult{Workers: workers, Capacity: capacity, Queue: queue, Offered: len(samples)}
+	var admittedMs []float64
+	for _, s := range samples {
+		switch {
+		case s.err:
+			res.Errors++
+		case s.status == http.StatusOK:
+			res.Admitted++
+			admittedMs = append(admittedMs, float64(s.dur.Microseconds())/1000)
+		case s.status == http.StatusServiceUnavailable || s.status == http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			res.Errors++
+		}
+	}
+	if res.Admitted == 0 {
+		return nil, fmt.Errorf("overload: no requests were admitted (shed %d, errors %d)", res.Shed, res.Errors)
+	}
+	if res.Errors > 0 {
+		return nil, fmt.Errorf("overload: %d requests failed outside the shed protocol", res.Errors)
+	}
+	res.ShedRatePct = 100 * float64(res.Shed) / float64(res.Offered)
+	sort.Float64s(admittedMs)
+	res.P50AdmittedMs = percentile(admittedMs, 50)
+	res.P99AdmittedMs = percentile(admittedMs, 99)
+
+	fmt.Printf("\n== overload: %d workers vs capacity %d+%d queue (GOMAXPROCS=%d) ==\n",
+		workers, capacity, queue, runtime.GOMAXPROCS(0))
+	fmt.Printf("offered %d  admitted %d  shed %d (%.1f%%)  p50 %.2fms  p99 %.2fms\n",
+		res.Offered, res.Admitted, res.Shed, res.ShedRatePct, res.P50AdmittedMs, res.P99AdmittedMs)
+	return res, nil
+}
+
+// percentile returns the p-th percentile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

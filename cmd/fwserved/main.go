@@ -7,8 +7,20 @@
 //
 //	fwserved [-addr :8080] [-request-timeout 60s] [-drain-timeout 15s]
 //	         [-compile-cache-mb 128] [-report-cache-mb 32]
+//	         [-max-fdd-nodes 2000000] [-max-inflight 4*cores]
+//	         [-admission-queue 64] [-queue-deadline 5s]
+//	         [-shed-threshold 1.0] [-max-per-client 16]
 //	         [-log-format json|text] [-log-level info]
 //	         [-trace-capacity 128] [-slow-trace-threshold 250ms]
+//
+// Resource governance (docs/ROBUSTNESS.md): every request runs under a
+// work budget (-max-fdd-nodes caps the pipeline's materialized FDD
+// nodes and edge splits; over-budget analyses return 422
+// policy_too_complex), and every /v1/* request passes admission control
+// (-max-inflight concurrent slots with a bounded queue; overflow and
+// queue timeouts return 503 server_overloaded with Retry-After, a
+// per-client cap returns 429 client_over_limit). /healthz reports
+// status ok|degraded|draining.
 //
 // Endpoints (see docs/API.md and docs/OBSERVABILITY.md for the full
 // reference):
@@ -64,14 +76,37 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"diversefw/internal/admission"
 	"diversefw/internal/api"
 	"diversefw/internal/engine"
+	"diversefw/internal/guard"
 	"diversefw/internal/metrics"
 	"diversefw/internal/trace"
 )
+
+// Resource-governance defaults (see docs/ROBUSTNESS.md for tuning).
+const (
+	// DefaultMaxFDDNodes caps one request's pipeline at ~2M materialized
+	// FDD nodes (~256 MiB at the guard's 128-byte node estimate) —
+	// orders of magnitude above any well-formed policy, well below what
+	// an adversarial blowup needs.
+	DefaultMaxFDDNodes = 2_000_000
+	// DefaultAdmissionQueue bounds waiting analysis requests.
+	DefaultAdmissionQueue = 64
+	// DefaultQueueDeadline bounds one request's wait for a slot.
+	DefaultQueueDeadline = 5 * time.Second
+	// DefaultMaxPerClient caps one client's concurrent analyses.
+	DefaultMaxPerClient = 16
+)
+
+// DefaultMaxInflight is the admission concurrency cap default: the
+// pipeline is CPU-bound, so a small multiple of the core count keeps
+// the queue (not the scheduler) absorbing bursts.
+var DefaultMaxInflight = 4 * runtime.GOMAXPROCS(0)
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -113,8 +148,20 @@ func run(args []string) int {
 		"how many recent request traces /debug/traces retains")
 	slowTraceThreshold := fs.Duration("slow-trace-threshold", api.DefaultSlowTraceThreshold,
 		"requests at least this slow are pinned in the slow-trace list (0 disables)")
+	maxFDDNodes := fs.Int64("max-fdd-nodes", DefaultMaxFDDNodes,
+		"per-request pipeline work budget in FDD nodes (and edge splits); over-budget requests get 422 policy_too_complex (0 disables)")
+	maxInflight := fs.Int("max-inflight", DefaultMaxInflight,
+		"admission control: max concurrently running analysis requests (0 disables admission control)")
+	admissionQueue := fs.Int("admission-queue", DefaultAdmissionQueue,
+		"admission control: max analysis requests waiting for a slot; arrivals beyond the shed point get 503 server_overloaded")
+	queueDeadline := fs.Duration("queue-deadline", DefaultQueueDeadline,
+		"admission control: max time a request may wait in the queue before being shed (0 waits as long as the request allows)")
+	shedThreshold := fs.Float64("shed-threshold", 1.0,
+		"admission control: shed new arrivals once the queue is this full (fraction of -admission-queue, in (0,1])")
+	maxPerClient := fs.Int("max-per-client", DefaultMaxPerClient,
+		"admission control: max concurrent analysis requests per client address; over-cap requests get 429 client_over_limit (0 disables)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-max-fdd-nodes n] [-max-inflight n] [-admission-queue n] [-queue-deadline d] [-shed-threshold f] [-max-per-client n] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -131,15 +178,31 @@ func run(args []string) int {
 		CompileCacheBytes: *compileCacheMB << 20,
 		ReportCacheBytes:  *reportCacheMB << 20,
 		Metrics:           reg,
+		Limits: guard.Limits{
+			// Splits share the node cap: every split replicates a
+			// subgraph, so the two resources blow up together.
+			MaxFDDNodes:   *maxFDDNodes,
+			MaxEdgeSplits: *maxFDDNodes,
+		},
 	})
 	traces := trace.NewBuffer(*traceCapacity, *slowTraceThreshold, api.DefaultSlowTraceCapacity)
-	handler := api.NewServer(
+	opts := []api.Option{
 		api.WithEngine(eng),
 		api.WithMetrics(reg),
 		api.WithLogger(logger),
 		api.WithRequestTimeout(*requestTimeout),
 		api.WithTracing(traces),
-	)
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, api.WithAdmission(admission.Config{
+			MaxInFlight:   *maxInflight,
+			MaxQueue:      *admissionQueue,
+			QueueDeadline: *queueDeadline,
+			ShedThreshold: *shedThreshold,
+			MaxPerClient:  *maxPerClient,
+		}))
+	}
+	handler := api.NewServer(opts...)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", handler)
@@ -172,13 +235,15 @@ func run(args []string) int {
 	defer signal.Stop(stop)
 	logger.Info("listening", "addr", ln.Addr().String(),
 		"requestTimeout", *requestTimeout, "drainTimeout", *drainTimeout)
-	return serve(srv, ln, stop, *drainTimeout, logger)
+	return serve(srv, ln, stop, *drainTimeout, handler.BeginDrain, logger)
 }
 
 // serve runs srv on ln until it fails or a signal arrives on stop, then
-// shuts down gracefully: the listener closes immediately, in-flight
+// shuts down gracefully: beginDrain (when non-nil) flips the app into
+// draining first — /healthz turns "draining" and admission control
+// rejects new analysis work — then the listener closes, in-flight
 // requests get up to drain to finish, and only then are connections cut.
-func serve(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, logger *slog.Logger) int {
+func serve(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, beginDrain func(), logger *slog.Logger) int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -191,6 +256,9 @@ func serve(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.
 		return 0
 	case sig := <-stop:
 		logger.Info("shutting down", "signal", fmt.Sprint(sig), "drainTimeout", drain)
+		if beginDrain != nil {
+			beginDrain()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -43,7 +43,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	addr := ln.Addr().String()
 	stop := make(chan os.Signal, 1)
 	exitCh := make(chan int, 1)
-	go func() { exitCh <- serve(srv, ln, stop, 5*time.Second, discardLogger()) }()
+	go func() { exitCh <- serve(srv, ln, stop, 5*time.Second, nil, discardLogger()) }()
 
 	respCh := make(chan *http.Response, 1)
 	errCh := make(chan error, 1)
@@ -117,7 +117,7 @@ func TestShutdownDrainDeadline(t *testing.T) {
 	}
 	stop := make(chan os.Signal, 1)
 	exitCh := make(chan int, 1)
-	go func() { exitCh <- serve(srv, ln, stop, 50*time.Millisecond, discardLogger()) }()
+	go func() { exitCh <- serve(srv, ln, stop, 50*time.Millisecond, nil, discardLogger()) }()
 
 	go func() {
 		resp, err := http.Get("http://" + ln.Addr().String() + "/")

@@ -1,0 +1,257 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	release, _, err := c.Admit(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if got := c.Status(); got != StatusOK {
+		t.Fatalf("nil Status = %q", got)
+	}
+	if got := c.Stats(); got != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", got)
+	}
+	c.BeginDrain() // must not panic
+}
+
+func TestInFlightCapAndQueue(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 1}, nil)
+	r1, _, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Status(); got != StatusDegraded {
+		t.Fatalf("at capacity Status = %q, want degraded", got)
+	}
+	// Second request queues; release of the first unblocks it.
+	done := make(chan error, 1)
+	go func() {
+		r2, queued, err := c.Admit(context.Background(), "b")
+		if err == nil {
+			if queued <= 0 {
+				t.Error("queued wait should be positive")
+			}
+			r2()
+		}
+		done <- err
+	}()
+	// Wait until it is actually queued before releasing.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r1()
+	if err := <-done; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+	if got := c.Status(); got != StatusOK {
+		t.Fatalf("idle Status = %q", got)
+	}
+	s := c.Stats()
+	if s.Admitted != 2 || s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestShedWhenQueuePastThreshold(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 0}, nil)
+	r1, _, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	_, _, err = c.Admit(context.Background(), "b")
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Reason != ReasonOverloaded {
+		t.Fatalf("no-queue overflow = %v, want overloaded", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatal("rejections must carry a RetryAfter hint")
+	}
+	if c.Stats().ShedOverload != 1 {
+		t.Fatalf("ShedOverload = %d", c.Stats().ShedOverload)
+	}
+}
+
+func TestQueueDeadline(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueDeadline: 5 * time.Millisecond}, nil)
+	r1, _, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	_, waited, err := c.Admit(context.Background(), "b")
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Reason != ReasonQueueTimeout {
+		t.Fatalf("queue wait = %v, want queue_timeout", err)
+	}
+	if waited < 5*time.Millisecond {
+		t.Fatalf("rejected after %v, before the deadline", waited)
+	}
+}
+
+func TestQueuedRequestHonorsContext(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 4}, nil)
+	r1, _, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	_, _, err = c.Admit(ctx, "b")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v", err)
+	}
+	// The abandoned queue position must be reclaimed.
+	if got := c.Stats().Queued; got != 0 {
+		t.Fatalf("Queued = %d after canceled waiter", got)
+	}
+}
+
+func TestPerClientCap(t *testing.T) {
+	c := New(Config{MaxInFlight: 10, MaxQueue: 10, MaxPerClient: 2}, nil)
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		r, _, err := c.Admit(context.Background(), "tenant")
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, r)
+	}
+	_, _, err := c.Admit(context.Background(), "tenant")
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Reason != ReasonClientLimit {
+		t.Fatalf("third per-client admit = %v, want client_limit", err)
+	}
+	// Other clients are unaffected.
+	r, _, err := c.Admit(context.Background(), "other")
+	if err != nil {
+		t.Fatalf("other client: %v", err)
+	}
+	r()
+	// Releasing one slot readmits the capped client.
+	releases[0]()
+	r, _, err = c.Admit(context.Background(), "tenant")
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r()
+	releases[1]()
+	c.mu.Lock()
+	leftovers := len(c.perClient)
+	c.mu.Unlock()
+	if leftovers != 0 {
+		t.Fatalf("perClient map retains %d entries after all releases", leftovers)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	c := New(Config{MaxInFlight: 2, MaxQueue: 2}, nil)
+	r1, _, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.BeginDrain()
+	if got := c.Status(); got != StatusDraining {
+		t.Fatalf("Status = %q, want draining", got)
+	}
+	_, _, err = c.Admit(context.Background(), "b")
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Reason != ReasonDraining {
+		t.Fatalf("admit while draining = %v", err)
+	}
+	// The admitted request still finishes normally.
+	r1()
+	if got := c.Stats().InFlight; got != 0 {
+		t.Fatalf("InFlight = %d after release", got)
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	c := New(Config{MaxInFlight: 1}, nil)
+	r, _, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	r() // double release must not free a second slot
+	r2, _, err := c.Admit(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2()
+	if got := c.inflight.Load(); got != 1 {
+		t.Fatalf("inflight = %d", got)
+	}
+}
+
+func TestConcurrentAdmissionNeverExceedsCap(t *testing.T) {
+	const cap = 3
+	c := New(Config{MaxInFlight: cap, MaxQueue: 100}, nil)
+	var running, peak atomic64max
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, _, err := c.Admit(context.Background(), "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			peak.observe(running.add(1))
+			time.Sleep(time.Millisecond)
+			running.add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if got := peak.load(); got > cap {
+		t.Fatalf("observed %d concurrent admitted requests, cap %d", got, cap)
+	}
+}
+
+// atomic64max tracks a running value and its observed maximum.
+type atomic64max struct {
+	mu  sync.Mutex
+	v   int64
+	max int64
+}
+
+func (a *atomic64max) add(d int64) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v += d
+	return a.v
+}
+
+func (a *atomic64max) observe(v int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v > a.max {
+		a.max = v
+	}
+}
+
+func (a *atomic64max) load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.max
+}

@@ -8,6 +8,7 @@ package api
 import (
 	"fmt"
 
+	"diversefw/internal/admission"
 	"diversefw/internal/anomaly"
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
@@ -195,10 +196,14 @@ type CacheHealth struct {
 	ResidentBytes  int64 `json:"residentBytes"`
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body. Status is "ok", "degraded"
+// (admission control at capacity: arrivals queue or shed), or
+// "draining" (shutdown in progress, new work rejected).
 type HealthResponse struct {
 	Status string      `json:"status"`
 	Cache  CacheHealth `json:"cache"`
+	// Admission is present when admission control is configured.
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 // Machine-readable error codes carried in ErrorDetail.Code. These are
@@ -233,6 +238,17 @@ const (
 	CodeClientClosed = "client_closed"
 	// CodeInternal: a server-side failure (recovered panic).
 	CodeInternal = "internal"
+	// CodePolicyTooComplex: the analysis exceeded the server's work
+	// budget (FDD nodes, edge splits, bytes, or wall clock) — the
+	// policy's diagram blows up past what this deployment will spend on
+	// one request. 422.
+	CodePolicyTooComplex = "policy_too_complex"
+	// CodeServerOverloaded: admission control shed the request (queue
+	// full, queue deadline, or draining). 503 with Retry-After.
+	CodeServerOverloaded = "server_overloaded"
+	// CodeClientOverLimit: this client already has the maximum number of
+	// requests in flight. 429 with Retry-After.
+	CodeClientOverLimit = "client_over_limit"
 )
 
 // ErrorDetail is the machine-readable error object.

@@ -4,14 +4,17 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
+	"diversefw/internal/admission"
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/metrics"
@@ -54,6 +57,16 @@ func WithRequestTimeout(d time.Duration) Option {
 // (engine.Config), and hook the engine into the metrics registry.
 func WithEngine(eng *engine.Engine) Option {
 	return func(s *Server) { s.eng = eng }
+}
+
+// WithAdmission puts admission control in front of every /v1/ endpoint:
+// a bounded queue with per-request deadlines, an overload shedder
+// (503 server_overloaded + Retry-After), and a per-client concurrency
+// cap (429 client_over_limit). Shed requests still carry X-Request-ID /
+// X-Trace-ID and are counted in the per-endpoint metrics; /healthz and
+// /metrics are never shed so operators keep visibility during overload.
+func WithAdmission(cfg admission.Config) Option {
+	return func(s *Server) { s.admCfg = &cfg }
 }
 
 // Default sizing of the server's trace retention (see WithTracing): how
@@ -282,8 +295,64 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			}
 			s.log.Info("request", logAttrs...)
 		}()
+		// Admission runs inside the accounting defer above, so shed
+		// requests still echo X-Request-ID/X-Trace-ID (set earlier) and
+		// land in the per-endpoint request counters and access log.
+		// Only analysis endpoints are guarded: shedding /healthz or
+		// /metrics would blind operators exactly when they need them.
+		if s.adm != nil && traced {
+			release, queuedFor, err := s.adm.Admit(r.Context(), clientKey(r))
+			if tr != nil && queuedFor > 0 {
+				tr.Root().SetAttr("admissionQueuedMs",
+					float64(queuedFor.Microseconds())/1000)
+			}
+			if err != nil {
+				var ae *admission.Error
+				if tr != nil && errors.As(err, &ae) {
+					tr.Root().SetAttr("admissionShed", string(ae.Reason))
+				}
+				writeAdmissionError(sw, err)
+				return
+			}
+			defer release()
+		}
 		h(sw, r)
 	})
+}
+
+// clientKey identifies the client for the per-client concurrency cap:
+// the remote host, deliberately not the client-controlled X-Request-ID
+// (which a noisy client could rotate to dodge the cap).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeAdmissionError maps an admission rejection onto the wire:
+// overload and drain are 503 server_overloaded, the per-client cap is
+// 429 client_over_limit, all with Retry-After. A context error (the
+// client died while queued) goes through the usual analysis mapping.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	var ae *admission.Error
+	if !errors.As(err, &ae) {
+		writeAnalysisError(w, err)
+		return
+	}
+	secs := int(ae.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	if ae.Reason == admission.ReasonClientLimit {
+		writeError(w, http.StatusTooManyRequests, CodeClientOverLimit,
+			fmt.Errorf("too many concurrent requests from this client"))
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, CodeServerOverloaded,
+		fmt.Errorf("server overloaded (%s), retry later", ae.Reason))
 }
 
 // serverTimingPhases are the pipeline spans surfaced in the

@@ -11,12 +11,15 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"diversefw/internal/admission"
 	"diversefw/internal/anomaly"
 	"diversefw/internal/engine"
 	"diversefw/internal/fdd"
 	"diversefw/internal/field"
+	"diversefw/internal/guard"
 	"diversefw/internal/impact"
 	"diversefw/internal/metrics"
 	"diversefw/internal/query"
@@ -55,6 +58,9 @@ type Server struct {
 	inst           *instruments
 	metricsReg     *metrics.Registry
 	metricsHandler http.Handler
+	admCfg         *admission.Config
+	adm            *admission.Controller
+	draining       atomic.Bool
 }
 
 // NewServer builds the handler tree. With no options the server is bare —
@@ -76,6 +82,11 @@ func NewServer(opts ...Option) *Server {
 	if s.traces == nil {
 		s.traces = trace.NewBuffer(DefaultTraceCapacity,
 			DefaultSlowTraceThreshold, DefaultSlowTraceCapacity)
+	}
+	if s.admCfg != nil {
+		// Built here rather than in the option so the controller joins
+		// the metrics registry regardless of option order.
+		s.adm = admission.New(*s.admCfg, s.metricsReg)
 	}
 	s.handle("/healthz", s.health)
 	s.handle("/v1/version", s.version)
@@ -100,6 +111,15 @@ var _ http.Handler = (*Server)(nil)
 // Engine returns the server's engine (for stats in tests and tooling).
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
+// BeginDrain flips the server into draining: /healthz reports
+// "draining" (so load balancers stop sending traffic) and admission
+// control rejects all new analysis requests while admitted ones finish.
+// Call it when shutdown starts, before http.Server.Shutdown.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.adm.BeginDrain()
+}
+
 // requireGet guards the read-only endpoints the way decodeInto guards
 // the POST ones.
 func requireGet(w http.ResponseWriter, r *http.Request) bool {
@@ -116,15 +136,27 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok",
+	// Status reflects the overload posture: draining once shutdown
+	// started (even without admission control), degraded while admission
+	// is at capacity, ok otherwise.
+	status := string(s.adm.Status())
+	if s.draining.Load() {
+		status = string(admission.StatusDraining)
+	}
+	resp := HealthResponse{
+		Status: status,
 		Cache: CacheHealth{
 			Ready:          true,
 			CompileEntries: st.Compile.Entries,
 			ReportEntries:  st.Reports.Entries,
 			ResidentBytes:  st.Compile.Bytes + st.Reports.Bytes,
 		},
-	})
+	}
+	if s.adm != nil {
+		as := s.adm.Stats()
+		resp.Admission = &as
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) version(w http.ResponseWriter, r *http.Request) {
@@ -198,7 +230,14 @@ func writeBodyError(w http.ResponseWriter, err error) {
 // policy gets its own code (it parses fine but has no FDD); everything
 // else is a semantic error in otherwise well-formed input.
 func writeAnalysisError(w http.ResponseWriter, err error) {
+	var budget *guard.ErrBudgetExceeded
 	switch {
+	case errors.As(err, &budget):
+		// The pipeline walk crossed this deployment's work budget: the
+		// input is well-formed but its diagram blows up (the paper's
+		// exponential regime). Typed check first — budget errors carry
+		// no context sentinel, and the distinction matters to clients.
+		writeError(w, http.StatusUnprocessableEntity, CodePolicyTooComplex, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusServiceUnavailable, CodeTimeout, fmt.Errorf("request timed out"))
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"diversefw/internal/guard"
+)
+
+func TestQuietRegistryFiresNil(t *testing.T) {
+	var r Registry
+	if err := r.Fire(context.Background(), PointCompile); err != nil {
+		t.Fatalf("quiet Fire = %v", err)
+	}
+	var nilr *Registry
+	if err := nilr.Fire(context.Background(), PointCompile); err != nil {
+		t.Fatalf("nil Fire = %v", err)
+	}
+}
+
+func TestRegisterFireRemove(t *testing.T) {
+	var r Registry
+	boom := errors.New("boom")
+	remove := r.Register(PointCompile, FailWith(boom))
+	if err := r.Fire(context.Background(), PointCompile); err != boom {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	// Other points are unaffected.
+	if err := r.Fire(context.Background(), PointDiff); err != nil {
+		t.Fatalf("other point = %v", err)
+	}
+	remove()
+	if err := r.Fire(context.Background(), PointCompile); err != nil {
+		t.Fatalf("Fire after remove = %v", err)
+	}
+	remove() // idempotent
+	if got := r.active.Load(); got != 0 {
+		t.Fatalf("active = %d after double remove", got)
+	}
+}
+
+func TestFaultsRunInRegistrationOrderUntilError(t *testing.T) {
+	var r Registry
+	var order []int
+	var mu sync.Mutex
+	mark := func(i int, err error) Fault {
+		return func(context.Context) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return err
+		}
+	}
+	boom := errors.New("boom")
+	defer r.Register(PointShape, mark(1, nil))()
+	defer r.Register(PointShape, mark(2, boom))()
+	defer r.Register(PointShape, mark(3, nil))()
+	if err := r.Fire(context.Background(), PointShape); err != boom {
+		t.Fatalf("Fire = %v", err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Latency(time.Hour)(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Latency on dead ctx = %v", err)
+	}
+	start := time.Now()
+	if err := Latency(time.Millisecond)(context.Background()); err != nil {
+		t.Fatalf("Latency = %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Latency returned early")
+	}
+}
+
+func TestExhaustBudget(t *testing.T) {
+	// Without a budget in context: no-op.
+	if err := ExhaustBudget(guard.KindNodes)(context.Background()); err != nil {
+		t.Fatalf("no-budget ExhaustBudget = %v", err)
+	}
+	b := guard.NewBudget(guard.Limits{MaxFDDNodes: 1 << 30})
+	ctx := guard.WithBudget(context.Background(), b)
+	// The fault itself returns nil; the walk is meant to trip at its
+	// next poll.
+	if err := ExhaustBudget(guard.KindNodes)(ctx); err != nil {
+		t.Fatalf("ExhaustBudget = %v", err)
+	}
+	if err := b.Err(); !errors.Is(err, guard.ErrBudget) {
+		t.Fatalf("budget after fault = %v", err)
+	}
+}
+
+func TestConcurrentRegisterFire(t *testing.T) {
+	var r Registry
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				remove := r.Register(PointDiff, func(context.Context) error { return nil })
+				r.Fire(context.Background(), PointDiff)
+				remove()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	if got := r.active.Load(); got != 0 {
+		t.Fatalf("active = %d after all removed", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"diversefw/internal/fdd"
 	"diversefw/internal/field"
+	"diversefw/internal/guard"
 	"diversefw/internal/interval"
 	"diversefw/internal/rule"
 	"diversefw/internal/shape"
@@ -239,7 +240,8 @@ func CompareSemiIsomorphicContext(ctx context.Context, sa, sb *fdd.FDD) (*Report
 	defer sp.End()
 	report := &Report{}
 	var canceled atomic.Bool
-	w := &cmpWalker{fulls: fullSets(sa.Schema), ctx: ctx, canceled: &canceled, budget: cancelCheckEvery}
+	w := &cmpWalker{fulls: fullSets(sa.Schema), ctx: ctx, canceled: &canceled,
+		budget: cancelCheckEvery, work: guard.FromContext(ctx)}
 
 	var diff *fdd.FDD
 	workers := runtime.GOMAXPROCS(0)
@@ -254,6 +256,11 @@ func CompareSemiIsomorphicContext(ctx context.Context, sa, sb *fdd.FDD) (*Report
 		diff = w.walkParallel(sa, sb, workers)
 	}
 	if canceled.Load() {
+		// A budget crossing latches the same cancellation flag; its typed
+		// error takes precedence so callers can map it to policy_too_complex.
+		if err := w.work.Err(); err != nil {
+			return nil, fmt.Errorf("compare: aborted: %w", err)
+		}
 		return nil, fmt.Errorf("compare: canceled: %w", ctx.Err())
 	}
 	report.PathsCompared, report.RawPaths = w.paths, w.raw
@@ -299,11 +306,16 @@ type cmpWalker struct {
 	ctx      context.Context
 	canceled *atomic.Bool // shared cancellation latch across all shards
 	budget   int          // goroutine-local countdown to the next ctx poll
+
+	// work, when non-nil, is the request's guard budget; every node the
+	// walk materializes is charged at the ctx-poll cadence via pending.
+	work    *guard.Budget
+	pending int
 }
 
-// stop reports whether the walk should abort, polling ctx once per
-// cancelCheckEvery node visits and latching the result for the other
-// shards.
+// stop reports whether the walk should abort, polling ctx and flushing
+// budget charges once per cancelCheckEvery node visits and latching the
+// result for the other shards.
 func (w *cmpWalker) stop() bool {
 	if w.canceled.Load() {
 		return true
@@ -313,7 +325,26 @@ func (w *cmpWalker) stop() bool {
 		return false
 	}
 	w.budget = cancelCheckEvery
+	if w.flushWork() {
+		return true
+	}
 	if w.ctx.Err() != nil {
+		w.canceled.Store(true)
+		return true
+	}
+	return false
+}
+
+// flushWork empties the pending node charges into the budget, latching
+// cancellation for every shard on a crossing.
+func (w *cmpWalker) flushWork() bool {
+	if w.work == nil || w.pending == 0 {
+		w.pending = 0
+		return false
+	}
+	n := w.pending
+	w.pending = 0
+	if err := w.work.AddNodes(int64(n)); err != nil {
 		w.canceled.Store(true)
 		return true
 	}
@@ -328,6 +359,7 @@ func (w *cmpWalker) walk(a, b *fdd.Node) *fdd.Node {
 		// the cancellation latch and discards the diagram.
 		return w.in.CanonicalTerminal(1<<pairShift | 1)
 	}
+	w.pending++
 	if a.IsTerminal() {
 		w.paths++
 		if a.Decision != b.Decision {
@@ -364,6 +396,8 @@ func (w *cmpWalker) walkParallel(sa, sb *fdd.FDD, workers int) *fdd.FDD {
 			sw.in = fdd.NewInterner()
 			sw.fulls = w.fulls
 			sw.ctx, sw.canceled, sw.budget = w.ctx, w.canceled, cancelCheckEvery
+			sw.work = w.work
+			defer sw.flushWork()
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= n {

@@ -31,13 +31,16 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
 	"time"
 
+	"diversefw/internal/chaos"
 	"diversefw/internal/compare"
 	"diversefw/internal/fdd"
+	"diversefw/internal/guard"
 	"diversefw/internal/metrics"
 	"diversefw/internal/rule"
 	"diversefw/internal/trace"
@@ -52,6 +55,13 @@ type Config struct {
 	ReportCacheBytes int64
 	// Metrics, when non-nil, receives the fwengine_* instrument families.
 	Metrics *metrics.Registry
+	// Limits, when any field is set, caps the pipeline work each flight
+	// may do (see guard.Limits). The budget is per singleflight flight,
+	// so a thundering herd coalesced onto one compilation shares one
+	// budget instead of multiplying the allowance, and a flight that
+	// trips its budget fails like any errored flight: reported to every
+	// waiter, never cached.
+	Limits guard.Limits
 }
 
 // DefaultCompileCacheBytes and DefaultReportCacheBytes are the cache
@@ -87,6 +97,8 @@ type Engine struct {
 	// and stall compilations.
 	construct func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error)
 
+	limits guard.Limits
+
 	compilations atomic.Uint64
 	coalesced    atomic.Uint64
 
@@ -105,6 +117,7 @@ func New(cfg Config) *Engine {
 		compiled:  newLRU[*Compiled](cfg.CompileCacheBytes),
 		reports:   newLRU[*compare.Report](cfg.ReportCacheBytes),
 		construct: fdd.ConstructContext,
+		limits:    cfg.Limits,
 	}
 	if cfg.Metrics != nil {
 		e.inst = newInstruments(cfg.Metrics)
@@ -154,6 +167,10 @@ func (e *Engine) Compile(ctx context.Context, p *rule.Policy) (c *Compiled, hit 
 		if c, ok := e.compiled.get(hash); ok {
 			return c, nil
 		}
+		fctx = e.budgeted(fctx)
+		if err := chaos.Fire(fctx, chaos.PointCompile); err != nil {
+			return nil, err
+		}
 		f, err := e.construct(fctx, p)
 		if err != nil {
 			return nil, err
@@ -164,9 +181,16 @@ func (e *Engine) Compile(ctx context.Context, p *rule.Policy) (c *Compiled, hit 
 		}
 		c := &Compiled{Policy: p, FDD: f, Hash: hash}
 		c.SizeBytes = policyBytes(p) + fddBytes(f)
-		e.addCompiled(hash, c)
+		// An injected cache failure skips the insert but not the result:
+		// the caller still gets its compilation, the next request just
+		// recompiles. Verifies degraded-cache behavior is miss-shaped,
+		// never corrupt.
+		if chaos.Fire(fctx, chaos.PointCacheInsertCompile) == nil {
+			e.addCompiled(hash, c)
+		}
 		return c, nil
 	})
+	e.observeBudget(sp, err)
 	if shared {
 		e.coalesced.Add(1)
 		if e.inst != nil {
@@ -256,14 +280,21 @@ func (e *Engine) diff(ctx context.Context, a, b *Compiled, construct time.Durati
 		if r, ok := e.reports.get(key); ok {
 			return r, nil
 		}
+		fctx = e.budgeted(fctx)
+		if err := chaos.Fire(fctx, chaos.PointDiff); err != nil {
+			return nil, err
+		}
 		r, err := compare.DiffFDDsContext(fctx, a.FDD, b.FDD)
 		if err != nil {
 			return nil, err
 		}
 		r.Timing.Construct = construct
-		e.addReport(key, r)
+		if chaos.Fire(fctx, chaos.PointCacheInsertReport) == nil {
+			e.addReport(key, r)
+		}
 		return r, nil
 	})
+	e.observeBudget(sp, err)
 	if shared {
 		e.coalesced.Add(1)
 		if e.inst != nil {
@@ -325,6 +356,33 @@ const (
 	cacheReport  = "report"
 )
 
+// budgeted attaches a fresh work budget from the engine's limits to a
+// flight context, unless the caller already supplied one (a request
+// budget flows through context.WithoutCancel into the flight like trace
+// spans do). One budget per flight: coalesced identical requests share
+// an allowance rather than multiplying it.
+func (e *Engine) budgeted(ctx context.Context) context.Context {
+	if !e.limits.Enabled() || guard.FromContext(ctx) != nil {
+		return ctx
+	}
+	return guard.WithBudget(ctx, guard.NewBudget(e.limits))
+}
+
+// observeBudget records a budget-exceeded flight outcome on the span
+// and the fwguard metrics. Nil and non-budget errors are ignored.
+func (e *Engine) observeBudget(sp *trace.Span, err error) {
+	var be *guard.ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		return
+	}
+	if e.inst != nil {
+		e.inst.budgetExceeded.With(string(be.Kind)).Inc()
+	}
+	sp.SetAttr("budgetExceeded", string(be.Kind))
+	sp.SetAttr("budgetLimit", be.Limit)
+	sp.SetAttr("budgetUsed", be.Used)
+}
+
 // instruments holds the engine's metric families; nil without a registry.
 type instruments struct {
 	hits         *metrics.CounterVec
@@ -334,6 +392,9 @@ type instruments struct {
 	entries      *metrics.GaugeVec
 	compilations *metrics.Counter
 	coalesced    *metrics.CounterVec
+	// budgetExceeded lives in the fwguard family: it counts resource-
+	// governance interventions, not engine cache traffic.
+	budgetExceeded *metrics.CounterVec
 }
 
 func newInstruments(reg *metrics.Registry) *instruments {
@@ -352,6 +413,8 @@ func newInstruments(reg *metrics.Registry) *instruments {
 			"FDD constructions actually performed (not served from cache or coalesced)."),
 		coalesced: reg.NewCounterVec("fwengine_singleflight_coalesced_total",
 			"Callers that joined an in-flight identical computation.", "cache"),
+		budgetExceeded: reg.NewCounterVec("fwguard_budget_exceeded_total",
+			"Pipeline flights aborted by a work budget, by resource kind.", "kind"),
 	}
 }
 

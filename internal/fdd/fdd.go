@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"diversefw/internal/field"
+	"diversefw/internal/guard"
 	"diversefw/internal/interval"
 	"diversefw/internal/rule"
 	"diversefw/internal/trace"
@@ -92,6 +93,13 @@ func ConstructEffective(p *rule.Policy) (f *FDD, effective []bool, err error) {
 // ConstructEffectiveContext is ConstructEffective with cancellation; see
 // ConstructContext. The per-rule ctx check is negligible next to the
 // cost of one append.
+//
+// When ctx carries a guard.Budget, every node the append algorithm
+// materializes is charged against it (batched, one atomic add per few
+// hundred nodes) and construction aborts with the budget's typed
+// guard.ErrBudgetExceeded mid-append — the defense against policies
+// whose partial FDD blows up exponentially (Section 3) before the first
+// reduction could shrink it.
 func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, effective []bool, err error) {
 	if p.Size() == 0 {
 		return nil, nil, fmt.Errorf("fdd: cannot construct from an empty policy")
@@ -99,8 +107,21 @@ func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, eff
 	ctx, sp := trace.Start(ctx, "construct")
 	defer sp.End()
 	sp.SetAttr("rules", p.Size())
+	// The append recursion has no error path (it cannot fail on valid
+	// input); budget crossings surface as a budgetPanic so the hot path
+	// stays two-valued, converted back to an error here.
+	defer func() {
+		if p := recover(); p != nil {
+			bp, ok := p.(budgetPanic)
+			if !ok {
+				panic(p)
+			}
+			f, effective, err = nil, nil, fmt.Errorf("fdd: construction aborted: %w", bp.err)
+		}
+	}()
 	effective = make([]bool, p.Size())
 	ap := newAppender(p.Schema)
+	ap.budget = guard.FromContext(ctx)
 	root := ap.buildPath(p.Rules[0].Pred, 0, p.Rules[0].Decision)
 	effective[0] = true
 	f = &FDD{Schema: p.Schema, Root: root}
@@ -112,6 +133,12 @@ func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, eff
 	for i := 1; i < p.Size(); i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("fdd: construction canceled: %w", err)
+		}
+		// Flushing per rule keeps the wall-clock cap live even when appends
+		// create few nodes; mid-append crossings unwind via budgetPanic.
+		ap.flush()
+		if err := ap.budget.Err(); err != nil {
+			return nil, nil, fmt.Errorf("fdd: construction aborted: %w", err)
 		}
 		r := p.Rules[i]
 		var added bool
@@ -177,6 +204,45 @@ type appender struct {
 	schema *field.Schema
 	fulls  []interval.Set // fulls[k] == schema.FullSet(k)
 	ivbuf  []interval.Interval
+
+	// budget, when non-nil, is charged for every node the append creates;
+	// pending batches charges so the hot path pays one atomic add per
+	// budgetChargeEvery nodes (see guard).
+	budget  *guard.Budget
+	pending int
+}
+
+// budgetChargeEvery is how many created nodes accumulate locally between
+// budget flushes — same order as the cancellation poll interval: crossings
+// are detected within a few hundred nodes of work.
+const budgetChargeEvery = 256
+
+// budgetPanic carries a budget crossing out of the append recursion; it
+// is recovered at the construction entry points only.
+type budgetPanic struct{ err error }
+
+// charge records n created nodes, flushing the local batch into the
+// budget when it is full. A crossing unwinds via budgetPanic.
+func (ap *appender) charge(n int) {
+	if ap.budget == nil {
+		return
+	}
+	ap.pending += n
+	if ap.pending >= budgetChargeEvery {
+		ap.flush()
+	}
+}
+
+// flush empties the local batch into the budget and aborts on a crossing.
+func (ap *appender) flush() {
+	if ap.budget == nil || ap.pending == 0 {
+		return
+	}
+	n := ap.pending
+	ap.pending = 0
+	if err := ap.budget.AddNodes(int64(n)); err != nil {
+		panic(budgetPanic{err})
+	}
 }
 
 func newAppender(schema *field.Schema) *appender {
@@ -191,8 +257,10 @@ func newAppender(schema *field.Schema) *appender {
 // terminal labeled d (the partial FDD of a single rule).
 func (ap *appender) buildPath(pred rule.Predicate, k int, d rule.Decision) *Node {
 	if k == len(pred) {
+		ap.charge(1)
 		return Terminal(d)
 	}
+	ap.charge(1)
 	return &Node{
 		Field: k,
 		Edges: []*Edge{{Label: pred[k], To: ap.buildPath(pred, k+1, d)}},
@@ -240,12 +308,14 @@ func (ap *appender) appendRule(v *Node, pred rule.Predicate, k int, d rule.Decis
 		if !added {
 			return v, false
 		}
+		ap.charge(1)
 		return &Node{Field: k, Edges: []*Edge{
 			{Label: ap.fulls[k].Subtract(s), To: v},
 			{Label: s, To: inside},
 		}}, true
 	}
 
+	ap.charge(1)
 	out := &Node{Field: v.Field, Edges: make([]*Edge, 0, len(v.Edges)+2)}
 	added := false
 
@@ -552,8 +622,42 @@ func (f *FDD) check(ordered bool) error {
 // extra interval; edges of every node are then sorted by interval start.
 // This is the required input form for the shaping algorithm.
 func (f *FDD) Simplify() *FDD {
+	// Background contexts carry no budget and never cancel; the error is
+	// impossible.
+	s, _ := f.SimplifyContext(context.Background())
+	return s
+}
+
+// SimplifyContext is Simplify with cancellation and budgeting: unrolling
+// a reduced DAG into a tree is worst-case exponential in the DAG size,
+// so the walk polls ctx and charges every created node against the
+// context's guard.Budget (if any), aborting with a typed
+// guard.ErrBudgetExceeded instead of materializing the explosion.
+func (f *FDD) SimplifyContext(ctx context.Context) (out *FDD, err error) {
+	b := guard.FromContext(ctx)
+	pending := 0
+	defer func() {
+		if p := recover(); p != nil {
+			bp, ok := p.(budgetPanic)
+			if !ok {
+				panic(p)
+			}
+			out, err = nil, fmt.Errorf("fdd: simplify aborted: %w", bp.err)
+		}
+	}()
 	var simplify func(n *Node) *Node
 	simplify = func(n *Node) *Node {
+		pending++
+		if pending >= budgetChargeEvery {
+			n := pending
+			pending = 0
+			if err := b.AddNodes(int64(n)); err != nil {
+				panic(budgetPanic{err})
+			}
+			if err := ctx.Err(); err != nil {
+				panic(budgetPanic{err})
+			}
+		}
 		if n.IsTerminal() {
 			return Terminal(n.Decision)
 		}
@@ -569,7 +673,14 @@ func (f *FDD) Simplify() *FDD {
 		sortEdges(out.Edges)
 		return out
 	}
-	return &FDD{Schema: f.Schema, Root: simplify(f.Root)}
+	root := simplify(f.Root)
+	if err := b.AddNodes(int64(pending)); err != nil {
+		return nil, fmt.Errorf("fdd: simplify aborted: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fdd: simplify canceled: %w", err)
+	}
+	return &FDD{Schema: f.Schema, Root: root}, nil
 }
 
 // sortEdges orders edges by the start of their (single) first interval.

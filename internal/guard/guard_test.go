@@ -1,0 +1,175 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsNoOp(t *testing.T) {
+	var b *Budget
+	if err := b.AddNodes(1 << 40); err != nil {
+		t.Fatalf("nil AddNodes: %v", err)
+	}
+	if err := b.AddSplits(1 << 40); err != nil {
+		t.Fatalf("nil AddSplits: %v", err)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("nil Err: %v", err)
+	}
+	if err := b.ForceExceed(KindNodes); err != nil {
+		t.Fatalf("nil ForceExceed: %v", err)
+	}
+	if got := b.Usage(); got != (Usage{}) {
+		t.Fatalf("nil Usage = %+v", got)
+	}
+	if got := b.Limits(); got != (Limits{}) {
+		t.Fatalf("nil Limits = %+v", got)
+	}
+}
+
+func TestNodeLimitTrips(t *testing.T) {
+	b := NewBudget(Limits{MaxFDDNodes: 100})
+	if err := b.AddNodes(100); err != nil {
+		t.Fatalf("at limit should not trip: %v", err)
+	}
+	err := b.AddNodes(1)
+	if err == nil {
+		t.Fatal("over limit should trip")
+	}
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("want ErrBudgetExceeded, got %T", err)
+	}
+	if be.Kind != KindNodes || be.Limit != 100 || be.Used != 101 {
+		t.Fatalf("unexpected error detail: %+v", be)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatal("errors.Is(err, ErrBudget) should hold")
+	}
+	// Latched: later charges and Err() return the same crossing.
+	if err2 := b.AddSplits(1); err2 == nil || !errors.Is(err2, ErrBudget) {
+		t.Fatalf("latched budget should fail later charges, got %v", err2)
+	}
+	if err2 := b.Err(); !errors.Is(err2, ErrBudget) {
+		t.Fatalf("Err() after trip = %v", err2)
+	}
+	if u := b.Usage(); u.Exceeded != KindNodes {
+		t.Fatalf("Usage().Exceeded = %q, want %q", u.Exceeded, KindNodes)
+	}
+}
+
+func TestSplitLimitTrips(t *testing.T) {
+	b := NewBudget(Limits{MaxEdgeSplits: 10})
+	if err := b.AddSplits(11); err == nil {
+		t.Fatal("want split trip")
+	}
+	var be *ErrBudgetExceeded
+	if !errors.As(b.Err(), &be) || be.Kind != KindSplits {
+		t.Fatalf("want KindSplits, got %v", b.Err())
+	}
+}
+
+func TestByteLimitDerivedFromNodes(t *testing.T) {
+	b := NewBudget(Limits{MaxBytes: 10 * nodeApproxBytes})
+	if err := b.AddNodes(10); err != nil {
+		t.Fatalf("at byte limit: %v", err)
+	}
+	err := b.AddNodes(1)
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Kind != KindBytes {
+		t.Fatalf("want KindBytes trip, got %v", err)
+	}
+}
+
+func TestWallClockTrips(t *testing.T) {
+	b := NewBudget(Limits{MaxWall: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := b.Err()
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Kind != KindWall {
+		t.Fatalf("want KindWall trip, got %v", err)
+	}
+}
+
+func TestForceExceed(t *testing.T) {
+	b := NewBudget(Limits{MaxFDDNodes: 1 << 30})
+	if err := b.ForceExceed(KindNodes); !errors.Is(err, ErrBudget) {
+		t.Fatalf("ForceExceed = %v", err)
+	}
+	if err := b.AddNodes(1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("charge after ForceExceed = %v", err)
+	}
+}
+
+func TestUnlimitedBudgetNeverTrips(t *testing.T) {
+	b := NewBudget(Limits{})
+	if err := b.AddNodes(1 << 40); err != nil {
+		t.Fatalf("unlimited AddNodes: %v", err)
+	}
+	if err := b.AddSplits(1 << 40); err != nil {
+		t.Fatalf("unlimited AddSplits: %v", err)
+	}
+}
+
+func TestConcurrentChargersAgreeOnError(t *testing.T) {
+	b := NewBudget(Limits{MaxFDDNodes: 1000})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				if err := b.AddNodes(10); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	first := b.exceeded.Load()
+	if first == nil {
+		t.Fatal("budget should have tripped")
+	}
+	for i, err := range errs {
+		var be *ErrBudgetExceeded
+		if !errors.As(err, &be) {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		if be != first {
+			t.Fatalf("worker %d saw %+v, want the latched %+v", i, be, first)
+		}
+	}
+}
+
+func TestContextRoundTripSurvivesWithoutCancel(t *testing.T) {
+	b := NewBudget(Limits{MaxFDDNodes: 1})
+	ctx := WithBudget(context.Background(), b)
+	if got := FromContext(ctx); got != b {
+		t.Fatalf("FromContext = %p, want %p", got, b)
+	}
+	detached := context.WithoutCancel(ctx)
+	if got := FromContext(detached); got != b {
+		t.Fatal("budget should survive WithoutCancel")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context FromContext = %p, want nil", got)
+	}
+}
+
+func TestUsageSnapshot(t *testing.T) {
+	b := NewBudget(Limits{})
+	b.AddNodes(7)
+	b.AddSplits(3)
+	u := b.Usage()
+	if u.Nodes != 7 || u.Splits != 3 || u.Bytes != 7*nodeApproxBytes {
+		t.Fatalf("Usage = %+v", u)
+	}
+	if u.Exceeded != "" {
+		t.Fatalf("Exceeded = %q, want empty", u.Exceeded)
+	}
+}

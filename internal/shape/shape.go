@@ -18,8 +18,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"diversefw/internal/chaos"
 	"diversefw/internal/fdd"
 	"diversefw/internal/field"
+	"diversefw/internal/guard"
 	"diversefw/internal/interval"
 	"diversefw/internal/trace"
 )
@@ -34,23 +36,45 @@ func MakeSemiIsomorphic(fa, fb *fdd.FDD) (*fdd.FDD, *fdd.FDD, error) {
 	return MakeSemiIsomorphicContext(context.Background(), fa, fb)
 }
 
-// MakeSemiIsomorphicContext is MakeSemiIsomorphic with cancellation:
-// every worker polls ctx every cancelCheckEvery node visits and the whole
-// shaping returns ctx.Err() (wrapped) once any worker sees it, so an
-// abandoned request stops burning CPU mid-shape. The partially shaped
-// diagrams are discarded.
+// MakeSemiIsomorphicContext is MakeSemiIsomorphic with cancellation and
+// budgeting: every worker polls ctx every cancelCheckEvery node visits
+// and the whole shaping returns ctx.Err() (wrapped) once any worker sees
+// it, so an abandoned request stops burning CPU mid-shape. When ctx
+// carries a guard.Budget, edge splits and replicated subgraph nodes —
+// the Section 4 blowup drivers — are charged against it at the same
+// cadence, and a crossing aborts all workers with the budget's typed
+// guard.ErrBudgetExceeded. The partially shaped diagrams are discarded.
 func MakeSemiIsomorphicContext(ctx context.Context, fa, fb *fdd.FDD) (*fdd.FDD, *fdd.FDD, error) {
 	if !fa.Schema.Equal(fb.Schema) {
 		return nil, nil, fmt.Errorf("shape: schemas differ: %v vs %v", fa.Schema, fb.Schema)
 	}
 	_, sp := trace.Start(ctx, "shape")
 	defer sp.End()
-	// The shaping algorithm requires simple FDDs (Section 4.1); Simplify
-	// also deep-copies, so the callers' diagrams stay untouched.
-	sa, sb := fa.Simplify(), fb.Simplify()
-	s := &shaper{schema: fa.Schema, ctx: ctx}
+	// The shaping algorithm requires simple FDDs (Section 4.1);
+	// SimplifyContext also deep-copies, so the callers' diagrams stay
+	// untouched — and its tree expansion is budgeted like the rest.
+	sa, err := fa.SimplifyContext(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shape: %w", err)
+	}
+	sb, err := fb.SimplifyContext(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shape: %w", err)
+	}
+	// Fault-injection site: after simplification, before alignment — the
+	// "mid-pipeline" moment stress tests target with latency or forced
+	// budget exhaustion.
+	if err := chaos.Fire(ctx, chaos.PointShape); err != nil {
+		return nil, nil, fmt.Errorf("shape: %w", err)
+	}
+	s := &shaper{schema: fa.Schema, ctx: ctx, budget: guard.FromContext(ctx)}
 	s.shapeRoots(&sa.Root, &sb.Root)
 	if s.canceled.Load() {
+		// The budget latch outlives the walk; prefer its typed error over
+		// a plain cancellation so callers can map it to policy_too_complex.
+		if err := s.budget.Err(); err != nil {
+			return nil, nil, fmt.Errorf("shape: aborted: %w", err)
+		}
 		return nil, nil, fmt.Errorf("shape: canceled: %w", ctx.Err())
 	}
 	if sp != nil {
@@ -110,8 +134,12 @@ func (s *shaper) shapeRoots(pa, pb **fdd.Node) {
 type shaper struct {
 	schema *field.Schema
 	ctx    context.Context
-	// canceled latches the first worker's ctx observation so every other
-	// worker (and the sequential path) bails without re-polling.
+	// budget, when non-nil, caps the shaping work; charges flush at the
+	// cancellation-poll cadence. Nil-safe no-op otherwise.
+	budget *guard.Budget
+	// canceled latches the first worker's ctx (or budget) observation so
+	// every other worker (and the sequential path) bails without
+	// re-polling.
 	canceled atomic.Bool
 
 	// Shaping-operation totals, merged from the workers' walkStates once
@@ -123,20 +151,28 @@ type shaper struct {
 }
 
 // walkState is one goroutine's private shaping state: the cancellation
-// countdown plus counters for the three shaping operations. Keeping the
-// counters goroutine-local (merged once at worker exit) means tracing
-// adds no shared-memory traffic to the recursion.
+// countdown, counters for the three shaping operations, and the pending
+// (not yet flushed) budget charges. Keeping the counters goroutine-local
+// (merged once at worker exit) means tracing and budgeting add no
+// shared-memory traffic to the recursion.
 type walkState struct {
 	budget  int
 	splits  int
 	copies  int
 	inserts int
+
+	// pendingNodes and pendingSplits accumulate budget charges between
+	// flushes (see shaper.flush).
+	pendingNodes  int
+	pendingSplits int
 }
 
 func newWalkState() *walkState { return &walkState{budget: cancelCheckEvery} }
 
-// merge folds a finished goroutine's counters into the shaper totals.
+// merge folds a finished goroutine's counters into the shaper totals and
+// flushes its remaining budget charges.
 func (s *shaper) merge(st *walkState) {
+	s.flush(st)
 	s.statsMu.Lock()
 	s.splits += st.splits
 	s.copies += st.copies
@@ -144,9 +180,34 @@ func (s *shaper) merge(st *walkState) {
 	s.statsMu.Unlock()
 }
 
-// stop reports whether shaping should abort, polling ctx once per
-// cancelCheckEvery calls. st.budget is the caller goroutine's local
-// countdown, kept outside the shared shaper so workers do not contend.
+// flush empties st's pending budget charges into the shared budget,
+// latching cancellation on a crossing. Returns true when shaping should
+// abort.
+func (s *shaper) flush(st *walkState) bool {
+	if s.budget == nil {
+		st.pendingNodes, st.pendingSplits = 0, 0
+		return false
+	}
+	var err error
+	if st.pendingNodes > 0 {
+		err = s.budget.AddNodes(int64(st.pendingNodes))
+		st.pendingNodes = 0
+	}
+	if err == nil && st.pendingSplits > 0 {
+		err = s.budget.AddSplits(int64(st.pendingSplits))
+	}
+	st.pendingSplits = 0
+	if err != nil {
+		s.canceled.Store(true)
+		return true
+	}
+	return false
+}
+
+// stop reports whether shaping should abort, polling ctx and flushing
+// budget charges once per cancelCheckEvery calls. st.budget is the
+// caller goroutine's local countdown, kept outside the shared shaper so
+// workers do not contend.
 func (s *shaper) stop(st *walkState) bool {
 	if s.canceled.Load() {
 		return true
@@ -156,6 +217,9 @@ func (s *shaper) stop(st *walkState) bool {
 		return false
 	}
 	st.budget = cancelCheckEvery
+	if s.flush(st) {
+		return true
+	}
 	if s.ctx.Err() != nil {
 		s.canceled.Store(true)
 		return true
@@ -203,10 +267,10 @@ func (s *shaper) align(pa, pb **fdd.Node, st *walkState) (outA, outB []*fdd.Edge
 	// full-domain edge can be inserted above b; and symmetrically.
 	switch ka, kb := s.fieldOf(a), s.fieldOf(b); {
 	case ka < kb:
-		b = s.insertAbove(pb, ka)
+		b = s.insertAbove(pb, ka, st)
 		st.inserts++
 	case kb < ka:
-		a = s.insertAbove(pa, kb)
+		a = s.insertAbove(pa, kb, st)
 		st.inserts++
 	}
 
@@ -238,12 +302,13 @@ func (s *shaper) align(pa, pb **fdd.Node, st *walkState) (outA, outB []*fdd.Edge
 
 // insertAbove splices a new node labeled with field k above *ref, with a
 // single full-domain edge to the old node, and returns the new node.
-func (s *shaper) insertAbove(ref **fdd.Node, k int) *fdd.Node {
+func (s *shaper) insertAbove(ref **fdd.Node, k int, st *walkState) *fdd.Node {
 	old := *ref
 	n := &fdd.Node{
 		Field: k,
 		Edges: []*fdd.Edge{{Label: s.schema.FullSet(k), To: old}},
 	}
+	st.pendingNodes++
 	*ref = n
 	return n
 }
@@ -262,12 +327,35 @@ func (s *shaper) slicePiece(edges []*fdd.Edge, i int, hi uint64, st *walkState) 
 	}
 	st.splits++
 	st.copies++
+	st.pendingSplits++
 	piece := &fdd.Edge{
 		Label: interval.SetOf(iv.Lo, hi),
-		To:    e.To.Copy(),
+		To:    s.copySubgraph(e.To, st),
 	}
 	e.Label = interval.SetOf(hi+1, iv.Hi)
 	return piece
+}
+
+// copySubgraph is subgraph replication with budget charging and abort:
+// every copied node is charged (batched via st), and once the budget or
+// ctx latch trips the copy unwinds returning placeholder terminals —
+// semantically wrong but unobservable, because the whole shaping is
+// discarded when the latch is set. Replication is where worst-case
+// inputs spend their exponential work, so the copy itself must be
+// interruptible, not just the walk around it.
+func (s *shaper) copySubgraph(n *fdd.Node, st *walkState) *fdd.Node {
+	if s.stop(st) {
+		return fdd.Terminal(1)
+	}
+	st.pendingNodes++
+	if n.IsTerminal() {
+		return fdd.Terminal(n.Decision)
+	}
+	out := &fdd.Node{Field: n.Field, Edges: make([]*fdd.Edge, len(n.Edges))}
+	for i, e := range n.Edges {
+		out.Edges[i] = &fdd.Edge{Label: e.Label, To: s.copySubgraph(e.To, st)}
+	}
+	return out
 }
 
 // singleInterval returns the edge's single interval (simple-FDD property).

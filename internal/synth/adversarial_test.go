@@ -1,0 +1,100 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"diversefw/internal/fdd"
+	"diversefw/internal/guard"
+	"diversefw/internal/rule"
+)
+
+// Measured construction work for Adversarial(n), in budget-charged FDD
+// nodes (deterministic — the generator takes no seed):
+//
+//	n=8  -> ~5.3e3    n=16 -> ~1.0e5    n=24 -> ~5.7e5    n=32 -> ~2.0e6
+//
+// The growth is the paper's Section 3 blowup regime: each added rule
+// multiplies the subgraph copying across all five fields. These tests
+// pin that behavior so a generator change that accidentally tames (or
+// explodes) the workload fails loudly.
+
+func TestAdversarialIsDeterministic(t *testing.T) {
+	t.Parallel()
+	a, b := Adversarial(8), Adversarial(8)
+	if rule.FormatPolicy(a) != rule.FormatPolicy(b) {
+		t.Fatal("Adversarial must be deterministic in n")
+	}
+	if a.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", a.Size())
+	}
+}
+
+func TestAdversarialCompletesUnderGenerousBudget(t *testing.T) {
+	t.Parallel()
+	b := guard.NewBudget(guard.Limits{MaxFDDNodes: 1 << 20})
+	ctx := guard.WithBudget(context.Background(), b)
+	f, err := fdd.ConstructContext(ctx, Adversarial(8))
+	if err != nil {
+		t.Fatalf("n=8 should fit in 1M nodes: %v", err)
+	}
+	if f == nil {
+		t.Fatal("nil FDD")
+	}
+	// Pin the measured work band: ~5.3k charged nodes at n=8. A factor-4
+	// drift either way means the generator stopped producing (or wildly
+	// overshoots) its documented workload.
+	if u := b.Usage(); u.Nodes < 1_300 || u.Nodes > 22_000 {
+		t.Fatalf("n=8 charged %d nodes, expected the ~5.3e3 band", u.Nodes)
+	}
+}
+
+func TestAdversarialWorkGrowsSuperlinearly(t *testing.T) {
+	t.Parallel()
+	charged := func(n int) int64 {
+		b := guard.NewBudget(guard.Limits{})
+		ctx := guard.WithBudget(context.Background(), b)
+		if _, err := fdd.ConstructContext(ctx, Adversarial(n)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		return b.Usage().Nodes
+	}
+	c8, c12 := charged(8), charged(12)
+	// Doubling 8->12 rules must multiply work by far more than the rule
+	// ratio (measured: ~5.3e3 -> ~3.0e4, a 5.5x jump for 1.5x rules).
+	if c12 < 3*c8 {
+		t.Fatalf("work should blow up: n=8 charged %d, n=12 charged %d", c8, c12)
+	}
+}
+
+// TestAdversarialTripsBudgetDeterministically is the regression fixture
+// for the budget mechanism itself: a 16-rule staircase needs ~1e5 nodes,
+// so a 50k budget must always trip mid-construction with the typed
+// error, and the charge accounting must stop near the limit (bounded
+// overshoot — the batched charging may run over by the in-flight
+// batches, not by the rest of the construction).
+func TestAdversarialTripsBudgetDeterministically(t *testing.T) {
+	t.Parallel()
+	const limit = 50_000
+	b := guard.NewBudget(guard.Limits{MaxFDDNodes: limit})
+	ctx := guard.WithBudget(context.Background(), b)
+	f, err := fdd.ConstructContext(ctx, Adversarial(16))
+	if f != nil {
+		t.Fatal("aborted construction must not return a diagram")
+	}
+	if !errors.Is(err, guard.ErrBudget) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+	var be *guard.ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Kind != guard.KindNodes {
+		t.Fatalf("want fdd_nodes trip, got %v", err)
+	}
+	u := b.Usage()
+	if u.Nodes <= limit {
+		t.Fatalf("charged %d, expected past the %d limit", u.Nodes, limit)
+	}
+	if u.Nodes > 2*limit {
+		t.Fatalf("charged %d nodes against a %d limit: abort is not prompt", u.Nodes, limit)
+	}
+}

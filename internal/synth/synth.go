@@ -184,6 +184,65 @@ func drawProto(r *rand.Rand, schema *field.Schema) interval.Set {
 	}
 }
 
+// Adversarial generates a worst-case blowup policy: n-1 "staircase"
+// rules plus a catch-all, engineered to maximize the subgraph copying of
+// the paper's append construction (Section 3). Every rule constrains
+// every field to a staircase interval [i*step, i*step+span] with span
+// much larger than step, so rule i's interval partially overlaps the
+// intervals of many earlier rules in every field at once. Each partial
+// overlap forces an edge split, and each split copies the entire
+// subgraph hanging below the edge — at every level of the diagram — so
+// the work of one append multiplies across fields: this is the
+// exponential regime the work budgets (internal/guard) exist to stop.
+// Decisions alternate, so no rule is redundant and every shell of the
+// staircase keeps its own decision region.
+//
+// The output is deterministic in n alone: regression tests pin the node
+// counts at which budgets trip.
+func Adversarial(n int) *rule.Policy {
+	if n < 2 {
+		n = 2
+	}
+	schema := field.IPv4FiveTuple()
+	d := schema.NumFields()
+	rules := make([]rule.Rule, 0, n)
+	for i := 0; i < n-1; i++ {
+		pred := make(rule.Predicate, d)
+		for f := 0; f < d; f++ {
+			dom := schema.Domain(f)
+			size := dom.Hi - dom.Lo + 1
+			// ~2n steps across the domain, each interval spanning half
+			// of it: every pair of rules within n/1 steps overlaps
+			// partially in every field.
+			step := size / uint64(2*n)
+			if step == 0 {
+				step = 1
+			}
+			span := size / 2
+			lo := dom.Lo + uint64(i)*step
+			if lo > dom.Hi {
+				lo = dom.Hi
+			}
+			hi := lo + span
+			if hi > dom.Hi {
+				hi = dom.Hi
+			}
+			pred[f] = interval.SetFromInterval(interval.MustNew(lo, hi))
+		}
+		dec := rule.Accept
+		if i%2 == 1 {
+			dec = rule.Discard
+		}
+		rules = append(rules, rule.Rule{Pred: pred, Decision: dec})
+	}
+	rules = append(rules, rule.CatchAll(schema, rule.Discard))
+	p, err := rule.NewPolicy(schema, rules)
+	if err != nil {
+		panic(err) // staircase intervals are always in-domain
+	}
+	return p
+}
+
 // RealLife generates a policy shaped like the paper's two real-life
 // subjects (661 and 42 rules): a tighter pool of subnets (one
 // organization's networks) and a default-deny tail.
