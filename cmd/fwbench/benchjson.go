@@ -161,6 +161,58 @@ func benchJSON(cfg config) error {
 		return err
 	}
 
+	// Inputs for the incremental edit-to-diff phases: a checkpointing
+	// builder for pa, and three edited variants flipping three decisions
+	// at the head, middle, and tail of the rule list. A tail edit resumes
+	// from the deepest checkpoint and re-appends a handful of rules; a
+	// head edit invalidates every checkpoint and rebuilds from rule zero.
+	builder, err := fdd.NewBuilder(pa)
+	if err != nil {
+		return err
+	}
+	flip3 := func(start int) (*rule.Policy, error) {
+		out := pa
+		for i := start; i < start+3 && i < pa.Size()-1; i++ {
+			r := out.Rules[i]
+			if r.Decision == rule.Accept {
+				r.Decision = rule.Discard
+			} else {
+				r.Decision = rule.Accept
+			}
+			var err error
+			if out, err = out.ReplaceRule(i, r); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	editedHead, err := flip3(0)
+	if err != nil {
+		return err
+	}
+	editedMiddle, err := flip3(pa.Size() / 2)
+	if err != nil {
+		return err
+	}
+	editedTail, err := flip3(max(0, pa.Size()-4))
+	if err != nil {
+		return err
+	}
+	incremental := func(after *rule.Policy) func(b *testing.B) {
+		return func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				nb, _, err := builder.Resume(ctx, after)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := compare.DiffFDDsDirect(builder.FDD(), nb.FDD()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
 	phases := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -223,6 +275,12 @@ func benchJSON(cfg config) error {
 				}
 			}
 		}},
+		// The edit-to-diff path: resume the primed builder for a 3-rule
+		// edit and direct-diff the before and after diagrams. Position in
+		// the rule list is the whole story — see the phase inputs above.
+		{"impact_incremental_head", incremental(editedHead)},
+		{"impact_incremental_middle", incremental(editedMiddle)},
+		{"impact_incremental_tail", incremental(editedTail)},
 	}
 
 	report := benchReport{

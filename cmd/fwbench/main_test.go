@@ -86,7 +86,8 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	want := map[string]bool{
 		"construct": true, "shape": true, "compare": true,
 		"diff_end_to_end": true, "diff_end_to_end_traced": true,
-		"diff_warm_cache": true,
+		"diff_warm_cache": true, "impact_incremental_head": true,
+		"impact_incremental_middle": true, "impact_incremental_tail": true,
 	}
 	for _, p := range r0.Phases {
 		if !want[p.Name] {
@@ -126,9 +127,9 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	if r1.Baseline != base {
 		t.Fatalf("baseline not recorded: %q", r1.Baseline)
 	}
-	// Six per-phase ratios plus the warm-vs-cold-baseline headline.
-	if len(r1.SpeedupVsBaseline) != 7 {
-		t.Fatalf("want 7 speedup entries, got %v", r1.SpeedupVsBaseline)
+	// Nine per-phase ratios plus the warm-vs-cold-baseline headline.
+	if len(r1.SpeedupVsBaseline) != 10 {
+		t.Fatalf("want 10 speedup entries, got %v", r1.SpeedupVsBaseline)
 	}
 	for name, s := range r1.SpeedupVsBaseline {
 		if s <= 0 {

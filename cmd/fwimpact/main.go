@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"diversefw/internal/cli"
+	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/impact"
 	"diversefw/internal/ruldiff"
@@ -80,9 +81,9 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "fwimpact:", err)
 		return 2
 	}
+	var edits []impact.Edit
 	var after *rule.Policy
 	if editMode {
-		var edits []impact.Edit
 		if *editsFile != "" {
 			raw, err := os.ReadFile(*editsFile)
 			if err != nil {
@@ -103,11 +104,6 @@ func run() int {
 			}
 			edits = append(edits, e)
 		}
-		after, err = impact.Apply(before, edits)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fwimpact:", err)
-			return 2
-		}
 	} else {
 		after, err = cli.LoadPolicyFormat(schema, fs.Arg(1), *format, *chain)
 		if err != nil {
@@ -117,13 +113,26 @@ func run() int {
 	}
 
 	// Route the comparison through the engine — same code path as the
-	// server — then derive the impact view from the shared report.
+	// server — then derive the impact view from the shared report. The
+	// edit-script form takes the incremental route: the after-FDD resumes
+	// the before policy's construction from a checkpoint when possible.
 	ctx := context.Background()
 	var tr *trace.Trace
 	if *traceFile != "" {
 		ctx, tr = trace.New(ctx, "fwimpact", "")
 	}
-	report, _, err := engine.New(engine.Config{}).DiffPolicies(ctx, before, after)
+	eng := engine.New(engine.Config{})
+	var report *compare.Report
+	if editMode {
+		var st engine.EditStats
+		after, report, st, err = eng.ImpactEdits(ctx, before, edits)
+		if err == nil && st.Incremental {
+			fmt.Fprintf(os.Stderr, "fwimpact: incremental build: resumed at rule %d, reappended %d of %d rules\n",
+				st.CheckpointRules, st.RulesReappended, after.Size())
+		}
+	} else {
+		report, _, err = eng.DiffPolicies(ctx, before, after)
+	}
 	if tr != nil {
 		tr.Finish()
 		if werr := trace.WriteFileJSON(*traceFile, tr.Snapshot()); werr != nil {

@@ -72,6 +72,12 @@ type Attribution struct {
 type ImpactResponse struct {
 	NoImpact     bool          `json:"noImpact"`
 	Attributions []Attribution `json:"attributions,omitempty"`
+	// Incremental reports that the edits path built the after-FDD by
+	// resuming the before policy's construction from a checkpoint instead
+	// of from scratch; RulesReappended is how many rules that re-appended.
+	// Both are omitted on the verbatim-after path and on full cache hits.
+	Incremental     bool `json:"incremental,omitempty"`
+	RulesReappended int  `json:"rulesReappended,omitempty"`
 }
 
 // AuditRequest asks for single-policy findings.

@@ -16,6 +16,7 @@ import (
 
 	"diversefw/internal/admission"
 	"diversefw/internal/anomaly"
+	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/fdd"
 	"diversefw/internal/field"
@@ -408,13 +409,18 @@ func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("provide exactly one of after and edits"))
 		return
 	}
-	var after *rule.Policy
+	var (
+		after  *rule.Policy
+		report *compare.Report
+		st     engine.EditStats
+	)
 	if req.After != "" {
 		after, err = parsePolicy(schema, req.After, "after")
 		if err != nil {
 			writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
 			return
 		}
+		report, st.DiffStats, err = s.eng.DiffPolicies(r.Context(), before, after)
 	} else {
 		edits := make([]impact.Edit, 0, len(req.Edits))
 		for i, line := range req.Edits {
@@ -426,21 +432,22 @@ func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
 			}
 			edits = append(edits, e)
 		}
-		after, err = impact.Apply(before, edits)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
-			return
-		}
+		// The edits path goes through the incremental pipeline: the
+		// after-FDD resumes the before policy's construction from a
+		// checkpoint when possible, and the response says whether it did.
+		after, report, st, err = s.eng.ImpactEdits(r.Context(), before, edits)
 	}
-	report, stats, err := s.eng.DiffPolicies(r.Context(), before, after)
 	if err != nil {
 		writeAnalysisError(w, err)
 		return
 	}
-	if !stats.ReportCached {
+	if !st.ReportCached {
 		s.observeTiming(report.Timing)
 	}
-	writeJSON(w, http.StatusOK, ConvertImpact(impact.FromReport(before, after, report)))
+	resp := ConvertImpact(impact.FromReport(before, after, report))
+	resp.Incremental = st.Incremental
+	resp.RulesReappended = st.RulesReappended
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) audit(w http.ResponseWriter, r *http.Request) {

@@ -164,6 +164,37 @@ func TestImpactEndpoint(t *testing.T) {
 	}
 }
 
+func TestImpactEndpointIncremental(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+	// Cold edits path: the after-FDD resumes the before policy's builder
+	// instead of compiling from scratch, and the response says so.
+	var resp ImpactResponse
+	code := do(t, srv, "/v1/impact", ImpactRequest{
+		Schema: "paper", Before: teamA,
+		Edits: []string{"insert 1: P in 1 -> discard"},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !resp.Incremental {
+		t.Fatal("edits path did not report an incremental build")
+	}
+	if resp.RulesReappended <= 0 {
+		t.Fatalf("incremental build reappended %d rules", resp.RulesReappended)
+	}
+	// The verbatim-after form never claims an incremental build.
+	resp = ImpactResponse{}
+	after := "D in 2 -> discard\n" + teamA
+	code = do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, After: after}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("after form: status = %d", code)
+	}
+	if resp.Incremental || resp.RulesReappended != 0 {
+		t.Fatalf("after form reported incremental build: %+v", resp)
+	}
+}
+
 func TestAuditEndpoint(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()

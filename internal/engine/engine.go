@@ -40,7 +40,9 @@ import (
 	"diversefw/internal/chaos"
 	"diversefw/internal/compare"
 	"diversefw/internal/fdd"
+	"diversefw/internal/field"
 	"diversefw/internal/guard"
+	"diversefw/internal/impact"
 	"diversefw/internal/metrics"
 	"diversefw/internal/rule"
 	"diversefw/internal/trace"
@@ -78,6 +80,12 @@ const (
 type Compiled struct {
 	Policy *rule.Policy
 	FDD    *fdd.FDD
+	// Builder is the resumable construction that produced FDD. Keeping it
+	// resident is what makes the incremental edit path possible: an edited
+	// policy re-appends only its changed suffix from the deepest untouched
+	// checkpoint (see ImpactEdits). Its extra node store is charged to
+	// SizeBytes.
+	Builder *fdd.Builder
 	// Hash is the content address: sha256 over the schema signature and
 	// the canonical policy text.
 	Hash string
@@ -89,18 +97,32 @@ type Compiled struct {
 type Engine struct {
 	compiled *lruCache[*Compiled]
 	reports  *lruCache[*compare.Report]
+	// derived maps (baseHash, editScriptHash) -> afterHash: the cheap
+	// "derived-from" edge of the compile cache. It only short-circuits
+	// hashing the edited policy text; the compilation itself is always
+	// fetched by content address, so a stale edge is a miss, never a
+	// wrong answer.
+	derived *lruCache[string]
 
 	compileFlights flightGroup[*Compiled]
 	reportFlights  flightGroup[*compare.Report]
+	incFlights     flightGroup[incResult]
 
-	// construct is fdd.ConstructContext, swappable in tests to observe
+	// construct is fdd.NewBuilderContext, swappable in tests to observe
 	// and stall compilations.
-	construct func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error)
+	construct func(ctx context.Context, p *rule.Policy) (*fdd.Builder, error)
+	// resume is (*fdd.Builder).Resume, swappable in tests to force the
+	// incremental path to fail and observe the scratch fallback.
+	resume func(ctx context.Context, base *fdd.Builder, after *rule.Policy) (*fdd.Builder, fdd.ResumeStats, error)
 
 	limits guard.Limits
 
 	compilations atomic.Uint64
 	coalesced    atomic.Uint64
+
+	incAttempted atomic.Uint64
+	incUsed      atomic.Uint64
+	incFallback  atomic.Uint64
 
 	inst *instruments
 }
@@ -116,8 +138,12 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		compiled:  newLRU[*Compiled](cfg.CompileCacheBytes),
 		reports:   newLRU[*compare.Report](cfg.ReportCacheBytes),
-		construct: fdd.ConstructContext,
-		limits:    cfg.Limits,
+		derived:   newLRU[string](derivedCacheBytes),
+		construct: fdd.NewBuilderContext,
+		resume: func(ctx context.Context, base *fdd.Builder, after *rule.Policy) (*fdd.Builder, fdd.ResumeStats, error) {
+			return base.Resume(ctx, after)
+		},
+		limits: cfg.Limits,
 	}
 	if cfg.Metrics != nil {
 		e.inst = newInstruments(cfg.Metrics)
@@ -171,7 +197,7 @@ func (e *Engine) Compile(ctx context.Context, p *rule.Policy) (c *Compiled, hit 
 		if err := chaos.Fire(fctx, chaos.PointCompile); err != nil {
 			return nil, err
 		}
-		f, err := e.construct(fctx, p)
+		b, err := e.construct(fctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -179,8 +205,8 @@ func (e *Engine) Compile(ctx context.Context, p *rule.Policy) (c *Compiled, hit 
 		if e.inst != nil {
 			e.inst.compilations.Inc()
 		}
-		c := &Compiled{Policy: p, FDD: f, Hash: hash}
-		c.SizeBytes = policyBytes(p) + fddBytes(f)
+		c := &Compiled{Policy: p, FDD: b.FDD(), Builder: b, Hash: hash}
+		c.SizeBytes = policyBytes(p) + fddBytes(b.FDD()) + builderBytes(b)
 		// An injected cache failure skips the insert but not the result:
 		// the caller still gets its compilation, the next request just
 		// recompiles. Verifies degraded-cache behavior is miss-shaped,
@@ -306,6 +332,271 @@ func (e *Engine) diff(ctx context.Context, a, b *Compiled, construct time.Durati
 	return r, false, err
 }
 
+// EditStats describes how an ImpactEdits call was served.
+type EditStats struct {
+	DiffStats
+	// Incremental reports that the after-FDD was built by resuming the
+	// before policy's builder from a checkpoint instead of from scratch.
+	// False when the edited policy's compilation was already cached (no
+	// construction at all) or when resume failed and construction fell
+	// back to scratch.
+	Incremental bool
+	// CheckpointRules and RulesReappended echo fdd.ResumeStats for an
+	// incremental build (zero otherwise).
+	CheckpointRules int
+	RulesReappended int
+	// AfterHash is the content address of the edited policy.
+	AfterHash string
+}
+
+// incResult carries a compilation plus how it was built through the
+// incremental singleflight, so coalesced waiters see the same stats the
+// flight runner reports.
+type incResult struct {
+	c           *Compiled
+	stats       fdd.ResumeStats
+	incremental bool
+}
+
+// errNoBuilder routes compilations whose cache entry predates builder
+// retention onto the scratch path (it cannot happen for entries this
+// engine created, but a test may construct Compiled values by hand).
+var errNoBuilder = errors.New("engine: base compilation has no builder")
+
+// ImpactEdits applies an edit script to a compiled-or-compiling policy
+// and returns the edited policy, the discrepancy report between the two,
+// and how the call was served. It is the fast path for change-impact
+// analysis:
+//
+//   - the after-FDD is built incrementally by resuming the before
+//     policy's builder from the deepest checkpoint the edits left
+//     untouched, re-appending only the suffix;
+//   - the diff runs the memoized product walk (compare.DiffFDDsDirect),
+//     which short-circuits in O(1) on the subgraphs the incremental
+//     build shares with the base FDD;
+//   - a derived-from edge (baseHash, editScriptHash) -> afterHash skips
+//     re-hashing the edited policy on repeat edits.
+//
+// A failed incremental build falls back to scratch construction and the
+// failure is never cached; budget charging and singleflight semantics
+// match Compile (the incremental flight coalesces on the edited policy's
+// content address).
+func (e *Engine) ImpactEdits(ctx context.Context, before *rule.Policy, edits []impact.Edit) (*rule.Policy, *compare.Report, EditStats, error) {
+	var stats EditStats
+	ctx, sp := trace.Start(ctx, "impact.edits")
+	defer sp.End()
+	sp.SetAttr("edits", len(edits))
+	start := time.Now()
+	cb, hitB, err := e.Compile(ctx, before)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("engine: before policy: %w", err)
+	}
+	if hitB {
+		stats.CompileHits++
+	}
+	after, err := impact.Apply(before, edits)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	editKey := cb.Hash + "|" + editScriptHash(before.Schema, edits)
+	afterHash, derivedHit := e.derived.get(editKey)
+	e.observeGet(cacheDerived, derivedHit)
+	if !derivedHit {
+		afterHash = PolicyHash(after)
+	}
+	stats.AfterHash = afterHash
+	ca, hitA, res, err := e.compileIncremental(ctx, cb, after, afterHash)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("engine: after policy: %w", err)
+	}
+	if hitA {
+		stats.CompileHits++
+	}
+	stats.Incremental = res.incremental
+	stats.CheckpointRules = res.stats.CheckpointRules
+	stats.RulesReappended = res.stats.RulesReappended
+	if !derivedHit {
+		e.derived.add(editKey, afterHash, int64(len(editKey)+len(afterHash)))
+	}
+	r, cached, err := e.diffDirect(ctx, cb, ca, time.Since(start))
+	stats.ReportCached = cached
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	sp.SetAttr("incremental", stats.Incremental)
+	sp.SetAttr("rulesReappended", stats.RulesReappended)
+	return after, r, stats, nil
+}
+
+// compileIncremental is Compile for a policy derived from an already
+// compiled base: the flight resumes the base's builder and falls back to
+// scratch construction when the resume fails for any reason that is not
+// the caller's (cancellation) or the governor's (budget) — those would
+// fail a scratch build identically, so they surface as-is. Failed flights
+// are never cached, in either mode.
+func (e *Engine) compileIncremental(ctx context.Context, base *Compiled, after *rule.Policy, hash string) (*Compiled, bool, incResult, error) {
+	if c, ok := e.compiled.get(hash); ok {
+		e.observeGet(cacheCompile, true)
+		trace.Event(ctx, "cache-lookup",
+			trace.A("cache", "compile"), trace.A("hit", true))
+		return c, true, incResult{c: c}, nil
+	}
+	e.observeGet(cacheCompile, false)
+	trace.Event(ctx, "cache-lookup",
+		trace.A("cache", "compile"), trace.A("hit", false))
+	ctx, sp := trace.Start(ctx, "compile.incremental")
+	defer sp.End()
+	sp.SetAttr("policyHash", hash[:12])
+	sp.SetAttr("baseHash", base.Hash[:12])
+	waitStart := time.Now()
+	res, shared, err := e.incFlights.do(ctx, hash, func(fctx context.Context) (incResult, error) {
+		if c, ok := e.compiled.get(hash); ok {
+			return incResult{c: c}, nil
+		}
+		fctx = e.budgeted(fctx)
+		if err := chaos.Fire(fctx, chaos.PointCompile); err != nil {
+			return incResult{}, err
+		}
+		var out incResult
+		var b *fdd.Builder
+		rerr := errNoBuilder
+		if base.Builder != nil {
+			e.incAttempted.Add(1)
+			if e.inst != nil {
+				e.inst.incAttempted.Inc()
+			}
+			b, out.stats, rerr = e.resume(fctx, base.Builder, after)
+			out.incremental = rerr == nil
+		}
+		if rerr != nil {
+			if isAbort(rerr) {
+				return incResult{}, rerr
+			}
+			if base.Builder != nil {
+				e.incFallback.Add(1)
+				if e.inst != nil {
+					e.inst.incFallback.Inc()
+				}
+				trace.Event(fctx, "incremental-fallback", trace.A("error", rerr.Error()))
+			}
+			out.stats = fdd.ResumeStats{}
+			if b, rerr = e.construct(fctx, after); rerr != nil {
+				return incResult{}, rerr
+			}
+		} else {
+			e.incUsed.Add(1)
+			if e.inst != nil {
+				e.inst.incUsed.Inc()
+				e.inst.incReappended.Observe(float64(out.stats.RulesReappended))
+			}
+		}
+		e.compilations.Add(1)
+		if e.inst != nil {
+			e.inst.compilations.Inc()
+		}
+		c := &Compiled{Policy: after, FDD: b.FDD(), Builder: b, Hash: hash}
+		c.SizeBytes = policyBytes(after) + fddBytes(b.FDD()) + builderBytes(b)
+		if chaos.Fire(fctx, chaos.PointCacheInsertCompile) == nil {
+			e.addCompiled(hash, c)
+		}
+		out.c = c
+		return out, nil
+	})
+	e.observeBudget(sp, err)
+	if shared {
+		e.coalesced.Add(1)
+		if e.inst != nil {
+			e.inst.coalesced.With(cacheCompile).Inc()
+		}
+		sp.AddCompleted("singleflight-wait", waitStart, time.Since(waitStart))
+		sp.SetAttr("coalesced", true)
+	}
+	if err != nil {
+		return nil, false, incResult{}, err
+	}
+	sp.SetAttr("incremental", res.incremental)
+	return res.c, false, res, nil
+}
+
+// diffDirect returns the comparison report for a base compilation and one
+// derived from it. It prefers the pair's cached lockstep report (whose
+// row partitioning /v1/diff and /v1/resolve promise to keep stable) and
+// otherwise runs the memoized product walk. Direct reports live under
+// their own "inc|" key namespace: the two walks may partition the same
+// discrepancy set into different rows, so a direct report must never be
+// served where lockstep row numbering was already handed out — and vice
+// versa.
+func (e *Engine) diffDirect(ctx context.Context, a, b *Compiled, construct time.Duration) (*compare.Report, bool, error) {
+	pairKey := a.Hash + "|" + b.Hash
+	if r, ok := e.reports.get(pairKey); ok {
+		e.observeGet(cacheReport, true)
+		trace.Event(ctx, "cache-lookup",
+			trace.A("cache", "report"), trace.A("hit", true))
+		return r, true, nil
+	}
+	key := "inc|" + pairKey
+	if r, ok := e.reports.get(key); ok {
+		e.observeGet(cacheReport, true)
+		trace.Event(ctx, "cache-lookup",
+			trace.A("cache", "report"), trace.A("hit", true))
+		return r, true, nil
+	}
+	e.observeGet(cacheReport, false)
+	trace.Event(ctx, "cache-lookup",
+		trace.A("cache", "report"), trace.A("hit", false))
+	ctx, sp := trace.Start(ctx, "diff.direct")
+	defer sp.End()
+	waitStart := time.Now()
+	r, shared, err := e.reportFlights.do(ctx, key, func(fctx context.Context) (*compare.Report, error) {
+		if r, ok := e.reports.get(key); ok {
+			return r, nil
+		}
+		fctx = e.budgeted(fctx)
+		if err := chaos.Fire(fctx, chaos.PointDiff); err != nil {
+			return nil, err
+		}
+		r, err := compare.DiffFDDsDirectContext(fctx, a.FDD, b.FDD)
+		if err != nil {
+			return nil, err
+		}
+		r.Timing.Construct = construct
+		if chaos.Fire(fctx, chaos.PointCacheInsertReport) == nil {
+			e.addReport(key, r)
+		}
+		return r, nil
+	})
+	e.observeBudget(sp, err)
+	if shared {
+		e.coalesced.Add(1)
+		if e.inst != nil {
+			e.inst.coalesced.With(cacheReport).Inc()
+		}
+		sp.AddCompleted("singleflight-wait", waitStart, time.Since(waitStart))
+		sp.SetAttr("coalesced", true)
+	}
+	return r, false, err
+}
+
+// editScriptHash content-addresses an edit script by its canonical
+// impact.FormatEdit rendering, one edit per line, so equivalent scripts
+// arriving with different spelling share one derived-from edge.
+func editScriptHash(schema *field.Schema, edits []impact.Edit) string {
+	h := sha256.New()
+	for _, ed := range edits {
+		io.WriteString(h, impact.FormatEdit(schema, ed))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// isAbort reports whether the error is a cancellation or budget crossing
+// — failures the scratch path would reproduce, so falling back is waste.
+func isAbort(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, guard.ErrBudget)
+}
+
 // CrossCompare compares every pair among N compiled policies, reusing
 // each FDD across its N-1 pairs and each pair report across requests.
 // Reports come back in deterministic (i, j) order; the worker pool and
@@ -336,6 +627,16 @@ type Stats struct {
 	// Coalesced counts callers that joined another caller's flight
 	// instead of starting their own.
 	Coalesced uint64 `json:"coalesced"`
+	// Incremental counts resume-from-checkpoint build outcomes.
+	Incremental IncrementalStats `json:"incremental"`
+}
+
+// IncrementalStats counts incremental (resume-from-checkpoint) FDD build
+// outcomes. Used + Fallback == Attempted once all flights settle.
+type IncrementalStats struct {
+	Attempted uint64 `json:"attempted"`
+	Used      uint64 `json:"used"`
+	Fallback  uint64 `json:"fallback"`
 }
 
 // Stats returns current cache and dedup counters.
@@ -348,13 +649,23 @@ func (e *Engine) Stats() Stats {
 		Reports:      toCache(e.reports.stats()),
 		Compilations: e.compilations.Load(),
 		Coalesced:    e.coalesced.Load(),
+		Incremental: IncrementalStats{
+			Attempted: e.incAttempted.Load(),
+			Used:      e.incUsed.Load(),
+			Fallback:  e.incFallback.Load(),
+		},
 	}
 }
 
 const (
 	cacheCompile = "compile"
 	cacheReport  = "report"
+	cacheDerived = "derived"
 )
+
+// derivedCacheBytes bounds the derived-from edge cache; entries are two
+// hashes plus a short script hash, so a megabyte holds thousands.
+const derivedCacheBytes = 1 << 20
 
 // budgeted attaches a fresh work budget from the engine's limits to a
 // flight context, unless the caller already supplied one (a request
@@ -392,6 +703,11 @@ type instruments struct {
 	entries      *metrics.GaugeVec
 	compilations *metrics.Counter
 	coalesced    *metrics.CounterVec
+
+	incAttempted  *metrics.Counter
+	incUsed       *metrics.Counter
+	incFallback   *metrics.Counter
+	incReappended *metrics.Histogram
 	// budgetExceeded lives in the fwguard family: it counts resource-
 	// governance interventions, not engine cache traffic.
 	budgetExceeded *metrics.CounterVec
@@ -413,6 +729,15 @@ func newInstruments(reg *metrics.Registry) *instruments {
 			"FDD constructions actually performed (not served from cache or coalesced)."),
 		coalesced: reg.NewCounterVec("fwengine_singleflight_coalesced_total",
 			"Callers that joined an in-flight identical computation.", "cache"),
+		incAttempted: reg.NewCounter("fwengine_incremental_attempted_total",
+			"Incremental (resume-from-checkpoint) FDD builds attempted."),
+		incUsed: reg.NewCounter("fwengine_incremental_used_total",
+			"Incremental FDD builds that succeeded and were used."),
+		incFallback: reg.NewCounter("fwengine_incremental_fallback_total",
+			"Incremental FDD builds that failed and fell back to scratch construction."),
+		incReappended: reg.NewHistogram("fwengine_incremental_rules_reappended",
+			"Rules re-appended per successful incremental build.",
+			[]float64{1, 4, 16, 64, 256, 1024, 4096}),
 		budgetExceeded: reg.NewCounterVec("fwguard_budget_exceeded_total",
 			"Pipeline flights aborted by a work budget, by resource kind.", "kind"),
 	}
@@ -480,6 +805,18 @@ func fddBytes(f *fdd.FDD) int64 {
 	}
 	walk(f.Root)
 	return total
+}
+
+// builderBytes estimates the extra resident cost of keeping a compiled
+// policy's builder: its family's shared node store retains intermediate
+// partial forms beyond the final diagram. Builders resumed from a common
+// base share one store, so summing per cache entry over-charges — the
+// LRU budget prefers over- to under-counting.
+func builderBytes(b *fdd.Builder) int64 {
+	if b == nil {
+		return 0
+	}
+	return int64(b.StoreNodes()) * (nodeCost + edgeCost)
 }
 
 // policyBytes estimates the resident size of a parsed policy.

@@ -70,7 +70,7 @@ func TestCompileSingleflightDedup(t *testing.T) {
 	real := e.construct
 	var calls atomic.Int32
 	release := make(chan struct{})
-	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error) {
+	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.Builder, error) {
 		calls.Add(1)
 		select {
 		case <-release:
@@ -124,7 +124,7 @@ func TestCanceledCompileDoesNotPoisonCache(t *testing.T) {
 	real := e.construct
 	started := make(chan struct{})
 	flightCanceled := make(chan struct{})
-	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error) {
+	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.Builder, error) {
 		close(started)
 		<-ctx.Done()
 		close(flightCanceled)
@@ -174,7 +174,7 @@ func TestCancelOneOfManyWaiters(t *testing.T) {
 	real := e.construct
 	started := make(chan struct{})
 	release := make(chan struct{})
-	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error) {
+	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.Builder, error) {
 		close(started)
 		select {
 		case <-release:

@@ -85,7 +85,7 @@ func TestCoalescedWaitersShareOneBudgetFailure(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error) {
+	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.Builder, error) {
 		once.Do(func() { close(started) })
 		<-release
 		return real(ctx, p)
@@ -208,7 +208,7 @@ func TestNoGoroutineLeaksOnAbortPaths(t *testing.T) {
 	e := New(Config{})
 	real := e.construct
 	block := make(chan struct{})
-	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.FDD, error) {
+	e.construct = func(ctx context.Context, p *rule.Policy) (*fdd.Builder, error) {
 		select {
 		case <-block:
 		case <-ctx.Done():

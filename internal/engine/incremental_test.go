@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"diversefw/internal/fdd"
+	"diversefw/internal/impact"
+	"diversefw/internal/metrics"
+	"diversefw/internal/rule"
+	"diversefw/internal/synth"
+)
+
+// tailEdits flips the decision of one rule near the end of p.
+func tailEdits(t *testing.T, p *rule.Policy) []impact.Edit {
+	t.Helper()
+	i := p.Size() - 3
+	r := p.Rules[i]
+	if r.Decision == rule.Accept {
+		r.Decision = rule.Discard
+	} else {
+		r.Decision = rule.Accept
+	}
+	return []impact.Edit{{Kind: impact.ReplaceRule, Index: i, Rule: r}}
+}
+
+func TestImpactEditsIncremental(t *testing.T) {
+	e := New(Config{})
+	before := synth.Synthetic(synth.Config{Rules: 120, Seed: 3})
+	edits := tailEdits(t, before)
+
+	after, r, st, err := e.ImpactEdits(context.Background(), before, edits)
+	if err != nil {
+		t.Fatalf("ImpactEdits: %v", err)
+	}
+	if !st.Incremental {
+		t.Fatalf("cold tail edit was not served incrementally: %+v", st)
+	}
+	if st.RulesReappended <= 0 || st.RulesReappended >= before.Size()/2 {
+		t.Fatalf("tail edit reappended %d of %d rules", st.RulesReappended, before.Size())
+	}
+	if st.CheckpointRules+st.RulesReappended != after.Size() {
+		t.Fatalf("inconsistent stats %+v for %d rules", st, after.Size())
+	}
+	if r.Equivalent() {
+		t.Fatalf("flipping a reachable decision reported no impact")
+	}
+	s := e.Stats()
+	if s.Incremental.Attempted != 1 || s.Incremental.Used != 1 || s.Incremental.Fallback != 0 {
+		t.Fatalf("incremental counters: %+v", s.Incremental)
+	}
+
+	// The same report as the full pipeline, semantically: every packet the
+	// direct walk flagged is flagged by the lockstep diff and vice versa.
+	full, _, err := e.DiffPolicies(context.Background(), before, after)
+	if err != nil {
+		t.Fatalf("DiffPolicies: %v", err)
+	}
+	if full.Equivalent() != r.Equivalent() {
+		t.Fatalf("direct and lockstep disagree on equivalence")
+	}
+
+	// Second identical call: everything cached, including the derived
+	// edge; no new construction.
+	compilations := e.Stats().Compilations
+	_, r2, st2, err := e.ImpactEdits(context.Background(), before, edits)
+	if err != nil {
+		t.Fatalf("second ImpactEdits: %v", err)
+	}
+	if !st2.ReportCached || st2.CompileHits != 2 {
+		t.Fatalf("second call not fully cached: %+v", st2)
+	}
+	if st2.Incremental {
+		t.Fatalf("cache hit must not claim an incremental build")
+	}
+	// The DiffPolicies call above cached a lockstep report for the pair;
+	// the edits path must now prefer it over its own direct-walk report
+	// so row numbering stays consistent with /v1/diff.
+	if r2 != full {
+		t.Fatalf("second call did not prefer the cached lockstep report")
+	}
+	if got := e.Stats().Compilations; got != compilations {
+		t.Fatalf("second call compiled again (%d -> %d)", compilations, got)
+	}
+	if st2.AfterHash != st.AfterHash {
+		t.Fatalf("derived edge returned a different after hash")
+	}
+}
+
+func TestImpactEditsFallbackToScratch(t *testing.T) {
+	e := New(Config{})
+	e.resume = func(ctx context.Context, base *fdd.Builder, after *rule.Policy) (*fdd.Builder, fdd.ResumeStats, error) {
+		return nil, fdd.ResumeStats{}, fmt.Errorf("injected resume failure")
+	}
+	before := synth.Synthetic(synth.Config{Rules: 80, Seed: 5})
+	edits := tailEdits(t, before)
+	after, r, st, err := e.ImpactEdits(context.Background(), before, edits)
+	if err != nil {
+		t.Fatalf("ImpactEdits with failing resume: %v", err)
+	}
+	if st.Incremental {
+		t.Fatalf("failed resume still reported incremental")
+	}
+	if r == nil || r.Equivalent() {
+		t.Fatalf("fallback lost the impact report")
+	}
+	s := e.Stats()
+	if s.Incremental.Attempted != 1 || s.Incremental.Used != 0 || s.Incremental.Fallback != 1 {
+		t.Fatalf("incremental counters after fallback: %+v", s.Incremental)
+	}
+	// The scratch fallback result IS cached (it succeeded).
+	if _, ok := e.compiled.get(PolicyHash(after)); !ok {
+		t.Fatalf("successful scratch fallback was not cached")
+	}
+}
+
+func TestImpactEditsAbortNotCachedNotFallenBack(t *testing.T) {
+	e := New(Config{})
+	e.resume = func(ctx context.Context, base *fdd.Builder, after *rule.Policy) (*fdd.Builder, fdd.ResumeStats, error) {
+		return nil, fdd.ResumeStats{}, fmt.Errorf("fdd: construction canceled: %w", context.Canceled)
+	}
+	before := synth.Synthetic(synth.Config{Rules: 60, Seed: 7})
+	edits := tailEdits(t, before)
+	after, _ := impact.Apply(before, edits)
+	_, _, st, err := e.ImpactEdits(context.Background(), before, edits)
+	if err == nil {
+		t.Fatalf("cancellation during resume did not surface")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled in chain, got %v", err)
+	}
+	if st.Incremental {
+		t.Fatalf("aborted build reported incremental")
+	}
+	s := e.Stats()
+	if s.Incremental.Fallback != 0 {
+		t.Fatalf("cancellation must not trigger scratch fallback: %+v", s.Incremental)
+	}
+	if _, ok := e.compiled.get(PolicyHash(after)); ok {
+		t.Fatalf("aborted incremental build was cached")
+	}
+}
+
+func TestImpactEditsReportNamespaceIsolation(t *testing.T) {
+	// A lockstep report cached for the pair must be preferred by the
+	// edits path (row numbering stays stable across /v1/diff and
+	// /v1/resolve), and a direct report must never be stored under the
+	// lockstep key.
+	e := New(Config{})
+	before := synth.Synthetic(synth.Config{Rules: 100, Seed: 9})
+	edits := tailEdits(t, before)
+	after, err := impact.Apply(before, edits)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	lock, _, err := e.DiffPolicies(context.Background(), before, after)
+	if err != nil {
+		t.Fatalf("DiffPolicies: %v", err)
+	}
+	_, r, st, err := e.ImpactEdits(context.Background(), before, edits)
+	if err != nil {
+		t.Fatalf("ImpactEdits: %v", err)
+	}
+	if !st.ReportCached {
+		t.Fatalf("edits path ignored the cached lockstep report")
+	}
+	if r != lock {
+		t.Fatalf("edits path returned a different report than the cached lockstep one")
+	}
+
+	// Reverse order: the direct report lands under "inc|..." and the
+	// lockstep path must not see it.
+	e2 := New(Config{})
+	_, rd, _, err := e2.ImpactEdits(context.Background(), before, edits)
+	if err != nil {
+		t.Fatalf("ImpactEdits: %v", err)
+	}
+	lock2, stats2, err := e2.DiffPolicies(context.Background(), before, after)
+	if err != nil {
+		t.Fatalf("DiffPolicies: %v", err)
+	}
+	if stats2.ReportCached {
+		t.Fatalf("lockstep path served a direct-walk report")
+	}
+	if lock2 == rd {
+		t.Fatalf("lockstep and direct share a report instance across namespaces")
+	}
+}
+
+func TestIncrementalMetricsScrape(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := New(Config{Metrics: reg})
+	before := synth.Synthetic(synth.Config{Rules: 80, Seed: 11})
+	if _, _, _, err := e.ImpactEdits(context.Background(), before, tailEdits(t, before)); err != nil {
+		t.Fatalf("ImpactEdits: %v", err)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"fwengine_incremental_attempted_total 1",
+		"fwengine_incremental_used_total 1",
+		"fwengine_incremental_fallback_total 0",
+		"fwengine_incremental_rules_reappended_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package fdd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"diversefw/internal/guard"
+	"diversefw/internal/rule"
+	"diversefw/internal/trace"
+)
+
+// Builder is a resumable FDD construction: the paper's append loop, plus
+// root snapshots ("checkpoints") taken at the incremental-reduction
+// boundaries. Because appending is copy-on-write (no node is ever mutated
+// after creation) and reduction hash-conses into a store shared by the
+// whole builder family, a checkpoint is a single root pointer — no
+// copying, no serialization.
+//
+// Resume exploits the checkpoints for change-impact analysis: to build
+// the FDD of an edited policy, it finds the longest common rule prefix
+// between the old and new policies, restarts from the deepest checkpoint
+// at or before that prefix, and re-appends only the suffix. A tail edit
+// on an N-rule policy re-appends a handful of rules instead of N, and —
+// because the resumed diagram is reduced in the same store as the base —
+// unchanged subgraphs come back pointer-identical, which downstream
+// comparisons can short-circuit on.
+//
+// A Builder is safe for concurrent use: the shared node store is guarded
+// by the family's mutex, and the published FDD, effective bits, and
+// checkpoints are immutable once the builder is returned.
+type Builder struct {
+	core        *builderCore
+	policy      *rule.Policy
+	fdd         *FDD
+	effective   []bool
+	checkpoints []checkpoint
+}
+
+// builderCore is the state shared by every builder in one resume family:
+// the hash-consing store all of them canonicalize into. The mutex
+// serializes construction; reads of finished diagrams never need it
+// (canonical nodes are immutable).
+type builderCore struct {
+	mu sync.Mutex
+	in *Interner
+}
+
+// checkpoint is one resumable prefix: the reduced root of the partial
+// diagram after the first `rules` rules were appended.
+type checkpoint struct {
+	rules int
+	root  *Node
+}
+
+// maxCheckpoints bounds the checkpoint list. When it fills, the older
+// half is thinned to every second entry, so spacing degrades
+// geometrically for old prefixes while the tail — where edits
+// concentrate (the paper's dominant error case is mis-ordered insertions
+// near the end) — keeps the full reduceEvery resolution.
+const maxCheckpoints = 128
+
+// NewBuilder constructs the FDD for p, retaining resume checkpoints.
+func NewBuilder(p *rule.Policy) (*Builder, error) {
+	return NewBuilderContext(context.Background(), p)
+}
+
+// NewBuilderContext is NewBuilder with cancellation and budgeting; the
+// semantics of both match ConstructEffectiveContext (which is a thin
+// wrapper over this).
+func NewBuilderContext(ctx context.Context, p *rule.Policy) (*Builder, error) {
+	if p.Size() == 0 {
+		return nil, fmt.Errorf("fdd: cannot construct from an empty policy")
+	}
+	ctx, sp := trace.Start(ctx, "construct")
+	defer sp.End()
+	sp.SetAttr("rules", p.Size())
+	core := &builderCore{in: NewInterner()}
+	core.mu.Lock()
+	defer core.mu.Unlock()
+	b, err := core.build(ctx, sp, p, 0, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		nodes, edges := countGraph(b.fdd.Root)
+		sp.SetAttr("nodes", nodes)
+		sp.SetAttr("edges", edges)
+	}
+	return b, nil
+}
+
+// FDD returns the constructed diagram. Treat it as immutable: its nodes
+// are canonical in the builder family's shared store.
+func (b *Builder) FDD() *FDD { return b.fdd }
+
+// Policy returns the policy this builder constructed.
+func (b *Builder) Policy() *rule.Policy { return b.policy }
+
+// Effective reports, per rule, whether the rule contributed any region of
+// the packet space (see ConstructEffective). Read-only.
+func (b *Builder) Effective() []bool { return b.effective }
+
+// NumCheckpoints returns how many resumable prefixes the builder holds.
+func (b *Builder) NumCheckpoints() int { return len(b.checkpoints) }
+
+// StoreNodes returns the node count of the family's shared store — the
+// resident cost of keeping this builder (and its checkpoints) alive,
+// which is larger than the final diagram because intermediate partial
+// forms stay interned.
+func (b *Builder) StoreNodes() int {
+	b.core.mu.Lock()
+	defer b.core.mu.Unlock()
+	return b.core.in.NumNodes()
+}
+
+// ResumeStats describes how much work a Resume avoided.
+type ResumeStats struct {
+	// CheckpointRules is the prefix length of the checkpoint resumed
+	// from; 0 means no usable checkpoint (the edit touched the head) and
+	// the diagram was rebuilt from the first rule.
+	CheckpointRules int
+	// RulesReappended is how many rules were appended after the
+	// checkpoint — the work actually done.
+	RulesReappended int
+}
+
+// Resume constructs the FDD for the edited policy `after`, reusing the
+// deepest checkpoint whose rule prefix the edit left untouched. The
+// returned builder shares this builder's node store (and is itself
+// resumable); the base builder and its FDD are not modified.
+//
+// The result is identical — graph-isomorphic, and pointer-identical on
+// shared subgraphs — to constructing `after` from scratch: appending is
+// semantic per rule, and the final reduced ordered form is canonical per
+// decision function, so the resume cadence cannot leak into the output.
+func (b *Builder) Resume(ctx context.Context, after *rule.Policy) (*Builder, ResumeStats, error) {
+	var st ResumeStats
+	if after.Size() == 0 {
+		return nil, st, fmt.Errorf("fdd: cannot construct from an empty policy")
+	}
+	if !b.policy.Schema.Equal(after.Schema) {
+		return nil, st, fmt.Errorf("fdd: resume across different schemas")
+	}
+	prefix := commonRulePrefix(b.policy, after)
+	start, used := 0, 0
+	var root *Node
+	for i, cp := range b.checkpoints {
+		if cp.rules > prefix {
+			break
+		}
+		start, root, used = cp.rules, cp.root, i+1
+	}
+	st.CheckpointRules = start
+	st.RulesReappended = after.Size() - start
+	ctx, sp := trace.Start(ctx, "construct.resume")
+	defer sp.End()
+	sp.SetAttr("rules", after.Size())
+	sp.SetAttr("checkpointUsed", st.CheckpointRules)
+	sp.SetAttr("rulesReappended", st.RulesReappended)
+	b.core.mu.Lock()
+	defer b.core.mu.Unlock()
+	nb, err := b.core.build(ctx, nil, after, start, root, b.checkpoints[:used], b.effective[:start])
+	if err != nil {
+		return nil, st, err
+	}
+	return nb, st, nil
+}
+
+// build runs the append loop for rules[start:] on top of the (reduced,
+// canonical) partial root, recording checkpoints at the reduction
+// boundaries. base and effPrefix describe the prefix already in root and
+// are copied, never aliased. Callers hold core.mu.
+func (core *builderCore) build(ctx context.Context, sp *trace.Span, p *rule.Policy,
+	start int, root *Node, base []checkpoint, effPrefix []bool) (b *Builder, err error) {
+	// The append recursion has no error path (it cannot fail on valid
+	// input); budget crossings surface as a budgetPanic so the hot path
+	// stays two-valued, converted back to an error here.
+	defer func() {
+		if r := recover(); r != nil {
+			bp, ok := r.(budgetPanic)
+			if !ok {
+				panic(r)
+			}
+			b, err = nil, fmt.Errorf("fdd: construction aborted: %w", bp.err)
+		}
+	}()
+	ap := newAppender(p.Schema)
+	ap.budget = guard.FromContext(ctx)
+	effective := make([]bool, p.Size())
+	copy(effective, effPrefix)
+	cps := make([]checkpoint, len(base), len(base)+(p.Size()-start)/reduceEvery+1)
+	copy(cps, base)
+	i := start
+	if i == 0 {
+		root = ap.buildPath(p.Rules[0].Pred, 0, p.Rules[0].Decision)
+		effective[0] = true
+		i = 1
+	}
+	for ; i < p.Size(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fdd: construction canceled: %w", err)
+		}
+		// Flushing per rule keeps the wall-clock cap live even when appends
+		// create few nodes; mid-append crossings unwind via budgetPanic.
+		ap.flush()
+		if err := ap.budget.Err(); err != nil {
+			return nil, fmt.Errorf("fdd: construction aborted: %w", err)
+		}
+		r := p.Rules[i]
+		var added bool
+		root, added = ap.appendRule(root, r.Pred, 0, r.Decision)
+		effective[i] = added
+		// Appending shares subgraphs copy-on-write, so the diagram is a
+		// DAG; hash-consing it periodically keeps its size near the
+		// reduced form throughout construction instead of only at the end.
+		// The reduced root doubles as a resume checkpoint: the cadence is
+		// anchored to absolute rule indices so every builder in a family
+		// snapshots the same prefix lengths.
+		if i%reduceEvery == 0 {
+			root = core.in.ReduceNode(p.Schema, root)
+			cps = appendCheckpoint(cps, checkpoint{rules: i + 1, root: root})
+		}
+	}
+	if sp != nil {
+		// The pre/post-reduction delta is the paper's blow-up signal: how
+		// much structure the final hash-consing pass collapsed.
+		nodes, edges := countGraph(root)
+		sp.SetAttr("nodesPreReduce", nodes)
+		sp.SetAttr("edgesPreReduce", edges)
+	}
+	root = core.in.ReduceNode(p.Schema, root)
+	f := &FDD{Schema: p.Schema, Root: root}
+	if cerr := f.checkComplete(); cerr != nil {
+		return nil, fmt.Errorf("fdd: %w: %w", ErrIncomplete, cerr)
+	}
+	return &Builder{core: core, policy: p, fdd: f, effective: effective, checkpoints: cps}, nil
+}
+
+// appendCheckpoint appends cp, thinning the older half to every second
+// entry when the list exceeds maxCheckpoints.
+func appendCheckpoint(cps []checkpoint, cp checkpoint) []checkpoint {
+	cps = append(cps, cp)
+	if len(cps) > maxCheckpoints {
+		half := len(cps) / 2
+		kept := cps[:0]
+		for j := 0; j < half; j += 2 {
+			kept = append(kept, cps[j])
+		}
+		cps = append(kept, cps[half:]...)
+	}
+	return cps
+}
+
+// commonRulePrefix counts the leading rules the two policies share.
+func commonRulePrefix(a, b *rule.Policy) int {
+	n := a.Size()
+	if b.Size() < n {
+		n = b.Size()
+	}
+	for i := 0; i < n; i++ {
+		if !rulesEqual(a.Rules[i], b.Rules[i]) {
+			return i
+		}
+	}
+	return n
+}
+
+// rulesEqual reports whether two rules are identical: same decision and
+// set-equal predicates field by field.
+func rulesEqual(x, y rule.Rule) bool {
+	if x.Decision != y.Decision {
+		return false
+	}
+	for f := range x.Pred {
+		if !x.Pred[f].Equal(y.Pred[f]) {
+			return false
+		}
+	}
+	return true
+}

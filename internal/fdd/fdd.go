@@ -21,7 +21,6 @@ import (
 	"diversefw/internal/guard"
 	"diversefw/internal/interval"
 	"diversefw/internal/rule"
-	"diversefw/internal/trace"
 )
 
 // ErrIncomplete marks construction failures caused by a non-comprehensive
@@ -100,74 +99,14 @@ func ConstructEffective(p *rule.Policy) (f *FDD, effective []bool, err error) {
 // guard.ErrBudgetExceeded mid-append — the defense against policies
 // whose partial FDD blows up exponentially (Section 3) before the first
 // reduction could shrink it.
-func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (f *FDD, effective []bool, err error) {
-	if p.Size() == 0 {
-		return nil, nil, fmt.Errorf("fdd: cannot construct from an empty policy")
+func ConstructEffectiveContext(ctx context.Context, p *rule.Policy) (*FDD, []bool, error) {
+	// The construction loop lives in the resumable Builder (builder.go);
+	// this entry point simply discards the resume state.
+	b, err := NewBuilderContext(ctx, p)
+	if err != nil {
+		return nil, nil, err
 	}
-	ctx, sp := trace.Start(ctx, "construct")
-	defer sp.End()
-	sp.SetAttr("rules", p.Size())
-	// The append recursion has no error path (it cannot fail on valid
-	// input); budget crossings surface as a budgetPanic so the hot path
-	// stays two-valued, converted back to an error here.
-	defer func() {
-		if p := recover(); p != nil {
-			bp, ok := p.(budgetPanic)
-			if !ok {
-				panic(p)
-			}
-			f, effective, err = nil, nil, fmt.Errorf("fdd: construction aborted: %w", bp.err)
-		}
-	}()
-	effective = make([]bool, p.Size())
-	ap := newAppender(p.Schema)
-	ap.budget = guard.FromContext(ctx)
-	root := ap.buildPath(p.Rules[0].Pred, 0, p.Rules[0].Decision)
-	effective[0] = true
-	f = &FDD{Schema: p.Schema, Root: root}
-	// One node store for the whole construction: appending is
-	// copy-on-write, so everything canonicalized by one incremental
-	// reduction is still canonical at the next, and only the nodes the
-	// latest appends created get hashed.
-	in := NewInterner()
-	for i := 1; i < p.Size(); i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, fmt.Errorf("fdd: construction canceled: %w", err)
-		}
-		// Flushing per rule keeps the wall-clock cap live even when appends
-		// create few nodes; mid-append crossings unwind via budgetPanic.
-		ap.flush()
-		if err := ap.budget.Err(); err != nil {
-			return nil, nil, fmt.Errorf("fdd: construction aborted: %w", err)
-		}
-		r := p.Rules[i]
-		var added bool
-		f.Root, added = ap.appendRule(f.Root, r.Pred, 0, r.Decision)
-		effective[i] = added
-		// Appending shares subgraphs copy-on-write, so the diagram is a
-		// DAG; hash-consing it periodically keeps its size near the
-		// reduced form throughout construction instead of only at the end.
-		if i%reduceEvery == 0 {
-			f.Root = in.ReduceNode(p.Schema, f.Root)
-		}
-	}
-	if sp != nil {
-		// The pre/post-reduction delta is the paper's blow-up signal: how
-		// much structure the final hash-consing pass collapsed.
-		nodes, edges := countGraph(f.Root)
-		sp.SetAttr("nodesPreReduce", nodes)
-		sp.SetAttr("edgesPreReduce", edges)
-	}
-	f.Root = in.ReduceNode(p.Schema, f.Root)
-	if err := f.checkComplete(); err != nil {
-		return nil, nil, fmt.Errorf("fdd: %w: %w", ErrIncomplete, err)
-	}
-	if sp != nil {
-		nodes, edges := countGraph(f.Root)
-		sp.SetAttr("nodes", nodes)
-		sp.SetAttr("edges", edges)
-	}
-	return f, effective, nil
+	return b.fdd, b.effective, nil
 }
 
 // countGraph counts distinct nodes and edges of the DAG rooted at root.

@@ -1,10 +1,13 @@
 package fdd
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"diversefw/internal/paper"
+	"diversefw/internal/rule"
+	"diversefw/internal/synth"
 )
 
 // FuzzUnmarshal checks that the FDD file parser never panics (including
@@ -39,6 +42,74 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if _, err := Unmarshal(strings.NewReader(sb.String()), schema); err != nil {
 			t.Fatalf("marshalled diagram failed to reparse: %v\n%s", err, sb.String())
+		}
+	})
+}
+
+// FuzzBuilderResume drives randomized edit sequences against a synthetic
+// base policy and checks that resuming the base builder produces exactly
+// the FDD scratch construction would: same failure behavior, and on
+// success a graph-isomorphic diagram (reducing both roots into one fresh
+// store must intern them to the same node — the reduced ordered form is
+// canonical per decision function).
+func FuzzBuilderResume(f *testing.F) {
+	f.Add(int64(1), []byte{0x01, 0x42})
+	f.Add(int64(2), []byte{0x83, 0x10, 0x22, 0x7f})
+	f.Add(int64(3), []byte{0xff, 0xfe, 0xfd, 0xfc, 0x00})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) > 16 {
+			ops = ops[:16]
+		}
+		n := 36 + int(uint64(seed)%48)
+		before := synth.Synthetic(synth.Config{Rules: n, Seed: seed})
+		after := before
+		// Each op byte encodes an edit: two bits of kind, six of position.
+		// Invalid edits (out of range after deletions) are skipped, like a
+		// script author retrying; the donor rule for inserts/replaces comes
+		// from the policy itself with a flipped decision, so it is always
+		// schema-valid.
+		for _, op := range ops {
+			if after.Size() < 2 {
+				break
+			}
+			pos := int(op>>2) % after.Size()
+			donor := after.Rules[pos]
+			donor.Decision = flip(donor.Decision)
+			var next *rule.Policy
+			var err error
+			switch op & 3 {
+			case 0:
+				next, err = after.ReplaceRule(pos, donor)
+			case 1:
+				next, err = after.InsertRule(pos, donor)
+			case 2:
+				next, err = after.DeleteRule(pos)
+			default:
+				next, err = after.SwapRules(pos, (pos*7+1)%after.Size())
+			}
+			if err != nil {
+				continue
+			}
+			after = next
+		}
+		base, err := NewBuilder(before)
+		if err != nil {
+			t.Fatalf("NewBuilder(before): %v", err)
+		}
+		resumed, st, rerr := base.Resume(context.Background(), after)
+		scratch, serr := Construct(after)
+		if (rerr == nil) != (serr == nil) {
+			t.Fatalf("resume err %v, scratch err %v", rerr, serr)
+		}
+		if rerr != nil {
+			return
+		}
+		if st.CheckpointRules+st.RulesReappended != after.Size() {
+			t.Fatalf("inconsistent stats %+v for %d rules", st, after.Size())
+		}
+		in := NewInterner()
+		if in.ReduceNode(after.Schema, resumed.FDD().Root) != in.ReduceNode(after.Schema, scratch.Root) {
+			t.Fatalf("resumed FDD differs from scratch (seed %d, ops %x)", seed, ops)
 		}
 	})
 }

@@ -21,12 +21,25 @@ import (
 //
 // Rule positions are 1-based, matching every report in this repository.
 
+// stripComment removes a trailing '#' comment and surrounding space. A
+// '#' opens a comment anywhere on the line — the same convention as the
+// policy text format (see rule.ParsePolicy), so no parseable rule can
+// contain one. Stripping happens exactly here: both entry points below
+// delegate to parseEditLine, which assumes a comment-free line.
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
 // ParseEdit parses one edit line.
 func ParseEdit(schema *field.Schema, line string) (Edit, error) {
-	line = strings.TrimSpace(line)
-	if i := strings.IndexByte(line, '#'); i >= 0 {
-		line = strings.TrimSpace(line[:i])
-	}
+	return parseEditLine(schema, stripComment(line))
+}
+
+// parseEditLine parses one comment-free edit line.
+func parseEditLine(schema *field.Schema, line string) (Edit, error) {
 	if line == "" {
 		return Edit{}, fmt.Errorf("impact: empty edit")
 	}
@@ -112,18 +125,37 @@ const appendIndex = -1
 func ParseEdits(schema *field.Schema, script string) ([]Edit, error) {
 	var out []Edit
 	for ln, line := range strings.Split(script, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if i := strings.IndexByte(trimmed, '#'); i >= 0 {
-			trimmed = strings.TrimSpace(trimmed[:i])
-		}
+		trimmed := stripComment(line)
 		if trimmed == "" {
 			continue
 		}
-		e, err := ParseEdit(schema, trimmed)
+		e, err := parseEditLine(schema, trimmed)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", ln+1, err)
 		}
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// FormatEdit renders the edit in the script syntax ParseEdit accepts
+// (1-based positions), and is its inverse up to whitespace. Besides the
+// CLI round trip, it is the canonical serialization the engine hashes to
+// key the derived-from compile-cache edge (see engine.ImpactEdits).
+func FormatEdit(schema *field.Schema, e Edit) string {
+	switch e.Kind {
+	case InsertRule:
+		if e.Index == appendIndex {
+			return "append: " + rule.FormatRule(schema, e.Rule)
+		}
+		return fmt.Sprintf("insert %d: %s", e.Index+1, rule.FormatRule(schema, e.Rule))
+	case DeleteRule:
+		return fmt.Sprintf("delete %d", e.Index+1)
+	case ReplaceRule:
+		return fmt.Sprintf("replace %d: %s", e.Index+1, rule.FormatRule(schema, e.Rule))
+	case SwapRules:
+		return fmt.Sprintf("swap %d %d", e.Index+1, e.J+1)
+	default:
+		return fmt.Sprintf("%s %d", e.Kind, e.Index+1)
+	}
 }

@@ -114,3 +114,59 @@ func TestParseEditsReportsLine(t *testing.T) {
 		t.Fatalf("error should cite line 2: %q", got)
 	}
 }
+
+func TestCommentStrippingHappensOnce(t *testing.T) {
+	schema := editSchema()
+	// A '#' opens a comment anywhere — the same convention as the policy
+	// text format, so no parseable rule can contain one. The text after
+	// the first '#' must be ignored wholesale, including further '#'s.
+	e, err := ParseEdit(schema, "delete 2   # drop the shadowed rule # twice")
+	if err != nil {
+		t.Fatalf("ParseEdit with comment: %v", err)
+	}
+	if e.Kind != DeleteRule || e.Index != 1 {
+		t.Fatalf("got %+v", e)
+	}
+	// A line that is only a comment is an empty edit for ParseEdit...
+	if _, err := ParseEdit(schema, "# nothing here"); err == nil {
+		t.Fatalf("comment-only line should not parse as an edit")
+	}
+	// ...and skipped (not an error) inside a script.
+	edits, err := ParseEdits(schema, "# header\ndelete 1 # tail\n\n# footer\n")
+	if err != nil {
+		t.Fatalf("ParseEdits: %v", err)
+	}
+	if len(edits) != 1 || edits[0].Kind != DeleteRule || edits[0].Index != 0 {
+		t.Fatalf("got %+v", edits)
+	}
+}
+
+func TestFormatEditRoundTrip(t *testing.T) {
+	schema := editSchema()
+	r, err := rule.ParseRule(schema, "x in 10-20 -> accept")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	edits := []Edit{
+		{Kind: InsertRule, Index: 2, Rule: r},
+		{Kind: InsertRule, Index: appendIndex, Rule: r},
+		{Kind: DeleteRule, Index: 0},
+		{Kind: ReplaceRule, Index: 4, Rule: r},
+		{Kind: SwapRules, Index: 1, J: 3},
+	}
+	for _, want := range edits {
+		line := FormatEdit(schema, want)
+		got, err := ParseEdit(schema, line)
+		if err != nil {
+			t.Fatalf("reparsing %q: %v", line, err)
+		}
+		if got.Kind != want.Kind || got.Index != want.Index || got.J != want.J {
+			t.Fatalf("round trip of %q: got %+v, want %+v", line, got, want)
+		}
+		if want.Kind == InsertRule || want.Kind == ReplaceRule {
+			if rule.FormatRule(schema, got.Rule) != rule.FormatRule(schema, want.Rule) {
+				t.Fatalf("round trip of %q changed the rule payload", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package impact
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"diversefw/internal/fdd"
+	"diversefw/internal/rule"
+	"diversefw/internal/synth"
+)
+
+// randomEdits builds a 1–4 step edit script against p. Edits avoid the
+// final catch-all often enough that most scripts stay comprehensive, but
+// deliberate deletions of it are generated too — resume must then fail
+// exactly like scratch construction.
+func randomEdits(rng *rand.Rand, p *rule.Policy) []Edit {
+	n := 1 + rng.Intn(4)
+	edits := make([]Edit, 0, n)
+	donorPool := synth.Synthetic(synth.Config{Rules: 30, Seed: rng.Int63()})
+	size := p.Size() // evolves as edits apply in sequence
+	for len(edits) < n {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // replace
+			edits = append(edits, Edit{Kind: ReplaceRule, Index: rng.Intn(size),
+				Rule: donorPool.Rules[rng.Intn(donorPool.Size())]})
+		case 3, 4, 5: // insert (occasionally append)
+			idx := rng.Intn(size + 1)
+			if rng.Intn(5) == 0 {
+				idx = appendIndex
+			}
+			edits = append(edits, Edit{Kind: InsertRule, Index: idx,
+				Rule: donorPool.Rules[rng.Intn(donorPool.Size())]})
+			size++
+		case 6, 7: // swap
+			edits = append(edits, Edit{Kind: SwapRules,
+				Index: rng.Intn(size), J: rng.Intn(size)})
+		default: // delete (may remove the catch-all)
+			if size < 3 {
+				continue
+			}
+			edits = append(edits, Edit{Kind: DeleteRule, Index: rng.Intn(size)})
+			size--
+		}
+	}
+	return edits
+}
+
+// TestIncrementalDifferential is the tentpole's correctness proof:
+// across hundreds of randomized policy/edit-script pairs, resuming the
+// before policy's builder yields an FDD graph-isomorphic to scratch
+// construction of the edited policy (reducing both roots into one fresh
+// store interns them to the same node — the reduced ordered FDD is
+// canonical per decision function), with identical effective-rule bits,
+// and fails if and only if scratch fails.
+func TestIncrementalDifferential(t *testing.T) {
+	const trials = 220
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 36 + rng.Intn(48)
+		before := synth.Synthetic(synth.Config{Rules: n, Seed: int64(trial + 1)})
+		edits := randomEdits(rng, before)
+		after, err := Apply(before, edits)
+		if err != nil {
+			t.Fatalf("trial %d: Apply: %v (edits %v)", trial, err, edits)
+		}
+		base, err := fdd.NewBuilder(before)
+		if err != nil {
+			t.Fatalf("trial %d: NewBuilder(before): %v", trial, err)
+		}
+		resumed, st, rerr := base.Resume(context.Background(), after)
+		scratch, seff, serr := fdd.ConstructEffective(after)
+		if (rerr == nil) != (serr == nil) {
+			t.Fatalf("trial %d: resume err %v, scratch err %v (edits %v)", trial, rerr, serr, edits)
+		}
+		if rerr != nil {
+			continue // e.g. the script deleted the catch-all
+		}
+		if st.CheckpointRules+st.RulesReappended != after.Size() {
+			t.Fatalf("trial %d: inconsistent stats %+v for %d rules", trial, st, after.Size())
+		}
+		in := fdd.NewInterner()
+		if in.ReduceNode(after.Schema, resumed.FDD().Root) != in.ReduceNode(after.Schema, scratch.Root) {
+			t.Fatalf("trial %d: resumed FDD not isomorphic to scratch (edits %v)", trial, edits)
+		}
+		reff := resumed.Effective()
+		for i := range seff {
+			if reff[i] != seff[i] {
+				t.Fatalf("trial %d: effective[%d] resume %v scratch %v", trial, i, reff[i], seff[i])
+			}
+		}
+	}
+}

@@ -32,16 +32,24 @@ GOFLAGS=-count=1 go test -race ./internal/trace/... ./internal/metrics/...
 # whose cached "ok" means nothing.
 go test -race -count=1 -run 'TestChaosStress' ./internal/api/
 
+# The incremental-recompilation differential also reruns uncached under
+# the race detector: hundreds of randomized policy/edit-script pairs
+# asserting that resuming a checkpointed builder is graph-isomorphic to
+# scratch construction — the correctness proof for the edits fast path.
+go test -race -count=1 -run 'TestIncrementalDifferential' ./internal/impact/
+
 # Performance gate: the pipeline must stay within 5% of the last
 # committed snapshot on the gated phases, after rescaling the baseline
 # by the machine-calibration ratio both snapshots record (this box's
 # absolute timings drift by tens of percent between sessions on
-# byte-identical workloads; BENCH_4 is the first calibrated snapshot,
-# which is why the baseline moved forward from BENCH_3). Skippable for
-# doc-only loops (SKIP_BENCH_GATE=1) — CI always runs it.
+# byte-identical workloads; BENCH_4 was the first calibrated snapshot).
+# impact_incremental_tail is gated so the edit-to-diff fast path cannot
+# silently rot back toward from-scratch cost. Skippable for doc-only
+# loops (SKIP_BENCH_GATE=1) — CI always runs it.
 if [ "${SKIP_BENCH_GATE:-}" != "1" ]; then
     tmpdir=$(mktemp -d)
     trap 'rm -rf "$tmpdir"' EXIT
     go run ./cmd/fwbench -json -out "$tmpdir" \
-        -baseline results/BENCH_4.json -gate 5 -gatephases construct,compare
+        -baseline results/BENCH_5.json -gate 5 \
+        -gatephases construct,compare,impact_incremental_tail
 fi
