@@ -15,6 +15,7 @@ import (
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/fdd"
+	"diversefw/internal/jobs"
 	"diversefw/internal/rule"
 	"diversefw/internal/shape"
 	"diversefw/internal/synth"
@@ -281,6 +282,54 @@ func benchJSON(cfg config) error {
 		{"impact_incremental_head", incremental(editedHead)},
 		{"impact_incremental_middle", incremental(editedMiddle)},
 		{"impact_incremental_tail", incremental(editedTail)},
+		// The async-job serving scenario: a 16-policy cross-comparison
+		// (120 pairs) submitted to a fresh coordinator with 4 workers,
+		// timed from Submit to the job's Done channel. Fresh engine per op
+		// so every op pays 16 real compiles (the content-addressed cache
+		// dedups the 240 per-pair compile requests down to those 16) plus
+		// 120 shaped comparisons. The workload size is fixed and small —
+		// not cfg.benchRules — because this phase measures coordinator
+		// scheduling and cache coalescing, not raw pipeline cost.
+		{"crosscompare_16x_sharded_4_workers", func(b *testing.B) {
+			// Small rules keep one op well under a second, so the phase
+			// averages several iterations instead of gating on a single
+			// noisy 2s shot.
+			const nPolicies, jobRules = 16, 20
+			names := make([]string, nPolicies)
+			policies := make([]*rule.Policy, nPolicies)
+			for i := range policies {
+				names[i] = fmt.Sprintf("p%d", i+1)
+				policies[i] = synth.Synthetic(synth.Config{Rules: jobRules, Seed: int64(i + 1)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Config{})
+				c := jobs.New(eng, jobs.Config{Workers: 4})
+				snap, err := c.Submit(jobs.Spec{
+					Kind: jobs.KindCrossCompare, SchemaName: "five",
+					Names: names, Policies: policies,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				done, err := c.Done(snap.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-done
+				final, err := c.Get(snap.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if final.State != jobs.StateCompleted || final.Progress.OK != final.Progress.Total {
+					b.Fatalf("job did not complete cleanly: %+v", final.Progress)
+				}
+				if got := eng.Stats().Compilations; got != nPolicies {
+					b.Fatalf("compilations = %d, want %d", got, nPolicies)
+				}
+				c.Close()
+			}
+		}},
 	}
 
 	report := benchReport{

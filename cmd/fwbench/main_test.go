@@ -88,6 +88,7 @@ func TestJSONBenchSnapshot(t *testing.T) {
 		"diff_end_to_end": true, "diff_end_to_end_traced": true,
 		"diff_warm_cache": true, "impact_incremental_head": true,
 		"impact_incremental_middle": true, "impact_incremental_tail": true,
+		"crosscompare_16x_sharded_4_workers": true,
 	}
 	for _, p := range r0.Phases {
 		if !want[p.Name] {
@@ -127,9 +128,9 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	if r1.Baseline != base {
 		t.Fatalf("baseline not recorded: %q", r1.Baseline)
 	}
-	// Nine per-phase ratios plus the warm-vs-cold-baseline headline.
-	if len(r1.SpeedupVsBaseline) != 10 {
-		t.Fatalf("want 10 speedup entries, got %v", r1.SpeedupVsBaseline)
+	// Ten per-phase ratios plus the warm-vs-cold-baseline headline.
+	if len(r1.SpeedupVsBaseline) != 11 {
+		t.Fatalf("want 11 speedup entries, got %v", r1.SpeedupVsBaseline)
 	}
 	for name, s := range r1.SpeedupVsBaseline {
 		if s <= 0 {

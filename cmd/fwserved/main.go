@@ -10,6 +10,7 @@
 //	         [-max-fdd-nodes 2000000] [-max-inflight 4*cores]
 //	         [-admission-queue 64] [-queue-deadline 5s]
 //	         [-shed-threshold 1.0] [-max-per-client 16]
+//	         [-jobs-workers 4] [-jobs-retention 15m]
 //	         [-log-format json|text] [-log-level info]
 //	         [-trace-capacity 128] [-slow-trace-threshold 250ms]
 //
@@ -31,6 +32,9 @@
 //	POST /v1/resolve      {"schema":"five","a":"...","b":"...","decisions":{"1":"discard"}}
 //	POST /v1/audit        {"schema":"five","policy":"...","complete":true}
 //	POST /v1/query        {"schema":"five","policy":"...","query":"select ..."}
+//	POST /v1/jobs         submit an async crosscompare/batchdiff job -> 202 + job ID
+//	GET  /v1/jobs         list jobs; GET /v1/jobs/{id} polls status, progress,
+//	                      and partial results; DELETE /v1/jobs/{id} cancels
 //	GET  /v1/version   build info, schema names, limits, cache stats
 //	GET  /healthz      liveness + cache readiness
 //	GET  /metrics      Prometheus text format: per-endpoint request
@@ -84,6 +88,7 @@ import (
 	"diversefw/internal/api"
 	"diversefw/internal/engine"
 	"diversefw/internal/guard"
+	"diversefw/internal/jobs"
 	"diversefw/internal/metrics"
 	"diversefw/internal/trace"
 )
@@ -160,8 +165,12 @@ func run(args []string) int {
 		"admission control: shed new arrivals once the queue is this full (fraction of -admission-queue, in (0,1])")
 	maxPerClient := fs.Int("max-per-client", DefaultMaxPerClient,
 		"admission control: max concurrent analysis requests per client address; over-cap requests get 429 client_over_limit (0 disables)")
+	jobsWorkers := fs.Int("jobs-workers", 4,
+		"async jobs (/v1/jobs): worker pool size for pair comparisons")
+	jobsRetention := fs.Duration("jobs-retention", 15*time.Minute,
+		"async jobs: how long finished jobs stay pollable before being purged")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-max-fdd-nodes n] [-max-inflight n] [-admission-queue n] [-queue-deadline d] [-shed-threshold f] [-max-per-client n] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-max-fdd-nodes n] [-max-inflight n] [-admission-queue n] [-queue-deadline d] [-shed-threshold f] [-max-per-client n] [-jobs-workers n] [-jobs-retention d] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -192,6 +201,10 @@ func run(args []string) int {
 		api.WithLogger(logger),
 		api.WithRequestTimeout(*requestTimeout),
 		api.WithTracing(traces),
+		api.WithJobs(jobs.Config{
+			Workers:   *jobsWorkers,
+			Retention: *jobsRetention,
+		}),
 	}
 	if *maxInflight > 0 {
 		opts = append(opts, api.WithAdmission(admission.Config{
@@ -235,7 +248,11 @@ func run(args []string) int {
 	defer signal.Stop(stop)
 	logger.Info("listening", "addr", ln.Addr().String(),
 		"requestTimeout", *requestTimeout, "drainTimeout", *drainTimeout)
-	return serve(srv, ln, stop, *drainTimeout, handler.BeginDrain, logger)
+	code := serve(srv, ln, stop, *drainTimeout, handler.BeginDrain, logger)
+	// After the HTTP drain: cancel whatever async jobs are still running
+	// and wait the workers out, so the process never exits mid-pair.
+	handler.Close()
+	return code
 }
 
 // serve runs srv on ln until it fails or a signal arrives on stop, then

@@ -77,7 +77,9 @@ type Config struct {
 	// MaxPerClient caps one client's concurrently held slots and queue
 	// positions; 0 disables the per-client cap.
 	MaxPerClient int
-	// RetryAfter is the hint attached to rejections (default 1s).
+	// RetryAfter is the floor of the Retry-After hint attached to
+	// rejections (default 1s). The hint itself tracks load: it is the
+	// clamped p50 of observed queue waits — see RetryHint.
 	RetryAfter time.Duration
 }
 
@@ -91,13 +93,59 @@ type Controller struct {
 	queued   atomic.Int64
 	draining atomic.Bool
 
-	admitted atomic.Uint64
-	shed     [4]atomic.Uint64 // indexed by reasonIndex
+	admitted  atomic.Uint64
+	abandoned atomic.Uint64
+	shed      [4]atomic.Uint64 // indexed by reasonIndex
+
+	waits waitEstimator
 
 	mu        sync.Mutex
 	perClient map[string]int
 
 	inst *instruments
+}
+
+// waitBounds are the upper bounds, in seconds, of the queue-wait
+// estimator's buckets (the +Inf overflow slot is implicit). Coarse
+// power-of-two steps are enough: the estimate feeds a whole-second
+// Retry-After header, not a latency SLO.
+var waitBounds = [...]float64{0.25, 0.5, 1, 2, 4, 8, 16, 30}
+
+// waitEstimator is a tiny fixed-bucket histogram of observed queue
+// waits, independent of the optional metrics registry so the derived
+// Retry-After hint works on an uninstrumented controller too.
+type waitEstimator struct {
+	counts [len(waitBounds) + 1]atomic.Uint64
+	total  atomic.Uint64
+}
+
+func (e *waitEstimator) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(waitBounds) && s > waitBounds[i] {
+		i++
+	}
+	e.counts[i].Add(1)
+	e.total.Add(1)
+}
+
+// p50 returns the upper bound of the bucket holding the median observed
+// wait, zero with no observations. Overflow observations report the
+// largest bound (the hint is clamped anyway).
+func (e *waitEstimator) p50() time.Duration {
+	total := e.total.Load()
+	if total == 0 {
+		return 0
+	}
+	half := (total + 1) / 2
+	var cum uint64
+	for i := range waitBounds {
+		cum += e.counts[i].Load()
+		if cum >= half {
+			return time.Duration(waitBounds[i] * float64(time.Second))
+		}
+	}
+	return time.Duration(waitBounds[len(waitBounds)-1] * float64(time.Second))
 }
 
 // New returns a controller for cfg, instrumented on reg when non-nil
@@ -179,14 +227,60 @@ func (c *Controller) Admit(ctx context.Context, client string) (release func(), 
 	select {
 	case c.slots <- struct{}{}:
 		wait := time.Since(start)
+		c.RecordQueueWait(wait)
 		return c.admit(client, wait), wait, nil
 	case <-deadline:
+		// A deadline exit is the strongest load signal the estimator
+		// gets: this request waited the full QueueDeadline.
+		c.RecordQueueWait(time.Since(start))
 		c.releaseClient(client)
 		return nil, time.Since(start), c.reject(ReasonQueueTimeout)
 	case <-ctx.Done():
+		// The caller gave up while queued (client disconnect, request
+		// timeout). Counted separately from sheds: the server never
+		// rejected this request, it was abandoned — without its own
+		// counter this exit path is invisible in the overload picture.
+		c.abandoned.Add(1)
+		if c.inst != nil {
+			c.inst.abandoned.Inc()
+		}
 		c.releaseClient(client)
 		return nil, time.Since(start), ctx.Err()
 	}
+}
+
+// RecordQueueWait feeds one observed queue wait into the estimator the
+// Retry-After hint is derived from. Admit records admitted and
+// deadline-shed waits itself; the method is exported for tests and for
+// outer layers (a future multi-process coordinator) that observe waits
+// this controller cannot see.
+func (c *Controller) RecordQueueWait(d time.Duration) {
+	if c != nil {
+		c.waits.observe(d)
+	}
+}
+
+// maxRetryAfter caps the derived Retry-After hint: past half a minute a
+// bigger number stops meaning "the queue is long" and starts meaning
+// "go away", which admission control has no business saying.
+const maxRetryAfter = 30 * time.Second
+
+// RetryHint is the backoff attached to rejections: the median observed
+// queue wait, clamped to [Config.RetryAfter (default 1s), 30s]. With no
+// waits observed yet it is the configured floor, so an idle or
+// queue-less deployment behaves exactly like the old static hint.
+func (c *Controller) RetryHint() time.Duration {
+	if c == nil {
+		return time.Second
+	}
+	hint := c.waits.p50()
+	if hint < c.cfg.RetryAfter {
+		hint = c.cfg.RetryAfter
+	}
+	if hint > maxRetryAfter {
+		hint = maxRetryAfter
+	}
+	return hint
 }
 
 // admit finalizes an admission and builds its release function.
@@ -216,7 +310,7 @@ func (c *Controller) reject(r Reason) *Error {
 	if c.inst != nil {
 		c.inst.shed.With(string(r)).Inc()
 	}
-	return &Error{Reason: r, RetryAfter: c.cfg.RetryAfter}
+	return &Error{Reason: r, RetryAfter: c.RetryHint()}
 }
 
 // holdClient reserves a per-client position; false when the client is
@@ -300,6 +394,9 @@ type Stats struct {
 	ShedTimeout   uint64 `json:"shedTimeout"`
 	ShedClient    uint64 `json:"shedClient"`
 	ShedDraining  uint64 `json:"shedDraining"`
+	// QueueAbandoned counts requests whose context died while they
+	// waited in the queue — never admitted, never shed.
+	QueueAbandoned uint64 `json:"queueAbandoned"`
 }
 
 // Stats returns current counters; the zero value for a nil controller.
@@ -308,21 +405,23 @@ func (c *Controller) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		InFlight:      c.inflight.Load(),
-		Queued:        c.queued.Load(),
-		Capacity:      c.cfg.MaxInFlight,
-		QueueCapacity: c.cfg.MaxQueue,
-		Admitted:      c.admitted.Load(),
-		ShedOverload:  c.shed[reasonIndex(ReasonOverloaded)].Load(),
-		ShedTimeout:   c.shed[reasonIndex(ReasonQueueTimeout)].Load(),
-		ShedClient:    c.shed[reasonIndex(ReasonClientLimit)].Load(),
-		ShedDraining:  c.shed[reasonIndex(ReasonDraining)].Load(),
+		InFlight:       c.inflight.Load(),
+		Queued:         c.queued.Load(),
+		Capacity:       c.cfg.MaxInFlight,
+		QueueCapacity:  c.cfg.MaxQueue,
+		Admitted:       c.admitted.Load(),
+		ShedOverload:   c.shed[reasonIndex(ReasonOverloaded)].Load(),
+		ShedTimeout:    c.shed[reasonIndex(ReasonQueueTimeout)].Load(),
+		ShedClient:     c.shed[reasonIndex(ReasonClientLimit)].Load(),
+		ShedDraining:   c.shed[reasonIndex(ReasonDraining)].Load(),
+		QueueAbandoned: c.abandoned.Load(),
 	}
 }
 
 // instruments is the fwguard_* admission family.
 type instruments struct {
 	admitted   *metrics.Counter
+	abandoned  *metrics.Counter
 	shed       *metrics.CounterVec
 	inflight   *metrics.Gauge
 	queueDepth *metrics.Gauge
@@ -333,6 +432,8 @@ func newInstruments(reg *metrics.Registry) *instruments {
 	return &instruments{
 		admitted: reg.NewCounter("fwguard_admitted_total",
 			"Requests admitted past admission control."),
+		abandoned: reg.NewCounter("fwguard_queue_abandoned_total",
+			"Requests whose context died while waiting in the admission queue (abandoned, not shed)."),
 		shed: reg.NewCounterVec("fwguard_shed_total",
 			"Requests rejected by admission control, by reason.", "reason"),
 		inflight: reg.NewGauge("fwguard_admission_inflight",

@@ -3,9 +3,12 @@ package admission
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"diversefw/internal/metrics"
 )
 
 func TestNilControllerAdmitsEverything(t *testing.T) {
@@ -104,7 +107,8 @@ func TestQueueDeadline(t *testing.T) {
 }
 
 func TestQueuedRequestHonorsContext(t *testing.T) {
-	c := New(Config{MaxInFlight: 1, MaxQueue: 4}, nil)
+	reg := metrics.NewRegistry()
+	c := New(Config{MaxInFlight: 1, MaxQueue: 4}, reg)
 	r1, _, err := c.Admit(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +126,77 @@ func TestQueuedRequestHonorsContext(t *testing.T) {
 	// The abandoned queue position must be reclaimed.
 	if got := c.Stats().Queued; got != 0 {
 		t.Fatalf("Queued = %d after canceled waiter", got)
+	}
+	// The exit is counted as abandoned, not shed: the server never
+	// rejected this request.
+	s := c.Stats()
+	if s.QueueAbandoned != 1 {
+		t.Fatalf("QueueAbandoned = %d, want 1", s.QueueAbandoned)
+	}
+	if s.ShedOverload+s.ShedTimeout+s.ShedClient+s.ShedDraining != 0 {
+		t.Fatalf("abandoned waiter counted as shed: %+v", s)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "fwguard_queue_abandoned_total 1") {
+		t.Fatalf("fwguard_queue_abandoned_total missing from exposition:\n%s", b.String())
+	}
+}
+
+func TestRetryHintTracksObservedQueueWaits(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 4}, nil)
+	// No observations: the hint is the configured floor (default 1s).
+	if got := c.RetryHint(); got != time.Second {
+		t.Fatalf("idle RetryHint = %v, want 1s floor", got)
+	}
+	// Median in the (2s, 4s] bucket: hint is that bucket's upper bound.
+	for i := 0; i < 3; i++ {
+		c.RecordQueueWait(3 * time.Second)
+	}
+	if got := c.RetryHint(); got != 4*time.Second {
+		t.Fatalf("RetryHint = %v, want 4s (p50 bucket bound)", got)
+	}
+	// Rejections carry the derived hint, not the static floor.
+	r1, _, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	for i := 0; i < 5; i++ { // fill the queue past the shed point
+		go c.Admit(context.Background(), "q") //nolint:errcheck
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, _, err = c.Admit(context.Background(), "b")
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("overflow admit = %v, want *Error", err)
+	}
+	if ae.RetryAfter != 4*time.Second {
+		t.Fatalf("rejection RetryAfter = %v, want derived 4s", ae.RetryAfter)
+	}
+	// A flood of near-instant waits drags the median down; the floor
+	// keeps the hint from reaching zero.
+	for i := 0; i < 100; i++ {
+		c.RecordQueueWait(10 * time.Millisecond)
+	}
+	if got := c.RetryHint(); got != time.Second {
+		t.Fatalf("fast-queue RetryHint = %v, want 1s floor", got)
+	}
+}
+
+func TestRetryHintClampedAtMax(t *testing.T) {
+	c := New(Config{MaxInFlight: 1}, nil)
+	for i := 0; i < 3; i++ {
+		c.RecordQueueWait(5 * time.Minute) // overflow bucket
+	}
+	if got := c.RetryHint(); got != maxRetryAfter {
+		t.Fatalf("RetryHint = %v, want clamp %v", got, maxRetryAfter)
 	}
 }
 

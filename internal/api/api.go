@@ -155,31 +155,121 @@ type CrossCompareRequest struct {
 	Policies []NamedPolicy `json:"policies"`
 }
 
+// PairError is the typed failure entry of one pair in a
+// cross-comparison or job result: the same status/code a whole-request
+// failure would map to (a budget-tripped pair carries 422
+// policy_too_complex), scoped to the single pair so the rest of the
+// matrix still returns results.
+type PairError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 // CrossPair is one cell of the discrepancy matrix: the comparison of
-// policies A and B (by name), in deterministic pair order.
+// policies A and B (by name), in deterministic pair order. A pair that
+// failed carries Error instead of a result; Equivalent is meaningless
+// then.
 type CrossPair struct {
 	A             string        `json:"a"`
 	B             string        `json:"b"`
 	Equivalent    bool          `json:"equivalent"`
 	Discrepancies []Discrepancy `json:"discrepancies,omitempty"`
+	Error         *PairError    `json:"error,omitempty"`
 }
 
-// CrossCompareResponse reports the full matrix.
+// CrossCompareResponse reports the full matrix. The response is partial
+// when FailedPairs > 0: failed pairs carry per-pair errors, completed
+// pairs their results.
 type CrossCompareResponse struct {
 	// Policies lists the resolved names in request order.
 	Policies []string `json:"policies"`
 	// Pairs holds the N*(N-1)/2 comparisons ordered by (i, j).
 	Pairs         []CrossPair `json:"pairs"`
 	AllEquivalent bool        `json:"allEquivalent"`
+	// FailedPairs counts pairs that returned an error instead of a
+	// result.
+	FailedPairs int `json:"failedPairs,omitempty"`
 	// ElapsedMillis is the server-side wall time for compiling and
 	// comparing, cache hits included.
 	ElapsedMillis float64 `json:"elapsedMillis"`
+}
+
+// JobPairSpec names one explicit comparison pair of a batchdiff job, by
+// the policy names used in the same request.
+type JobPairSpec struct {
+	// Name labels the pair in status responses; defaults to "A vs B".
+	Name string `json:"name,omitempty"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+// JobSubmitRequest starts an async comparison job (POST /v1/jobs). Kind
+// "crosscompare" (the default) compares every pair among the policies;
+// "batchdiff" compares exactly the listed pairs.
+type JobSubmitRequest struct {
+	Kind     string        `json:"kind,omitempty"`
+	Schema   string        `json:"schema"`
+	Policies []NamedPolicy `json:"policies"`
+	// Pairs is required for batchdiff and rejected for crosscompare.
+	Pairs []JobPairSpec `json:"pairs,omitempty"`
+}
+
+// JobPair is one pair's current state in a job status. Exactly one of
+// Equivalent and Error is set once Status is "ok" or "error".
+type JobPair struct {
+	Name   string `json:"name"`
+	A      string `json:"a"`
+	B      string `json:"b"`
+	Status string `json:"status"` // pending | running | ok | error | skipped
+	// Equivalent is present once the pair compared successfully.
+	Equivalent    *bool         `json:"equivalent,omitempty"`
+	Discrepancies []Discrepancy `json:"discrepancies,omitempty"`
+	// Error is the pair's typed failure, same envelope as a synchronous
+	// request would get (e.g. 422 policy_too_complex on a budget trip).
+	Error         *PairError `json:"error,omitempty"`
+	ElapsedMillis float64    `json:"elapsedMillis,omitempty"`
+}
+
+// JobProgress counts a job's pairs by outcome; every field is monotonic
+// non-decreasing while the job runs.
+type JobProgress struct {
+	Total   int `json:"total"`
+	Settled int `json:"settled"`
+	OK      int `json:"ok"`
+	Errors  int `json:"errors"`
+	Skipped int `json:"skipped"`
+}
+
+// JobStatusResponse is one job's snapshot: the POST /v1/jobs response
+// (202), each GET /v1/jobs/{id} poll, and the DELETE result. Listings
+// (GET /v1/jobs) omit Pairs.
+type JobStatusResponse struct {
+	ID       string      `json:"id"`
+	Kind     string      `json:"kind"`
+	Schema   string      `json:"schema"`
+	State    string      `json:"state"` // queued | running | completed | canceled
+	Policies []string    `json:"policies"`
+	Progress JobProgress `json:"progress"`
+	Pairs    []JobPair   `json:"pairs,omitempty"`
+	TraceID  string      `json:"traceId"`
+	// Timestamps are RFC 3339; started/finished are omitted until they
+	// happen.
+	CreatedAt  string `json:"createdAt"`
+	StartedAt  string `json:"startedAt,omitempty"`
+	FinishedAt string `json:"finishedAt,omitempty"`
+}
+
+// JobListResponse is the GET /v1/jobs body, newest job first.
+type JobListResponse struct {
+	Jobs []JobStatusResponse `json:"jobs"`
 }
 
 // Limits describes the server's request bounds (see /v1/version).
 type Limits struct {
 	MaxBodyBytes         int64 `json:"maxBodyBytes"`
 	MaxCrossPolicies     int   `json:"maxCrossPolicies"`
+	MaxJobPolicies       int   `json:"maxJobPolicies,omitempty"`
 	RequestTimeoutMillis int64 `json:"requestTimeoutMillis,omitempty"`
 }
 
@@ -255,6 +345,12 @@ const (
 	// CodeClientOverLimit: this client already has the maximum number of
 	// requests in flight. 429 with Retry-After.
 	CodeClientOverLimit = "client_over_limit"
+	// CodeJobNotFound: no job with the given ID (never submitted, or
+	// already purged by the retention window). 404.
+	CodeJobNotFound = "job_not_found"
+	// CodeTooManyJobs: the job store is at capacity with live jobs. 429
+	// with Retry-After.
+	CodeTooManyJobs = "too_many_jobs"
 )
 
 // ErrorDetail is the machine-readable error object.

@@ -1,0 +1,231 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"diversefw/internal/jobs"
+	"diversefw/internal/rule"
+)
+
+// maxJobPolicies bounds one job's policy set. Jobs exist precisely for
+// work too large to hold a request open for, so the cap is looser than
+// maxCrossPolicies — but 64 policies is already 2016 crosscompare
+// pairs, plenty for the paper's N-team setting.
+const maxJobPolicies = 64
+
+// jobsCollection serves /v1/jobs: POST submits, GET lists.
+func (s *Server) jobsCollection(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		resp := JobListResponse{Jobs: []JobStatusResponse{}}
+		for _, snap := range s.jobs.List() {
+			// Listings stay light: progress and state, no per-pair bodies.
+			resp.Jobs = append(resp.Jobs, convertJobSnapshot(snap, false))
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		s.jobSubmit(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+func (s *Server) jobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobSubmitRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
+		return
+	}
+	if len(req.Policies) < 2 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("need at least 2 policies, got %d", len(req.Policies)))
+		return
+	}
+	if len(req.Policies) > maxJobPolicies {
+		writeError(w, http.StatusBadRequest, CodeTooManyPolicies,
+			fmt.Errorf("at most %d policies per job, got %d", maxJobPolicies, len(req.Policies)))
+		return
+	}
+	names := make([]string, len(req.Policies))
+	index := make(map[string]int, len(req.Policies))
+	policies := make([]*rule.Policy, len(req.Policies))
+	for i, np := range req.Policies {
+		name := np.Name
+		if name == "" {
+			name = fmt.Sprintf("policy%d", i+1)
+		}
+		if _, dup := index[name]; dup {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("duplicate policy name %q", name))
+			return
+		}
+		index[name] = i
+		names[i] = name
+		p, err := parsePolicy(schema, np.Policy, fmt.Sprintf("policy %q", name))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+			return
+		}
+		policies[i] = p
+	}
+
+	spec := jobs.Spec{
+		SchemaName: req.Schema,
+		Names:      names,
+		Policies:   policies,
+	}
+	if spec.SchemaName == "" {
+		spec.SchemaName = "five"
+	}
+	switch req.Kind {
+	case "", string(jobs.KindCrossCompare):
+		spec.Kind = jobs.KindCrossCompare
+		if len(req.Pairs) > 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("pairs are only valid for kind %q", jobs.KindBatchDiff))
+			return
+		}
+	case string(jobs.KindBatchDiff):
+		spec.Kind = jobs.KindBatchDiff
+		if len(req.Pairs) == 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("kind %q needs at least 1 pair", jobs.KindBatchDiff))
+			return
+		}
+		for k, ps := range req.Pairs {
+			i, ok := index[ps.A]
+			if !ok {
+				writeError(w, http.StatusBadRequest, CodeBadRequest,
+					fmt.Errorf("pair %d: unknown policy %q", k+1, ps.A))
+				return
+			}
+			j, ok := index[ps.B]
+			if !ok {
+				writeError(w, http.StatusBadRequest, CodeBadRequest,
+					fmt.Errorf("pair %d: unknown policy %q", k+1, ps.B))
+				return
+			}
+			if i == j {
+				writeError(w, http.StatusBadRequest, CodeBadRequest,
+					fmt.Errorf("pair %d: %q compared with itself", k+1, ps.A))
+				return
+			}
+			spec.Pairs = append(spec.Pairs, jobs.Pair{I: i, J: j})
+			spec.PairNames = append(spec.PairNames, ps.Name)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("unknown job kind %q", req.Kind))
+		return
+	}
+
+	snap, err := s.jobs.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrTooManyJobs):
+			// The store is full of live or recently finished jobs; the
+			// hint tracks queue pressure the same way shed requests do.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, CodeTooManyJobs,
+				fmt.Errorf("job store at capacity, retry later"))
+		case errors.Is(err, jobs.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, CodeServerOverloaded,
+				fmt.Errorf("server shutting down"))
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, convertJobSnapshot(snap, true))
+}
+
+// jobByID serves /v1/jobs/{id}: GET polls, DELETE cancels.
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var (
+		snap jobs.Snapshot
+		err  error
+	)
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		snap, err = s.jobs.Get(id)
+	case http.MethodDelete:
+		snap, err = s.jobs.Cancel(id)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET or DELETE"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeJobNotFound,
+			fmt.Errorf("no job %q (unknown, or purged after its retention window)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, convertJobSnapshot(snap, true))
+}
+
+// convertJobSnapshot renders a job snapshot onto the wire. withPairs
+// false (listings) drops the per-pair entries.
+func convertJobSnapshot(snap jobs.Snapshot, withPairs bool) JobStatusResponse {
+	resp := JobStatusResponse{
+		ID:       snap.ID,
+		Kind:     string(snap.Kind),
+		Schema:   snap.SchemaName,
+		State:    string(snap.State),
+		Policies: snap.Names,
+		Progress: JobProgress{
+			Total:   snap.Progress.Total,
+			Settled: snap.Progress.Settled,
+			OK:      snap.Progress.OK,
+			Errors:  snap.Progress.Errors,
+			Skipped: snap.Progress.Skipped,
+		},
+		TraceID:   snap.TraceID,
+		CreatedAt: snap.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !snap.Started.IsZero() {
+		resp.StartedAt = snap.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !snap.Finished.IsZero() {
+		resp.FinishedAt = snap.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if !withPairs {
+		return resp
+	}
+	// The schema name was validated at submission; rendering falls back
+	// to raw output only if it somehow stopped resolving.
+	schema, _ := schemaByName(snap.SchemaName)
+	for _, pr := range snap.Pairs {
+		jp := JobPair{
+			Name:   pr.Name,
+			A:      snap.Names[pr.Pair.I],
+			B:      snap.Names[pr.Pair.J],
+			Status: string(pr.Status),
+		}
+		switch pr.Status {
+		case jobs.PairOK:
+			eq := pr.Report.Equivalent()
+			jp.Equivalent = &eq
+			if schema != nil {
+				for _, d := range pr.Report.Discrepancies {
+					jp.Discrepancies = append(jp.Discrepancies, ConvertDiscrepancy(schema, d))
+				}
+			}
+			jp.ElapsedMillis = float64(pr.Elapsed.Microseconds()) / 1000
+		case jobs.PairError:
+			jp.Error = convertPairError(pr.Err)
+			jp.ElapsedMillis = float64(pr.Elapsed.Microseconds()) / 1000
+		}
+		resp.Pairs = append(resp.Pairs, jp)
+	}
+	return resp
+}

@@ -17,6 +17,7 @@ import (
 	"diversefw/internal/admission"
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
+	"diversefw/internal/jobs"
 	"diversefw/internal/metrics"
 	"diversefw/internal/trace"
 )
@@ -67,6 +68,15 @@ func WithEngine(eng *engine.Engine) Option {
 // /metrics are never shed so operators keep visibility during overload.
 func WithAdmission(cfg admission.Config) Option {
 	return func(s *Server) { s.admCfg = &cfg }
+}
+
+// WithJobs tunes the async-job coordinator behind POST /v1/jobs —
+// worker count, finished-job retention, the store cap, or swapped-in
+// Store/Sharder implementations. The endpoints exist without this
+// option, on jobs.Config defaults; Metrics and Traces left nil inherit
+// the server's registry and trace buffer.
+func WithJobs(cfg jobs.Config) Option {
+	return func(s *Server) { s.jobsCfg = cfg }
 }
 
 // Default sizing of the server's trace retention (see WithTracing): how

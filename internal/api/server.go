@@ -22,6 +22,7 @@ import (
 	"diversefw/internal/field"
 	"diversefw/internal/guard"
 	"diversefw/internal/impact"
+	"diversefw/internal/jobs"
 	"diversefw/internal/metrics"
 	"diversefw/internal/query"
 	"diversefw/internal/redundancy"
@@ -61,6 +62,8 @@ type Server struct {
 	metricsHandler http.Handler
 	admCfg         *admission.Config
 	adm            *admission.Controller
+	jobsCfg        jobs.Config
+	jobs           *jobs.Coordinator
 	draining       atomic.Bool
 }
 
@@ -89,6 +92,17 @@ func NewServer(opts ...Option) *Server {
 		// the metrics registry regardless of option order.
 		s.adm = admission.New(*s.admCfg, s.metricsReg)
 	}
+	// The job coordinator is always on (the endpoints are part of v1);
+	// WithJobs only tunes it. Like the admission controller, it is built
+	// here so it joins the engine, registry, and trace buffer the option
+	// order settled on.
+	if s.jobsCfg.Metrics == nil {
+		s.jobsCfg.Metrics = s.metricsReg
+	}
+	if s.jobsCfg.Traces == nil {
+		s.jobsCfg.Traces = s.traces
+	}
+	s.jobs = jobs.New(s.eng, s.jobsCfg)
 	s.handle("/healthz", s.health)
 	s.handle("/v1/version", s.version)
 	s.handle("/v1/diff", s.diff)
@@ -97,6 +111,8 @@ func NewServer(opts ...Option) *Server {
 	s.handle("/v1/audit", s.audit)
 	s.handle("/v1/query", s.query)
 	s.handle("/v1/resolve", s.resolve)
+	s.handle("/v1/jobs", s.jobsCollection)
+	s.handle("/v1/jobs/{id}", s.jobByID)
 	s.handle("/debug/traces", s.debugTraces)
 	if s.metricsHandler != nil {
 		s.handle("/metrics", s.metricsHandler.ServeHTTP)
@@ -111,6 +127,19 @@ var _ http.Handler = (*Server)(nil)
 
 // Engine returns the server's engine (for stats in tests and tooling).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Jobs returns the server's job coordinator (for tests and tooling).
+func (s *Server) Jobs() *jobs.Coordinator { return s.jobs }
+
+// Admission returns the server's admission controller; nil without
+// WithAdmission.
+func (s *Server) Admission() *admission.Controller { return s.adm }
+
+// Close stops the job coordinator: every live job is canceled (its
+// in-flight pairs see their context die) and the workers are waited
+// out. Call it after http.Server.Shutdown so polls for already-accepted
+// jobs still answer during the drain. Idempotent.
+func (s *Server) Close() { s.jobs.Close() }
 
 // BeginDrain flips the server into draining: /healthz reports
 // "draining" (so load balancers stop sending traffic) and admission
@@ -170,6 +199,7 @@ func (s *Server) version(w http.ResponseWriter, r *http.Request) {
 		Limits: Limits{
 			MaxBodyBytes:     maxBodyBytes,
 			MaxCrossPolicies: maxCrossPolicies,
+			MaxJobPolicies:   maxJobPolicies,
 		},
 		Cache: s.eng.Stats(),
 	}
@@ -225,12 +255,12 @@ func writeBodyError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad request body: %v", err))
 }
 
-// writeAnalysisError maps a pipeline error to a response. Cancellation
-// and deadline errors come out of the pipeline when the request context
-// dies (client disconnect or WithRequestTimeout); a non-comprehensive
-// policy gets its own code (it parses fine but has no FDD); everything
-// else is a semantic error in otherwise well-formed input.
-func writeAnalysisError(w http.ResponseWriter, err error) {
+// analysisErrorStatus classifies a pipeline error into its HTTP status
+// and machine-readable code. Shared between whole-request failures
+// (writeAnalysisError) and per-pair entries in cross-comparison and job
+// results, so a budget-tripped pair carries the same typed 422 envelope
+// a budget-tripped request would.
+func analysisErrorStatus(err error) (int, string) {
 	var budget *guard.ErrBudgetExceeded
 	switch {
 	case errors.As(err, &budget):
@@ -238,17 +268,41 @@ func writeAnalysisError(w http.ResponseWriter, err error) {
 		// input is well-formed but its diagram blows up (the paper's
 		// exponential regime). Typed check first — budget errors carry
 		// no context sentinel, and the distinction matters to clients.
-		writeError(w, http.StatusUnprocessableEntity, CodePolicyTooComplex, err)
+		return http.StatusUnprocessableEntity, CodePolicyTooComplex
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, CodeTimeout, fmt.Errorf("request timed out"))
+		return http.StatusServiceUnavailable, CodeTimeout
 	case errors.Is(err, context.Canceled):
 		// The client is gone; the status only feeds metrics and logs.
-		writeError(w, statusClientClosedRequest, CodeClientClosed, err)
+		return statusClientClosedRequest, CodeClientClosed
 	case errors.Is(err, fdd.ErrIncomplete):
-		writeError(w, http.StatusUnprocessableEntity, CodeIncompletePolicy, err)
+		return http.StatusUnprocessableEntity, CodeIncompletePolicy
 	default:
-		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err)
+		return http.StatusUnprocessableEntity, CodeUnprocessable
 	}
+}
+
+// writeAnalysisError maps a pipeline error to a response. Cancellation
+// and deadline errors come out of the pipeline when the request context
+// dies (client disconnect or WithRequestTimeout); a non-comprehensive
+// policy gets its own code (it parses fine but has no FDD); everything
+// else is a semantic error in otherwise well-formed input.
+func writeAnalysisError(w http.ResponseWriter, err error) {
+	status, code := analysisErrorStatus(err)
+	if code == CodeTimeout {
+		err = fmt.Errorf("request timed out")
+	}
+	writeError(w, status, code, err)
+}
+
+// convertPairError renders a per-pair failure as the same typed
+// envelope a whole-request failure would get, minus the request ID
+// (the surrounding response carries it).
+func convertPairError(err error) *PairError {
+	if err == nil {
+		return nil
+	}
+	status, code := analysisErrorStatus(err)
+	return &PairError{Status: status, Code: code, Message: err.Error()}
 }
 
 // schemaByName resolves the wire schema name.
@@ -352,16 +406,11 @@ func (s *Server) crossCompare(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	compiled := make([]*engine.Compiled, len(policies))
-	for i, p := range policies {
-		c, _, err := s.eng.Compile(r.Context(), p)
-		if err != nil {
-			writeAnalysisError(w, fmt.Errorf("policy %q: %w", names[i], err))
-			return
-		}
-		compiled[i] = c
-	}
-	pairs, err := s.eng.CrossCompare(r.Context(), compiled)
+	// Compilation happens inside each pair (deduplicated by the compile
+	// cache, so each policy is still constructed exactly once): a policy
+	// whose construction trips the budget fails only its own pairs,
+	// and the matrix comes back partial instead of empty.
+	pairs, err := s.eng.CrossComparePolicies(r.Context(), policies)
 	if err != nil {
 		writeAnalysisError(w, err)
 		return
@@ -374,10 +423,19 @@ func (s *Server) crossCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, pr := range pairs {
 		cell := CrossPair{
-			A:          names[pr.I],
-			B:          names[pr.J],
-			Equivalent: pr.Report.Equivalent(),
+			A: names[pr.I],
+			B: names[pr.J],
 		}
+		if pr.Err != nil {
+			cell.Error = convertPairError(pr.Err)
+			resp.FailedPairs++
+			// An unanswered pair means the matrix cannot vouch for full
+			// equivalence.
+			resp.AllEquivalent = false
+			resp.Pairs = append(resp.Pairs, cell)
+			continue
+		}
+		cell.Equivalent = pr.Report.Equivalent()
 		for _, d := range pr.Report.Discrepancies {
 			cell.Discrepancies = append(cell.Discrepancies, ConvertDiscrepancy(schema, d))
 		}

@@ -2,11 +2,15 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"diversefw/internal/admission"
 )
 
 const teamA = `
@@ -49,6 +53,47 @@ func TestHealth(t *testing.T) {
 	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+// TestRetryAfterDerivedFromQueueWaits pins the Retry-After header on
+// shed requests: the configured floor (1s) while no queue waits have
+// been observed, then the clamped p50 of observed waits once load data
+// exists — a loaded server tells clients to back off longer.
+func TestRetryAfterDerivedFromQueueWaits(t *testing.T) {
+	t.Parallel()
+	srv := NewServer(WithAdmission(admission.Config{MaxInFlight: 1, MaxQueue: 0}))
+	defer srv.Close()
+
+	// Hold the only slot so every request sheds immediately.
+	release, _, err := srv.Admission().Admit(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	shed := func() *httptest.ResponseRecorder {
+		t.Helper()
+		rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB})
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", rec.Code)
+		}
+		if e := errorBody(t, rec); e.Err.Code != CodeServerOverloaded {
+			t.Fatalf("code = %q", e.Err.Code)
+		}
+		return rec
+	}
+	// No observed waits: the hint is the 1s floor.
+	if ra := shed().Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("idle Retry-After = %q, want \"1\"", ra)
+	}
+	// Median observed wait lands in the (2s, 4s] estimator bucket: the
+	// header becomes that bucket's 4s upper bound.
+	for i := 0; i < 3; i++ {
+		srv.Admission().RecordQueueWait(3 * time.Second)
+	}
+	if ra := shed().Header().Get("Retry-After"); ra != "4" {
+		t.Fatalf("loaded Retry-After = %q, want \"4\"", ra)
 	}
 }
 

@@ -140,15 +140,28 @@ func TestCrossCompareErrors(t *testing.T) {
 		t.Fatalf("unparseable: code = %q", e.Err.Code)
 	}
 
+	// An incomplete policy no longer fails the whole matrix: its pairs
+	// carry typed per-pair errors, the response is a 200 partial result.
 	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
 		Schema:   "paper",
 		Policies: []NamedPolicy{{Policy: teamA}, {Policy: "I in 0 -> accept\n"}},
 	})
-	if rec.Code != http.StatusUnprocessableEntity {
+	if rec.Code != http.StatusOK {
 		t.Fatalf("incomplete: status = %d", rec.Code)
 	}
-	if e := errorBody(t, rec); e.Err.Code != CodeIncompletePolicy {
-		t.Fatalf("incomplete: code = %q", e.Err.Code)
+	var partial CrossCompareResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &partial); err != nil {
+		t.Fatal(err)
+	}
+	if partial.FailedPairs != 1 || len(partial.Pairs) != 1 {
+		t.Fatalf("incomplete: failedPairs = %d pairs = %d", partial.FailedPairs, len(partial.Pairs))
+	}
+	pe := partial.Pairs[0].Error
+	if pe == nil || pe.Code != CodeIncompletePolicy || pe.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("incomplete: pair error = %+v", pe)
+	}
+	if partial.AllEquivalent {
+		t.Fatal("incomplete: AllEquivalent must be false with a failed pair")
 	}
 
 	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{Schema: "warp"})

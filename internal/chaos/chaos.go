@@ -50,6 +50,11 @@ const (
 	// budget exhaustion "mid-pipeline", between the two halves of a
 	// diff. An error aborts the shaping.
 	PointShape Point = "shape.walk"
+	// PointJobPair fires at the top of one async-job pair comparison,
+	// on the worker goroutine with the job's context. An error fails
+	// that pair (it settles as an error entry) without touching its
+	// siblings.
+	PointJobPair Point = "jobs.pair"
 )
 
 // Fault is one injected behavior. It runs synchronously at the Fire

@@ -505,22 +505,31 @@ func Equivalent(pa, pb *rule.Policy) (bool, error) {
 }
 
 // PairReport is one pairwise comparison in an N-team cross comparison.
+// Exactly one of Report and Err is set: a pair that fails (budget
+// exceeded, incomplete policy, injected fault) carries its own error
+// instead of discarding the rest of the matrix, so one adversarial
+// policy costs only its own pairs.
 type PairReport struct {
 	I, J   int // indices of the compared policies
 	Report *Report
+	// Err is the pair's failure, nil on success. Cancellation of the
+	// whole cross-comparison is not a pair failure — see
+	// CrossCompareFunc.
+	Err error
 }
 
 // CrossCompare compares every pair among N policies (Section 7.3's cross
 // comparison for N > 2 teams) and returns the N*(N-1)/2 reports in
 // deterministic (i, j) order. Pairs are independent, so they are compared
-// concurrently, bounded by GOMAXPROCS workers.
+// concurrently, bounded by GOMAXPROCS workers. Pair failures come back
+// per entry (PairReport.Err), not as a call failure.
 func CrossCompare(policies []*rule.Policy) ([]PairReport, error) {
 	return CrossCompareContext(context.Background(), policies)
 }
 
 // CrossCompareContext is CrossCompare with cancellation: no new pair
 // starts once ctx is canceled, running pairs abort mid-pipeline (see
-// DiffContext), and the first error — a wrapped ctx.Err() — is returned.
+// DiffContext), and the call fails with a wrapped ctx.Err().
 func CrossCompareContext(ctx context.Context, policies []*rule.Policy) ([]PairReport, error) {
 	return CrossCompareFunc(ctx, len(policies), func(ctx context.Context, i, j int) (*Report, error) {
 		return DiffContext(ctx, policies[i], policies[j])
@@ -533,6 +542,14 @@ func CrossCompareContext(ctx context.Context, policies []*rule.Policy) ([]PairRe
 // once ctx dies — while the caller owns the comparison itself, which is
 // how a caching layer substitutes memoized reports without reimplementing
 // the fan-out.
+//
+// Failure isolation: a pair whose diff errors is recorded in its own
+// entry (PairReport.Err, wrapped with the pair indices) while every
+// other pair still runs and returns its report — one pathological
+// policy costs its N-1 pairs, not the whole matrix. Only the caller's
+// ctx dying fails the call as a whole: the slice built so far is
+// discarded and the wrapped ctx.Err() is returned, since partial
+// results the caller no longer wants are worthless.
 func CrossCompareFunc(ctx context.Context, n int, diff func(ctx context.Context, i, j int) (*Report, error)) ([]PairReport, error) {
 	type pair struct{ i, j int }
 	var pairs []pair
@@ -543,12 +560,10 @@ func CrossCompareFunc(ctx context.Context, n int, diff func(ctx context.Context,
 	}
 
 	out := make([]PairReport, len(pairs))
-	errs := make([]error, len(pairs))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for k, pr := range pairs {
-		if err := ctx.Err(); err != nil {
-			errs[k] = fmt.Errorf("compare: pair (%d, %d): %w", pr.i, pr.j, err)
+		if ctx.Err() != nil {
 			break
 		}
 		// Acquire before spawning: at most GOMAXPROCS goroutines exist at
@@ -562,17 +577,16 @@ func CrossCompareFunc(ctx context.Context, n int, diff func(ctx context.Context,
 			defer func() { <-sem }()
 			r, err := diff(ctx, pr.i, pr.j)
 			if err != nil {
-				errs[k] = fmt.Errorf("compare: pair (%d, %d): %w", pr.i, pr.j, err)
+				out[k] = PairReport{I: pr.i, J: pr.j,
+					Err: fmt.Errorf("compare: pair (%d, %d): %w", pr.i, pr.j, err)}
 				return
 			}
 			out[k] = PairReport{I: pr.i, J: pr.j, Report: r}
 		}(k, pr)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compare: cross comparison: %w", err)
 	}
 	return out, nil
 }

@@ -1,0 +1,535 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"diversefw/internal/chaos"
+	"diversefw/internal/compare"
+	"diversefw/internal/engine"
+	"diversefw/internal/metrics"
+	"diversefw/internal/trace"
+)
+
+// ErrClosed reports a Submit after Close.
+var ErrClosed = errors.New("jobs: coordinator closed")
+
+// Config configures a Coordinator. The zero value is usable: 4
+// workers, 15 minute retention, 256 stored jobs, in-memory store,
+// hash sharding, no instrumentation.
+type Config struct {
+	// Workers is the number of pair-comparison workers (default 4).
+	Workers int
+	// Retention is how long a finished job stays pollable before it is
+	// purged (default 15m).
+	Retention time.Duration
+	// MaxJobs caps stored jobs, finished-but-retained included
+	// (default 256). Submit returns ErrTooManyJobs at the cap.
+	MaxJobs int
+	// Metrics, when non-nil, receives the fwjobs_* instrument family.
+	Metrics *metrics.Registry
+	// Traces, when non-nil, receives one trace per finished job.
+	Traces *trace.Buffer
+	// Store overrides the in-memory job store.
+	Store Store
+	// Sharder overrides the default hash sharder.
+	Sharder Sharder
+}
+
+// Coordinator owns the worker pool and the job store. Safe for
+// concurrent use.
+type Coordinator struct {
+	eng     *engine.Engine
+	cfg     Config
+	store   Store
+	sharder Sharder
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	queues    []chan task
+
+	inst *instruments
+}
+
+// task is one pair of one job, routed to a worker queue.
+type task struct {
+	j *Job
+	k int
+}
+
+// Job is one submitted unit of work. All exported access goes through
+// Coordinator methods and Snapshot; the struct itself is internal to
+// the package and mutated under its mutex.
+type Job struct {
+	id      string
+	spec    Spec
+	hashes  []string
+	created time.Time
+
+	ctx      context.Context
+	cancelFn context.CancelFunc
+	tr       *trace.Trace
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	pairs    []PairResult
+	settled  int
+	ok       int
+	errs     int
+	skipped  int
+	done     chan struct{}
+}
+
+// New returns a coordinator executing pairs against eng. Call Close to
+// stop the workers and cancel every live job.
+func New(eng *engine.Engine, cfg Config) *Coordinator {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 15 * time.Minute
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 256
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Sharder == nil {
+		cfg.Sharder = HashSharder{}
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		eng:     eng,
+		cfg:     cfg,
+		store:   cfg.Store,
+		sharder: cfg.Sharder,
+		baseCtx: ctx,
+		stop:    stop,
+	}
+	if cfg.Metrics != nil {
+		c.inst = newInstruments(cfg.Metrics)
+	}
+	return c
+}
+
+// Workers returns the size of the worker pool.
+func (c *Coordinator) Workers() int { return c.cfg.Workers }
+
+// start spins up the worker pool on first use, so a server that never
+// receives a job never pays for idle goroutines.
+func (c *Coordinator) start() {
+	c.startOnce.Do(func() {
+		c.queues = make([]chan task, c.cfg.Workers)
+		for w := range c.queues {
+			q := make(chan task, 64)
+			c.queues[w] = q
+			c.wg.Add(1)
+			go c.worker(q)
+		}
+	})
+}
+
+// Submit validates and enqueues a job, returning its snapshot (state
+// queued, possibly already running by the time the caller reads it).
+func (c *Coordinator) Submit(spec Spec) (Snapshot, error) {
+	if err := c.baseCtx.Err(); err != nil {
+		return Snapshot{}, ErrClosed
+	}
+	if err := validateSpec(&spec); err != nil {
+		return Snapshot{}, err
+	}
+	c.purgeExpired()
+	if c.store.Len() >= c.cfg.MaxJobs {
+		return Snapshot{}, ErrTooManyJobs
+	}
+	c.start()
+
+	// Content hashes drive sharding; computing them at submit also
+	// means a malformed policy representation fails loudly here, not on
+	// a worker.
+	hashes := make([]string, len(spec.Policies))
+	for i, p := range spec.Policies {
+		hashes[i] = engine.PolicyHash(p)
+	}
+
+	id := trace.NewID()
+	jctx, cancel := context.WithCancel(c.baseCtx)
+	jctx, tr := trace.New(jctx, "job", id)
+	tr.Root().SetAttr("job.kind", string(spec.Kind))
+	tr.Root().SetAttr("job.policies", len(spec.Policies))
+	tr.Root().SetAttr("job.pairs", len(spec.Pairs))
+
+	j := &Job{
+		id:       id,
+		spec:     spec,
+		hashes:   hashes,
+		created:  time.Now(),
+		ctx:      jctx,
+		cancelFn: cancel,
+		tr:       tr,
+		state:    StateQueued,
+		pairs:    make([]PairResult, len(spec.Pairs)),
+		done:     make(chan struct{}),
+	}
+	for k, p := range spec.Pairs {
+		j.pairs[k] = PairResult{Pair: p, Name: spec.PairNames[k], Status: PairPending}
+	}
+	c.store.Put(j)
+	if c.inst != nil {
+		c.inst.submitted.Inc()
+		c.inst.active.Inc()
+		c.inst.stored.Set(int64(c.store.Len()))
+	}
+
+	// The feeder routes pairs to their shard. It blocks when a worker's
+	// queue is full — backpressure, not buffering — and bails out the
+	// moment the job or the coordinator dies.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for k, p := range spec.Pairs {
+			w := c.sharder.Shard(hashes[p.I], hashes[p.J], c.cfg.Workers)
+			select {
+			case c.queues[w] <- task{j: j, k: k}:
+			case <-j.ctx.Done():
+				return
+			}
+		}
+	}()
+	return c.snapshot(j), nil
+}
+
+// validateSpec normalizes and checks a spec in place: crosscompare
+// derives its pairs, batchdiff checks the listed ones, and PairNames is
+// filled so every pair has a display name.
+func validateSpec(spec *Spec) error {
+	n := len(spec.Policies)
+	if len(spec.Names) != n {
+		return fmt.Errorf("jobs: %d policies but %d names", n, len(spec.Names))
+	}
+	switch spec.Kind {
+	case KindCrossCompare:
+		if n < 2 {
+			return errors.New("jobs: crosscompare needs at least 2 policies")
+		}
+		spec.Pairs = CrossPairs(n)
+		spec.PairNames = nil
+	case KindBatchDiff:
+		if len(spec.Pairs) == 0 {
+			return errors.New("jobs: batchdiff needs at least 1 pair")
+		}
+		for _, p := range spec.Pairs {
+			if p.I < 0 || p.I >= n || p.J < 0 || p.J >= n || p.I == p.J {
+				return fmt.Errorf("jobs: pair (%d, %d) out of range for %d policies", p.I, p.J, n)
+			}
+		}
+		if len(spec.PairNames) != 0 && len(spec.PairNames) != len(spec.Pairs) {
+			return fmt.Errorf("jobs: %d pairs but %d pair names", len(spec.Pairs), len(spec.PairNames))
+		}
+	default:
+		return fmt.Errorf("jobs: unknown kind %q", spec.Kind)
+	}
+	if spec.PairNames == nil {
+		spec.PairNames = make([]string, len(spec.Pairs))
+	}
+	for k, p := range spec.Pairs {
+		if spec.PairNames[k] == "" {
+			spec.PairNames[k] = spec.Names[p.I] + " vs " + spec.Names[p.J]
+		}
+	}
+	return nil
+}
+
+// Get returns a job's current snapshot.
+func (c *Coordinator) Get(id string) (Snapshot, error) {
+	c.purgeExpired()
+	j, ok := c.store.Get(id)
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return c.snapshot(j), nil
+}
+
+// List returns all stored jobs, newest first.
+func (c *Coordinator) List() []Snapshot {
+	c.purgeExpired()
+	js := c.store.List()
+	snaps := make([]Snapshot, 0, len(js))
+	for _, j := range js {
+		snaps = append(snaps, c.snapshot(j))
+	}
+	sortSnapshotsByAge(snaps)
+	return snaps
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (c *Coordinator) Done(id string) (<-chan struct{}, error) {
+	j, ok := c.store.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.done, nil
+}
+
+// Cancel stops a job: its context is canceled (reaching in-flight
+// pairs mid-comparison), unfinished pairs settle as skipped, finished
+// pairs keep their results. Canceling a terminal job is a no-op that
+// returns its snapshot.
+func (c *Coordinator) Cancel(id string) (Snapshot, error) {
+	c.purgeExpired()
+	j, ok := c.store.Get(id)
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	j.cancelFn()
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		c.skipUnsettledLocked(j)
+		c.finalizeLocked(j, StateCanceled)
+	}
+	j.mu.Unlock()
+	return c.snapshot(j), nil
+}
+
+// Close cancels every live job, stops the workers, and waits for them.
+// Idempotent.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		c.stop()
+		for _, j := range c.store.List() {
+			j.cancelFn()
+			j.mu.Lock()
+			if !j.state.Terminal() {
+				c.skipUnsettledLocked(j)
+				c.finalizeLocked(j, StateCanceled)
+			}
+			j.mu.Unlock()
+		}
+		c.wg.Wait()
+	})
+}
+
+// worker drains one shard's queue until the coordinator closes.
+func (c *Coordinator) worker(q chan task) {
+	defer c.wg.Done()
+	for {
+		select {
+		case t := <-q:
+			c.runPair(t.j, t.k)
+		case <-c.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// runPair executes one pair: claim it, fire the chaos point, compile
+// both sides through the engine's content-addressed cache, diff, and
+// settle. Each Compile/Diff flight gets its own work budget from the
+// engine (the job context carries none), so one pair tripping its
+// budget settles as a per-pair error while its siblings proceed.
+func (c *Coordinator) runPair(j *Job, k int) {
+	j.mu.Lock()
+	if j.state.Terminal() || j.pairs[k].Status != PairPending {
+		j.mu.Unlock()
+		return
+	}
+	j.pairs[k].Status = PairRunning
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+
+	p := j.pairs[k].Pair
+	start := time.Now()
+	r, err := c.comparePair(j, p)
+	elapsed := time.Since(start)
+
+	status := PairOK
+	if err != nil {
+		status = PairError
+		if j.ctx.Err() != nil {
+			// The job died while this pair was in flight; the pair was
+			// (or is about to be) settled as skipped by Cancel/Close.
+			c.settle(j, k, PairSkipped, nil, nil, elapsed)
+			return
+		}
+	}
+	// The span goes on the trace BEFORE the settle: settling the last
+	// pair finalizes the job, which snapshots the trace into the buffer
+	// — a span added after that is lost from the retained record.
+	j.tr.Root().AddCompleted("job.pair", start, elapsed,
+		trace.A("pair", j.pairs[k].Name),
+		trace.A("status", string(status)))
+	c.settle(j, k, status, r, err, elapsed)
+	if c.inst != nil {
+		c.inst.pairDuration.Observe(elapsed.Seconds())
+	}
+}
+
+func (c *Coordinator) comparePair(j *Job, p Pair) (r *compare.Report, err error) {
+	if err := chaos.Fire(j.ctx, chaos.PointJobPair); err != nil {
+		return nil, err
+	}
+	ca, _, err := c.eng.Compile(j.ctx, j.spec.Policies[p.I])
+	if err != nil {
+		return nil, fmt.Errorf("policy %q: %w", j.spec.Names[p.I], err)
+	}
+	cb, _, err := c.eng.Compile(j.ctx, j.spec.Policies[p.J])
+	if err != nil {
+		return nil, fmt.Errorf("policy %q: %w", j.spec.Names[p.J], err)
+	}
+	rep, _, err := c.eng.Diff(j.ctx, ca, cb)
+	return rep, err
+}
+
+// settle records one pair's terminal status. Idempotent per pair: the
+// first settle wins, late settles (a canceled pair finishing after
+// Cancel marked it skipped) are no-ops. Settling the last pair
+// finalizes the job.
+func (c *Coordinator) settle(j *Job, k int, status PairStatus, r *compare.Report, err error, elapsed time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.pairs[k].Status.Settled() {
+		return
+	}
+	j.pairs[k].Status = status
+	j.pairs[k].Report = r
+	j.pairs[k].Err = err
+	j.pairs[k].Elapsed = elapsed
+	j.settled++
+	switch status {
+	case PairOK:
+		j.ok++
+	case PairError:
+		j.errs++
+	case PairSkipped:
+		j.skipped++
+	}
+	if c.inst != nil {
+		c.inst.pairs.With(string(status)).Inc()
+	}
+	if j.settled == len(j.pairs) && !j.state.Terminal() {
+		c.finalizeLocked(j, StateCompleted)
+	}
+}
+
+// skipUnsettledLocked settles every pending/running pair as skipped.
+// Caller holds j.mu.
+func (c *Coordinator) skipUnsettledLocked(j *Job) {
+	for k := range j.pairs {
+		if j.pairs[k].Status.Settled() {
+			continue
+		}
+		j.pairs[k].Status = PairSkipped
+		j.settled++
+		j.skipped++
+		if c.inst != nil {
+			c.inst.pairs.With(string(PairSkipped)).Inc()
+		}
+	}
+}
+
+// finalizeLocked moves a job into a terminal state. Caller holds j.mu
+// and has checked the job is not already terminal.
+func (c *Coordinator) finalizeLocked(j *Job, state State) {
+	j.state = state
+	j.finished = time.Now()
+	j.cancelFn()
+	close(j.done)
+	j.tr.Root().SetAttr("job.state", string(state))
+	j.tr.Root().SetAttr("job.ok", j.ok)
+	j.tr.Root().SetAttr("job.errors", j.errs)
+	j.tr.Root().SetAttr("job.skipped", j.skipped)
+	j.tr.Finish()
+	if c.cfg.Traces != nil {
+		c.cfg.Traces.Observe(j.tr)
+	}
+	if c.inst != nil {
+		c.inst.active.Dec()
+		c.inst.finished.With(string(state)).Inc()
+	}
+}
+
+// purgeExpired drops terminal jobs past their retention. Lazy: it runs
+// on Submit/Get/List/Cancel instead of a janitor goroutine, so an idle
+// coordinator holds no timers and no goroutines.
+func (c *Coordinator) purgeExpired() {
+	cutoff := time.Now().Add(-c.cfg.Retention)
+	removed := false
+	for _, j := range c.store.List() {
+		j.mu.Lock()
+		expired := j.state.Terminal() && j.finished.Before(cutoff)
+		j.mu.Unlock()
+		if expired {
+			c.store.Delete(j.id)
+			removed = true
+		}
+	}
+	if removed && c.inst != nil {
+		c.inst.stored.Set(int64(c.store.Len()))
+	}
+}
+
+// snapshot copies a job's current state under its lock.
+func (c *Coordinator) snapshot(j *Job) Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:         j.id,
+		Kind:       j.spec.Kind,
+		State:      j.state,
+		SchemaName: j.spec.SchemaName,
+		Names:      append([]string(nil), j.spec.Names...),
+		TraceID:    j.tr.ID(),
+		Progress: Progress{
+			Total:   len(j.pairs),
+			Settled: j.settled,
+			OK:      j.ok,
+			Errors:  j.errs,
+			Skipped: j.skipped,
+		},
+		Pairs:    append([]PairResult(nil), j.pairs...),
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	return s
+}
+
+// instruments is the fwjobs_* family.
+type instruments struct {
+	submitted    *metrics.Counter
+	finished     *metrics.CounterVec
+	active       *metrics.Gauge
+	stored       *metrics.Gauge
+	pairs        *metrics.CounterVec
+	pairDuration *metrics.Histogram
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	return &instruments{
+		submitted: reg.NewCounter("fwjobs_submitted_total",
+			"Async jobs accepted."),
+		finished: reg.NewCounterVec("fwjobs_finished_total",
+			"Async jobs reaching a terminal state, by state.", "state"),
+		active: reg.NewGauge("fwjobs_active",
+			"Async jobs not yet terminal."),
+		stored: reg.NewGauge("fwjobs_stored",
+			"Async jobs held in the store, finished-but-retained included."),
+		pairs: reg.NewCounterVec("fwjobs_pairs_total",
+			"Job pair comparisons settled, by status.", "status"),
+		pairDuration: reg.NewHistogram("fwjobs_pair_duration_seconds",
+			"Wall time of one job pair comparison.", nil),
+	}
+}

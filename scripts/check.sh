@@ -32,6 +32,13 @@ GOFLAGS=-count=1 go test -race ./internal/trace/... ./internal/metrics/...
 # whose cached "ok" means nothing.
 go test -race -count=1 -run 'TestChaosStress' ./internal/api/
 
+# The async-job lifecycle storm likewise reruns uncached: concurrent
+# /v1/jobs submissions with faults firing inside pair workers and
+# random mid-flight cancellations, asserting every job lands in a
+# terminal state, failed pairs coexist with completed siblings, and
+# the worker pool leaks no goroutines after shutdown.
+go test -race -count=1 -run 'TestJobsChaos' ./internal/api/
+
 # The incremental-recompilation differential also reruns uncached under
 # the race detector: hundreds of randomized policy/edit-script pairs
 # asserting that resuming a checkpointed builder is graph-isomorphic to
@@ -44,12 +51,14 @@ go test -race -count=1 -run 'TestIncrementalDifferential' ./internal/impact/
 # absolute timings drift by tens of percent between sessions on
 # byte-identical workloads; BENCH_4 was the first calibrated snapshot).
 # impact_incremental_tail is gated so the edit-to-diff fast path cannot
-# silently rot back toward from-scratch cost. Skippable for doc-only
-# loops (SKIP_BENCH_GATE=1) — CI always runs it.
+# silently rot back toward from-scratch cost, and
+# crosscompare_16x_sharded_4_workers so the async-job coordinator's
+# scheduling and compile-cache coalescing cannot either. Skippable for
+# doc-only loops (SKIP_BENCH_GATE=1) — CI always runs it.
 if [ "${SKIP_BENCH_GATE:-}" != "1" ]; then
     tmpdir=$(mktemp -d)
     trap 'rm -rf "$tmpdir"' EXIT
     go run ./cmd/fwbench -json -out "$tmpdir" \
-        -baseline results/BENCH_5.json -gate 5 \
-        -gatephases construct,compare,impact_incremental_tail
+        -baseline results/BENCH_6.json -gate 5 \
+        -gatephases construct,compare,impact_incremental_tail,crosscompare_16x_sharded_4_workers
 fi
