@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fwaudit [-schema five|four|paper] [-format text|iptables] policy.fw
+//	fwaudit [-schema five|four|paper] [-format name] policy.fw
 //
 // Exit status is 0 for a clean policy, 1 when findings are reported, and
 // 2 on usage or input errors.
@@ -30,11 +30,11 @@ func main() {
 func run() int {
 	fs := flag.NewFlagSet("fwaudit", flag.ContinueOnError)
 	schemaName := fs.String("schema", "five", "packet schema: "+cli.SchemaNames())
-	format := fs.String("format", "text", "input format: text, iptables")
-	chain := fs.String("chain", "INPUT", "chain to read when -format iptables")
+	format := fs.String("format", "text", "input format: "+cli.FormatNames())
+	chain := fs.String("chain", "INPUT", "chain to read for iptables/nftables inputs")
 	complete := fs.Bool("complete", true, "also run the complete (semantic) redundancy check")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwaudit [-schema name] [-format text|iptables] policy.fw")
+		fmt.Fprintln(os.Stderr, "usage: fwaudit [-schema name] [-format name] policy.fw")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {

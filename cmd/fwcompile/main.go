@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fwcompile [-schema five|four|paper] [-compact] in.fw > out.fw
+//	fwcompile [-schema five|four|paper] [-format name] [-compact] in.fw > out.fw
 //	fwcompile -fromfdd design.fdd > out.fw   # compile an FDD design (§7.2)
 //	fwcompile -tofdd in.fw > out.fdd         # export the reduced FDD
 //
@@ -36,13 +36,15 @@ func main() {
 func run() int {
 	fs := flag.NewFlagSet("fwcompile", flag.ContinueOnError)
 	schemaName := fs.String("schema", "five", "packet schema: "+cli.SchemaNames())
+	format := fs.String("format", "text", "input format: "+cli.FormatNames())
+	chain := fs.String("chain", "", "chain to read for iptables/nftables inputs")
 	compact := fs.Bool("compact", false, "also remove redundant rules from the generated policy")
 	stats := fs.Bool("stats", false, "print FDD statistics to stderr")
 	fromFDD := fs.Bool("fromfdd", false, "input is an FDD file, not a policy file")
 	toFDD := fs.Bool("tofdd", false, "output the reduced FDD instead of rules")
 	traceFile := fs.String("trace", "", "write the run's span tree to this file as JSON")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwcompile [-schema name] [-compact] [-stats] [-fromfdd] [-tofdd] [-trace file] in > out")
+		fmt.Fprintln(os.Stderr, "usage: fwcompile [-schema name] [-format name] [-compact] [-stats] [-fromfdd] [-tofdd] [-trace file] in > out")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -86,7 +88,7 @@ func run() int {
 			return 2
 		}
 	} else {
-		p, err := cli.LoadPolicy(schema, fs.Arg(0))
+		p, err := cli.LoadPolicyFormat(schema, fs.Arg(0), *format, *chain)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fwcompile:", err)
 			return 2

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fwdiff [-schema five|four|paper] [-format text|iptables] [-v] [-json]
+//	fwdiff [-schema five|four|paper] [-format name] [-v] [-json]
 //	       [-trace trace.json] a.fw b.fw
 //
 // -trace writes the run's span tree (construct/shape/compare with FDD
@@ -37,13 +37,13 @@ func main() {
 func run() int {
 	fs := flag.NewFlagSet("fwdiff", flag.ContinueOnError)
 	schemaName := fs.String("schema", "five", "packet schema: "+cli.SchemaNames())
-	format := fs.String("format", "text", "input format: text, iptables")
-	chain := fs.String("chain", "INPUT", "chain to read when -format iptables")
+	format := fs.String("format", "text", "input format: "+cli.FormatNames())
+	chain := fs.String("chain", "INPUT", "chain to read for iptables/nftables inputs")
 	verbose := fs.Bool("v", false, "print per-phase timing and path statistics")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON (the /v1/diff wire format)")
 	traceFile := fs.String("trace", "", "write the run's span tree to this file as JSON")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwdiff [-schema name] [-format text|iptables] [-v] [-trace file] a.fw b.fw")
+		fmt.Fprintln(os.Stderr, "usage: fwdiff [-schema name] [-format name] [-v] [-trace file] a.fw b.fw")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {

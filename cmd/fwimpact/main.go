@@ -50,15 +50,15 @@ func (e *editFlags) Set(v string) error {
 func run() int {
 	fs := flag.NewFlagSet("fwimpact", flag.ContinueOnError)
 	schemaName := fs.String("schema", "five", "packet schema: "+cli.SchemaNames())
-	format := fs.String("format", "text", "input format: text, iptables")
-	chain := fs.String("chain", "INPUT", "chain to read when -format iptables")
+	format := fs.String("format", "text", "input format: "+cli.FormatNames())
+	chain := fs.String("chain", "INPUT", "chain to read for iptables/nftables inputs")
 	showRules := fs.Bool("rules", false, "also print the rule-level (textual) diff")
 	var editLines editFlags
 	fs.Var(&editLines, "edit", "edit to apply to the before policy (repeatable); see docs/FORMATS.md")
 	editsFile := fs.String("edits", "", "file holding an edit script, one edit per line")
 	traceFile := fs.String("trace", "", "write the run's span tree to this file as JSON")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwimpact [-schema name] [-format text|iptables] before.fw after.fw")
+		fmt.Fprintln(os.Stderr, "usage: fwimpact [-schema name] [-format name] before.fw after.fw")
 		fmt.Fprintln(os.Stderr, "       fwimpact [-edit '...']... [-edits script.txt] before.fw")
 		fs.PrintDefaults()
 	}

@@ -1,11 +1,16 @@
 // Package api defines the JSON wire types and conversions for the
 // analysis service (cmd/fwserved): policy diffing, change impact,
-// auditing, and queries over HTTP. Policies travel as the same text
-// format the tools read; results carry field values in the human-readable
-// notation of the reports (CIDR blocks, port ranges, "!..." complements).
+// auditing, analysis, and queries over HTTP. Policies travel as
+// PolicyInput values — a bare string in the native rule text format, or
+// a format-tagged object lowered through internal/frontend (iptables,
+// nftables, cloud security-group JSON); results carry field values in
+// the human-readable notation of the reports (CIDR blocks, port ranges,
+// "!..." complements).
 package api
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"diversefw/internal/admission"
@@ -13,17 +18,72 @@ import (
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/field"
+	"diversefw/internal/frontend"
 	"diversefw/internal/impact"
 	"diversefw/internal/rule"
 )
+
+// PolicyInput is how a policy arrives on the wire, everywhere one does:
+// either a bare JSON string (the native rule text format — the original
+// v1 contract, still valid) or a format-tagged object
+// {"format": "nftables", "text": "..."} lowered through the frontend
+// registry. Chain selects the chain for multi-chain formats (iptables,
+// nftables). A PolicyInput marshals back to the bare-string form when
+// only Text is set, so native-only clients see the original wire shape.
+type PolicyInput struct {
+	// Format names a registered frontend; empty means "native".
+	Format string `json:"format,omitempty"`
+	// Text is the policy source in that format.
+	Text string `json:"text"`
+	// Chain selects the chain for iptables/nftables inputs.
+	Chain string `json:"chain,omitempty"`
+}
+
+// UnmarshalJSON accepts the bare string or the strict object form
+// (unknown keys rejected — the outer decoder's DisallowUnknownFields
+// does not see inside a custom unmarshaler).
+func (p *PolicyInput) UnmarshalJSON(data []byte) error {
+	trim := bytes.TrimLeft(data, " \t\r\n")
+	if len(trim) > 0 && (trim[0] == '"' || bytes.Equal(trim, []byte("null"))) {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		*p = PolicyInput{Text: s}
+		return nil
+	}
+	type wire PolicyInput // plain struct: no recursion into this method
+	var obj wire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obj); err != nil {
+		return fmt.Errorf("policy must be a string or a {format, text, chain} object: %v", err)
+	}
+	*p = PolicyInput(obj)
+	return nil
+}
+
+// MarshalJSON emits the bare string whenever the object form adds
+// nothing, keeping native round-trips byte-identical to the old wire.
+func (p PolicyInput) MarshalJSON() ([]byte, error) {
+	if p.Format == "" && p.Chain == "" {
+		return json.Marshal(p.Text)
+	}
+	type wire PolicyInput
+	return json.Marshal(wire(p))
+}
+
+// IsZero reports whether the input was absent (optional fields like
+// ImpactRequest.After cannot compare against "" anymore).
+func (p PolicyInput) IsZero() bool { return p == PolicyInput{} }
 
 // DiffRequest asks for all functional discrepancies between two policies.
 type DiffRequest struct {
 	// Schema selects the packet schema: five, four, or paper.
 	Schema string `json:"schema"`
-	// A and B are policies in the rule text format.
-	A string `json:"a"`
-	B string `json:"b"`
+	// A and B are the policies to compare.
+	A PolicyInput `json:"a"`
+	B PolicyInput `json:"b"`
 }
 
 // Discrepancy is one region of disagreement with both decisions.
@@ -53,10 +113,10 @@ type DiffResponse struct {
 // applied to the before policy (Edits — one edit per entry in the
 // fwimpact edit syntax, see docs/FORMATS.md); exactly one of the two.
 type ImpactRequest struct {
-	Schema string   `json:"schema"`
-	Before string   `json:"before"`
-	After  string   `json:"after,omitempty"`
-	Edits  []string `json:"edits,omitempty"`
+	Schema string      `json:"schema"`
+	Before PolicyInput `json:"before"`
+	After  PolicyInput `json:"after,omitempty"`
+	Edits  []string    `json:"edits,omitempty"`
 }
 
 // Attribution explains one impacted region.
@@ -82,8 +142,8 @@ type ImpactResponse struct {
 
 // AuditRequest asks for single-policy findings.
 type AuditRequest struct {
-	Schema string `json:"schema"`
-	Policy string `json:"policy"`
+	Schema string      `json:"schema"`
+	Policy PolicyInput `json:"policy"`
 	// Complete additionally runs the semantic redundancy check.
 	Complete bool `json:"complete"`
 }
@@ -102,6 +162,66 @@ type AuditResponse struct {
 	Findings []Finding `json:"findings,omitempty"`
 }
 
+// AnalyzeRequest asks for the single-policy health report of POST
+// /v1/analyze: the pairwise anomaly taxonomy, the exact FDD-based
+// checks, and a complexity profile — for a policy in any registered
+// format.
+type AnalyzeRequest struct {
+	Schema string      `json:"schema"`
+	Policy PolicyInput `json:"policy"`
+}
+
+// AnalyzeFinding is one typed analysis result.
+type AnalyzeFinding struct {
+	// Kind is the finding type: shadowing, generalization, correlation,
+	// redundancy (pairwise); never-first-match, redundant (exact).
+	Kind string `json:"kind"`
+	// Severity is error, warning, or info.
+	Severity string `json:"severity"`
+	// Source says which analysis produced it: "pairwise" (the rule-pair
+	// taxonomy) or "exact" (FDD-based semantic checks).
+	Source string `json:"source"`
+	// Rules lists the 1-based rule indices involved.
+	Rules []int `json:"rules"`
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// FieldComplexity profiles one field of the policy.
+type FieldComplexity struct {
+	Name string `json:"name"`
+	// ConstrainedRules counts rules that constrain the field below its
+	// full domain.
+	ConstrainedRules int `json:"constrainedRules"`
+	// Intervals totals the intervals rules use on the field — the
+	// "Rules in Play"-style measure of how finely the field is cut.
+	Intervals int `json:"intervals"`
+}
+
+// Complexity is the /v1/analyze profile of the lowered policy.
+type Complexity struct {
+	// Rules is the rule count of the lowered policy (catch-alls
+	// synthesized by a frontend included).
+	Rules int `json:"rules"`
+	// Fields is the schema's field count.
+	Fields int `json:"fields"`
+	// Intervals totals interval counts over all rules and fields.
+	Intervals int               `json:"intervals"`
+	PerField  []FieldComplexity `json:"perField"`
+}
+
+// AnalyzeResponse is the /v1/analyze report. Findings come from both
+// sources; a clean policy has none.
+type AnalyzeResponse struct {
+	// Format echoes the frontend that lowered the input.
+	Format   string           `json:"format"`
+	Findings []AnalyzeFinding `json:"findings,omitempty"`
+	// Policy is the lowered policy in the native rule text format — what
+	// the finding rule indices refer to.
+	Policy     string     `json:"policy"`
+	Complexity Complexity `json:"complexity"`
+}
+
 // ResolveRequest runs the resolution phase over HTTP: diff two policies,
 // apply the agreed decisions, and return the generated final firewall.
 // Decisions maps 1-based discrepancy row numbers (as returned by
@@ -109,8 +229,8 @@ type AuditResponse struct {
 // agreed decision ("accept", "discard", ...); every row must be resolved.
 type ResolveRequest struct {
 	Schema    string            `json:"schema"`
-	A         string            `json:"a"`
-	B         string            `json:"b"`
+	A         PolicyInput       `json:"a"`
+	B         PolicyInput       `json:"b"`
 	Decisions map[string]string `json:"decisions"`
 	// Method is "fdd" (Method 1, default), "a", or "b" (Method 2).
 	Method string `json:"method,omitempty"`
@@ -127,8 +247,8 @@ type ResolveResponse struct {
 
 // QueryRequest runs a firewall query.
 type QueryRequest struct {
-	Schema string `json:"schema"`
-	Policy string `json:"policy"`
+	Schema string      `json:"schema"`
+	Policy PolicyInput `json:"policy"`
 	// Query is the textual form: "select <field> [where <cond>] decision <dec>".
 	Query string `json:"query"`
 }
@@ -139,13 +259,13 @@ type QueryResponse struct {
 	Empty  bool   `json:"empty"`
 }
 
-// NamedPolicy is one entry of a cross-comparison: a policy in the rule
-// text format under a caller-chosen name the response refers back to.
+// NamedPolicy is one entry of a cross-comparison: a policy input under
+// a caller-chosen name the response refers back to.
 type NamedPolicy struct {
 	// Name identifies the policy in the response; defaults to "policyN"
 	// (1-based position) when empty. Names must be unique.
-	Name   string `json:"name,omitempty"`
-	Policy string `json:"policy"`
+	Name   string      `json:"name,omitempty"`
+	Policy PolicyInput `json:"policy"`
 }
 
 // CrossCompareRequest asks for the pairwise discrepancy matrix of N
@@ -279,7 +399,9 @@ type VersionResponse struct {
 	// Revision is the VCS revision baked into the binary, when known.
 	Revision string   `json:"revision,omitempty"`
 	Schemas  []string `json:"schemas"`
-	Limits   Limits   `json:"limits"`
+	// Formats lists the registered policy input formats, native first.
+	Formats []string `json:"formats"`
+	Limits  Limits   `json:"limits"`
 	// Cache is the engine's cache/singleflight snapshot.
 	Cache engine.Stats `json:"cache"`
 }
@@ -296,8 +418,11 @@ type CacheHealth struct {
 // (admission control at capacity: arrivals queue or shed), or
 // "draining" (shutdown in progress, new work rejected).
 type HealthResponse struct {
-	Status string      `json:"status"`
-	Cache  CacheHealth `json:"cache"`
+	Status string `json:"status"`
+	// Formats lists the registered policy input formats — readiness
+	// includes knowing what the server can parse.
+	Formats []string    `json:"formats"`
+	Cache   CacheHealth `json:"cache"`
 	// Admission is present when admission control is configured.
 	Admission *admission.Stats `json:"admission,omitempty"`
 }
@@ -317,7 +442,12 @@ const (
 	// CodeUnknownSchema: the schema name is not one the server knows.
 	CodeUnknownSchema = "unknown_schema"
 	// CodeUnparseablePolicy: a policy (or edit/query) failed to parse.
+	// Frontend parse failures carry positioned diagnostics in
+	// ErrorDetail.Diagnostics.
 	CodeUnparseablePolicy = "unparseable_policy"
+	// CodeUnsupportedFormat: a PolicyInput named a format no frontend is
+	// registered for; the message lists the supported ones.
+	CodeUnsupportedFormat = "unsupported_format"
 	// CodeIncompletePolicy: a policy parsed but is not comprehensive —
 	// some packet matches no rule, so no FDD exists for it.
 	CodeIncompletePolicy = "incomplete_policy"
@@ -360,6 +490,10 @@ type ErrorDetail struct {
 	Message string `json:"message"`
 	// RequestID echoes the X-Request-ID the response carries.
 	RequestID string `json:"requestId,omitempty"`
+	// Diagnostics carries positioned parse findings (line/column in the
+	// submitted config) when Code is unparseable_policy and the policy
+	// went through a frontend.
+	Diagnostics []frontend.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // Error is the JSON error body for non-2xx responses:

@@ -233,7 +233,7 @@ func TestChaosStress(t *testing.T) {
 	// The teamA/teamB diff must still find its three discrepancies.
 	var dr DiffResponse
 	if code := do(t, srv, "/v1/diff",
-		DiffRequest{Schema: "paper", A: teamA, B: teamB}, &dr); code != 200 {
+		DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, &dr); code != 200 {
 		t.Fatalf("post-storm diff status %d", code)
 	}
 	if len(dr.Discrepancies) != 3 {

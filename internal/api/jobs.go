@@ -69,9 +69,9 @@ func (s *Server) jobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		index[name] = i
 		names[i] = name
-		p, err := parsePolicy(schema, np.Policy, fmt.Sprintf("policy %q", name))
+		p, err := parseInput(schema, np.Policy, fmt.Sprintf("policy %q", name))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+			writePolicyError(w, err)
 			return
 		}
 		policies[i] = p

@@ -77,7 +77,7 @@ func TestJobsChaos(t *testing.T) {
 	for i := range pool {
 		pool[i] = NamedPolicy{
 			Name:   fmt.Sprintf("p%d", i+1),
-			Policy: rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 12, Seed: int64(i + 1)})),
+			Policy: in(rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 12, Seed: int64(i + 1)}))),
 		}
 	}
 
@@ -257,7 +257,7 @@ func TestJobsChaos(t *testing.T) {
 	removes = nil
 	clean := submitJob(t, srv, JobSubmitRequest{
 		Schema:   "paper",
-		Policies: []NamedPolicy{{Name: "a", Policy: teamA}, {Name: "b", Policy: teamB}},
+		Policies: []NamedPolicy{{Name: "a", Policy: in(teamA)}, {Name: "b", Policy: in(teamB)}},
 	})
 	final := pollUntilTerminal(t, srv, clean.ID)
 	if final.State != "completed" || final.Progress.OK != 1 {

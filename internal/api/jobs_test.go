@@ -94,7 +94,7 @@ func TestJobsCrossCompareCompileOnce(t *testing.T) {
 	for i := 0; i < n; i++ {
 		req.Policies = append(req.Policies, NamedPolicy{
 			Name:   fmt.Sprintf("team%d", i+1),
-			Policy: rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 30, Seed: int64(i + 1)})),
+			Policy: in(rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 30, Seed: int64(i + 1)}))),
 		})
 	}
 	snap := submitJob(t, srv, req)
@@ -134,10 +134,10 @@ func TestJobsBudgetTrippedPairIsolated(t *testing.T) {
 	req := JobSubmitRequest{
 		Schema: "five",
 		Policies: []NamedPolicy{
-			{Name: "ok1", Policy: fiveA},
-			{Name: "ok2", Policy: fiveB},
-			{Name: "ok3", Policy: "any -> accept\n"},
-			{Name: "bomb", Policy: rule.FormatPolicy(synth.Adversarial(16))},
+			{Name: "ok1", Policy: in(fiveA)},
+			{Name: "ok2", Policy: in(fiveB)},
+			{Name: "ok3", Policy: in("any -> accept\n")},
+			{Name: "bomb", Policy: in(rule.FormatPolicy(synth.Adversarial(16)))},
 		},
 	}
 	final := pollUntilTerminal(t, srv, submitJob(t, srv, req).ID)
@@ -172,8 +172,8 @@ func TestJobsBatchDiffAndCancel(t *testing.T) {
 		Kind:   "batchdiff",
 		Schema: "paper",
 		Policies: []NamedPolicy{
-			{Name: "a", Policy: teamA},
-			{Name: "b", Policy: teamB},
+			{Name: "a", Policy: in(teamA)},
+			{Name: "b", Policy: in(teamB)},
 		},
 		Pairs: []JobPairSpec{{Name: "a-vs-b", A: "a", B: "b"}},
 	})
@@ -222,7 +222,7 @@ func TestJobsValidationAndNotFound(t *testing.T) {
 	srv := NewServer()
 	defer srv.Close()
 
-	two := []NamedPolicy{{Name: "a", Policy: teamA}, {Name: "b", Policy: teamB}}
+	two := []NamedPolicy{{Name: "a", Policy: in(teamA)}, {Name: "b", Policy: in(teamB)}}
 	cases := []struct {
 		name string
 		req  JobSubmitRequest
@@ -231,8 +231,8 @@ func TestJobsValidationAndNotFound(t *testing.T) {
 		{"one policy", JobSubmitRequest{Schema: "paper", Policies: two[:1]}, CodeBadRequest},
 		{"bad kind", JobSubmitRequest{Kind: "zork", Schema: "paper", Policies: two}, CodeBadRequest},
 		{"bad schema", JobSubmitRequest{Schema: "warp", Policies: two}, CodeUnknownSchema},
-		{"dup names", JobSubmitRequest{Schema: "paper", Policies: []NamedPolicy{{Name: "x", Policy: teamA}, {Name: "x", Policy: teamB}}}, CodeBadRequest},
-		{"unparseable", JobSubmitRequest{Schema: "paper", Policies: []NamedPolicy{{Name: "a", Policy: "zork"}, {Name: "b", Policy: teamB}}}, CodeUnparseablePolicy},
+		{"dup names", JobSubmitRequest{Schema: "paper", Policies: []NamedPolicy{{Name: "x", Policy: in(teamA)}, {Name: "x", Policy: in(teamB)}}}, CodeBadRequest},
+		{"unparseable", JobSubmitRequest{Schema: "paper", Policies: []NamedPolicy{{Name: "a", Policy: in("zork")}, {Name: "b", Policy: in(teamB)}}}, CodeUnparseablePolicy},
 		{"pairs on crosscompare", JobSubmitRequest{Schema: "paper", Policies: two, Pairs: []JobPairSpec{{A: "a", B: "b"}}}, CodeBadRequest},
 		{"batchdiff no pairs", JobSubmitRequest{Kind: "batchdiff", Schema: "paper", Policies: two}, CodeBadRequest},
 		{"batchdiff unknown name", JobSubmitRequest{Kind: "batchdiff", Schema: "paper", Policies: two, Pairs: []JobPairSpec{{A: "a", B: "zzz"}}}, CodeBadRequest},
@@ -283,7 +283,7 @@ func TestJobsStoreCap(t *testing.T) {
 	defer srv.Close()
 
 	req := JobSubmitRequest{Schema: "paper", Policies: []NamedPolicy{
-		{Name: "a", Policy: teamA}, {Name: "b", Policy: teamB},
+		{Name: "a", Policy: in(teamA)}, {Name: "b", Policy: in(teamB)},
 	}}
 	submitJob(t, srv, req)
 	rec := doRec(t, srv, "/v1/jobs", req)

@@ -74,7 +74,7 @@ func TestResolveRejectsNonCanonicalRows(t *testing.T) {
 	srv := NewServer()
 	for _, key := range []string{"01", "+1", "0", "-1", " 1", "1e0", ""} {
 		code := do(t, srv, "/v1/resolve", ResolveRequest{
-			Schema: "paper", A: teamA, B: teamB,
+			Schema: "paper", A: in(teamA), B: in(teamB),
 			Decisions: map[string]string{key: "discard"},
 		}, nil)
 		if code != http.StatusBadRequest {
@@ -110,12 +110,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv := NewServer(WithMetrics(reg))
 
 	// Exercise every /v1/* endpoint once.
-	do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, nil)
-	do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, After: teamB}, nil)
-	do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: teamA}, nil)
-	do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: teamB,
+	do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, nil)
+	do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), After: in(teamB)}, nil)
+	do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: in(teamA)}, nil)
+	do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: in(teamB),
 		Query: "select N where I in 0 && D in 192.168.0.1 decision accept"}, nil)
-	do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: teamA, B: teamA,
+	do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: in(teamA), B: in(teamA),
 		Decisions: map[string]string{}}, nil)
 	do(t, srv, "/v1/diff", DiffRequest{Schema: "warp"}, nil) // a 400 to vary the code label
 
@@ -188,7 +188,7 @@ func TestRequestTimeoutIs503(t *testing.T) {
 	srv := NewServer(WithRequestTimeout(time.Millisecond))
 	pa := rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 500, Seed: 1}))
 	pb := rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 500, Seed: 2}))
-	code := do(t, srv, "/v1/diff", DiffRequest{A: pa, B: pb}, nil)
+	code := do(t, srv, "/v1/diff", DiffRequest{A: in(pa), B: in(pb)}, nil)
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", code)
 	}

@@ -20,8 +20,10 @@ import (
 	"diversefw/internal/engine"
 	"diversefw/internal/fdd"
 	"diversefw/internal/field"
+	"diversefw/internal/frontend"
 	"diversefw/internal/guard"
 	"diversefw/internal/impact"
+	"diversefw/internal/interval"
 	"diversefw/internal/jobs"
 	"diversefw/internal/metrics"
 	"diversefw/internal/query"
@@ -109,6 +111,7 @@ func NewServer(opts ...Option) *Server {
 	s.handle("/v1/crosscompare", s.crossCompare)
 	s.handle("/v1/impact", s.impact)
 	s.handle("/v1/audit", s.audit)
+	s.handle("/v1/analyze", s.analyze)
 	s.handle("/v1/query", s.query)
 	s.handle("/v1/resolve", s.resolve)
 	s.handle("/v1/jobs", s.jobsCollection)
@@ -174,7 +177,8 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		status = string(admission.StatusDraining)
 	}
 	resp := HealthResponse{
-		Status: status,
+		Status:  status,
+		Formats: frontend.Formats(),
 		Cache: CacheHealth{
 			Ready:          true,
 			CompileEntries: st.Compile.Entries,
@@ -196,6 +200,7 @@ func (s *Server) version(w http.ResponseWriter, r *http.Request) {
 	resp := VersionResponse{
 		GoVersion: runtime.Version(),
 		Schemas:   schemaNames,
+		Formats:   frontend.Formats(),
 		Limits: Limits{
 			MaxBodyBytes:     maxBodyBytes,
 			MaxCrossPolicies: maxCrossPolicies,
@@ -319,12 +324,35 @@ func schemaByName(name string) (*field.Schema, error) {
 	}
 }
 
-func parsePolicy(schema *field.Schema, text, what string) (*rule.Policy, error) {
-	p, err := rule.ParsePolicyString(schema, text)
+// parseInput lowers one PolicyInput through the frontend registry. The
+// returned error keeps its type (frontend.ParseError, ErrUnknownFormat,
+// ErrSchema survive the what-prefix wrapping) so writePolicyError can
+// map it to the right code and diagnostics.
+func parseInput(schema *field.Schema, in PolicyInput, what string) (*rule.Policy, error) {
+	p, err := frontend.Parse(in.Format, schema, in.Text, frontend.Options{Chain: in.Chain})
 	if err != nil {
-		return nil, fmt.Errorf("%s: %v", what, err)
+		return nil, fmt.Errorf("%s: %w", what, err)
 	}
 	return p, nil
+}
+
+// writePolicyError maps a parseInput failure onto the error envelope:
+// unknown format names get the stable unsupported_format code, frontend
+// parse failures get unparseable_policy with the positioned diagnostics
+// attached, and schema mismatches (an iptables dump against the paper
+// schema) are plain bad requests.
+func writePolicyError(w http.ResponseWriter, err error) {
+	var pe *frontend.ParseError
+	switch {
+	case errors.Is(err, frontend.ErrUnknownFormat):
+		writeError(w, http.StatusBadRequest, CodeUnsupportedFormat, err)
+	case errors.As(err, &pe):
+		writeErrorDiags(w, http.StatusBadRequest, CodeUnparseablePolicy, err, pe.Diagnostics)
+	case errors.Is(err, frontend.ErrSchema):
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+	default:
+		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+	}
 }
 
 func (s *Server) diff(w http.ResponseWriter, r *http.Request) {
@@ -337,14 +365,14 @@ func (s *Server) diff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
-	pa, err := parsePolicy(schema, req.A, "policy a")
+	pa, err := parseInput(schema, req.A, "policy a")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+		writePolicyError(w, err)
 		return
 	}
-	pb, err := parsePolicy(schema, req.B, "policy b")
+	pb, err := parseInput(schema, req.B, "policy b")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+		writePolicyError(w, err)
 		return
 	}
 	report, stats, err := s.eng.DiffPolicies(r.Context(), pa, pb)
@@ -397,9 +425,9 @@ func (s *Server) crossCompare(w http.ResponseWriter, r *http.Request) {
 		}
 		seen[name] = true
 		names[i] = name
-		p, err := parsePolicy(schema, np.Policy, fmt.Sprintf("policy %q", name))
+		p, err := parseInput(schema, np.Policy, fmt.Sprintf("policy %q", name))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+			writePolicyError(w, err)
 			return
 		}
 		policies[i] = p
@@ -457,12 +485,12 @@ func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
-	before, err := parsePolicy(schema, req.Before, "before")
+	before, err := parseInput(schema, req.Before, "before")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+		writePolicyError(w, err)
 		return
 	}
-	if (req.After != "") == (len(req.Edits) > 0) {
+	if !req.After.IsZero() == (len(req.Edits) > 0) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Errorf("provide exactly one of after and edits"))
 		return
@@ -472,10 +500,10 @@ func (s *Server) impact(w http.ResponseWriter, r *http.Request) {
 		report *compare.Report
 		st     engine.EditStats
 	)
-	if req.After != "" {
-		after, err = parsePolicy(schema, req.After, "after")
+	if !req.After.IsZero() {
+		after, err = parseInput(schema, req.After, "after")
 		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+			writePolicyError(w, err)
 			return
 		}
 		report, st.DiffStats, err = s.eng.DiffPolicies(r.Context(), before, after)
@@ -518,9 +546,9 @@ func (s *Server) audit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
-	p, err := parsePolicy(schema, req.Policy, "policy")
+	p, err := parseInput(schema, req.Policy, "policy")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+		writePolicyError(w, err)
 		return
 	}
 
@@ -556,6 +584,110 @@ func (s *Server) audit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// analyzeSeverity grades a finding kind: findings that mean traffic is
+// decided by a rule the author cannot see firing (shadowing, a rule
+// that is never a first match) are errors, ordering subtleties and
+// proven dead weight are warnings, pairwise redundancy hints are info.
+func analyzeSeverity(kind string) string {
+	switch kind {
+	case "shadowing", "never-first-match":
+		return "error"
+	case "generalization", "correlation", "redundant":
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// analyze is POST /v1/analyze: the single-policy health report. It runs
+// the pairwise anomaly taxonomy and the exact FDD-based checks
+// (never-first-match, semantic redundancy) over the lowered policy —
+// whatever format it arrived in — and profiles its complexity.
+func (s *Server) analyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	schema, err := schemaByName(req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
+		return
+	}
+	p, err := parseInput(schema, req.Policy, "policy")
+	if err != nil {
+		writePolicyError(w, err)
+		return
+	}
+	format := req.Policy.Format
+	if format == "" {
+		format = frontend.DefaultFormat
+	}
+	resp := AnalyzeResponse{Format: format, Policy: rule.FormatPolicy(p)}
+	for _, f := range ConvertAnomalies(p, anomaly.Detect(p)) {
+		resp.Findings = append(resp.Findings, AnalyzeFinding{
+			Kind:     f.Kind,
+			Severity: analyzeSeverity(f.Kind),
+			Source:   "pairwise",
+			Rules:    f.Rules,
+			Detail:   f.Detail,
+		})
+	}
+	shadowed, err := anomaly.CompletelyShadowed(p)
+	if err != nil {
+		writeAnalysisError(w, err)
+		return
+	}
+	for _, i := range shadowed {
+		resp.Findings = append(resp.Findings, AnalyzeFinding{
+			Kind:     "never-first-match",
+			Severity: "error",
+			Source:   "exact",
+			Rules:    []int{i + 1},
+			Detail: fmt.Sprintf("rule %d is never a first match: %s",
+				i+1, rule.FormatRule(schema, p.Rules[i])),
+		})
+	}
+	_, removed, err := redundancy.RemoveAll(p)
+	if err != nil {
+		writeAnalysisError(w, err)
+		return
+	}
+	for _, i := range removed {
+		resp.Findings = append(resp.Findings, AnalyzeFinding{
+			Kind:     "redundant",
+			Severity: "warning",
+			Source:   "exact",
+			Rules:    []int{i + 1},
+			Detail: fmt.Sprintf("rule %d is semantically redundant: %s",
+				i+1, rule.FormatRule(schema, p.Rules[i])),
+		})
+	}
+	resp.Complexity = complexityOf(p)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// complexityOf profiles the lowered policy — the "Rules in Play"-style
+// counts: how many rules, and how finely each field is cut.
+func complexityOf(p *rule.Policy) Complexity {
+	schema := p.Schema
+	c := Complexity{Rules: len(p.Rules), Fields: schema.NumFields()}
+	for fi := 0; fi < schema.NumFields(); fi++ {
+		f := schema.Field(fi)
+		full := interval.SetFromInterval(f.Domain)
+		fc := FieldComplexity{Name: f.Name}
+		for _, rl := range p.Rules {
+			s := rl.Pred[fi]
+			fc.Intervals += s.NumIntervals()
+			if !s.Equal(full) {
+				fc.ConstrainedRules++
+			}
+		}
+		c.Intervals += fc.Intervals
+		c.PerField = append(c.PerField, fc)
+	}
+	return c
+}
+
 func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if !decodeInto(w, r, &req) {
@@ -566,9 +698,9 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
-	p, err := parsePolicy(schema, req.Policy, "policy")
+	p, err := parseInput(schema, req.Policy, "policy")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+		writePolicyError(w, err)
 		return
 	}
 	q, err := query.Parse(schema, req.Query)
@@ -621,14 +753,14 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeUnknownSchema, err)
 		return
 	}
-	pa, err := parsePolicy(schema, req.A, "policy a")
+	pa, err := parseInput(schema, req.A, "policy a")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+		writePolicyError(w, err)
 		return
 	}
-	pb, err := parsePolicy(schema, req.B, "policy b")
+	pb, err := parseInput(schema, req.B, "policy b")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnparseablePolicy, err)
+		writePolicyError(w, err)
 		return
 	}
 	decisions, err := parseDecisions(req.Decisions)
@@ -697,10 +829,17 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 // onto the response headers by the middleware before the handler ran, so
 // it is read back from there.
 func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeErrorDiags(w, status, code, err, nil)
+}
+
+// writeErrorDiags is writeError with positioned parse diagnostics
+// attached to the envelope (frontend parse failures).
+func writeErrorDiags(w http.ResponseWriter, status int, code string, err error, diags []frontend.Diagnostic) {
 	detail := ErrorDetail{
-		Code:      code,
-		Message:   err.Error(),
-		RequestID: w.Header().Get("X-Request-ID"),
+		Code:        code,
+		Message:     err.Error(),
+		RequestID:   w.Header().Get("X-Request-ID"),
+		Diagnostics: diags,
 	}
 	writeJSON(w, status, Error{Err: detail})
 }

@@ -74,7 +74,7 @@ func TestRetryAfterDerivedFromQueueWaits(t *testing.T) {
 
 	shed := func() *httptest.ResponseRecorder {
 		t.Helper()
-		rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB})
+		rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)})
 		if rec.Code != http.StatusServiceUnavailable {
 			t.Fatalf("status = %d, want 503", rec.Code)
 		}
@@ -101,7 +101,7 @@ func TestDiffEndpoint(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
 	var resp DiffResponse
-	code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &resp)
+	code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -123,7 +123,7 @@ func TestDiffEndpoint(t *testing.T) {
 	}
 
 	// Equivalent inputs.
-	code = do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamA}, &resp)
+	code = do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamA)}, &resp)
 	if code != http.StatusOK || !resp.Equivalent {
 		t.Fatalf("identical policies: status %d equivalent %v", code, resp.Equivalent)
 	}
@@ -132,14 +132,14 @@ func TestDiffEndpoint(t *testing.T) {
 func TestDiffEndpointErrors(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "warp", A: teamA, B: teamB}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "warp", A: in(teamA), B: in(teamB)}, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad schema: status = %d", code)
 	}
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: "garbage", B: teamB}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in("garbage"), B: in(teamB)}, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad policy: status = %d", code)
 	}
 	partial := "I in 0 -> accept\n"
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: partial, B: teamB}, nil); code != http.StatusUnprocessableEntity {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(partial), B: in(teamB)}, nil); code != http.StatusUnprocessableEntity {
 		t.Fatalf("non-comprehensive: status = %d", code)
 	}
 	// GET is rejected.
@@ -163,7 +163,7 @@ func TestImpactEndpoint(t *testing.T) {
 	srv := NewServer()
 	after := "P in 1 -> discard\n" + teamA
 	var resp ImpactResponse
-	code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, After: after}, &resp)
+	code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), After: in(after)}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -180,14 +180,14 @@ func TestImpactEndpoint(t *testing.T) {
 	}
 
 	// No-op change.
-	code = do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, After: teamA}, &resp)
+	code = do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), After: in(teamA)}, &resp)
 	if code != http.StatusOK || !resp.NoImpact {
 		t.Fatalf("no-op: status %d noImpact %v", code, resp.NoImpact)
 	}
 
 	// Edit-script form: same UDP block expressed as an edit.
 	code = do(t, srv, "/v1/impact", ImpactRequest{
-		Schema: "paper", Before: teamA,
+		Schema: "paper", Before: in(teamA),
 		Edits: []string{"insert 1: P in 1 -> discard"},
 	}, &resp)
 	if code != http.StatusOK || resp.NoImpact {
@@ -195,16 +195,16 @@ func TestImpactEndpoint(t *testing.T) {
 	}
 
 	// Validation: neither/both of after and edits, bad edit, bad position.
-	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA)}, nil); code != http.StatusBadRequest {
 		t.Fatalf("neither after nor edits: %d", code)
 	}
-	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, After: teamA, Edits: []string{"delete 1"}}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), After: in(teamA), Edits: []string{"delete 1"}}, nil); code != http.StatusBadRequest {
 		t.Fatalf("both after and edits: %d", code)
 	}
-	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, Edits: []string{"zork"}}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), Edits: []string{"zork"}}, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad edit: %d", code)
 	}
-	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, Edits: []string{"delete 99"}}, nil); code != http.StatusUnprocessableEntity {
+	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), Edits: []string{"delete 99"}}, nil); code != http.StatusUnprocessableEntity {
 		t.Fatalf("out-of-range edit: %d", code)
 	}
 }
@@ -216,7 +216,7 @@ func TestImpactEndpointIncremental(t *testing.T) {
 	// instead of compiling from scratch, and the response says so.
 	var resp ImpactResponse
 	code := do(t, srv, "/v1/impact", ImpactRequest{
-		Schema: "paper", Before: teamA,
+		Schema: "paper", Before: in(teamA),
 		Edits: []string{"insert 1: P in 1 -> discard"},
 	}, &resp)
 	if code != http.StatusOK {
@@ -231,7 +231,7 @@ func TestImpactEndpointIncremental(t *testing.T) {
 	// The verbatim-after form never claims an incremental build.
 	resp = ImpactResponse{}
 	after := "D in 2 -> discard\n" + teamA
-	code = do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, After: after}, &resp)
+	code = do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), After: in(after)}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("after form: status = %d", code)
 	}
@@ -249,7 +249,7 @@ S in 10.1.0.0/16 -> discard
 any -> accept
 `
 	var resp AuditResponse
-	code := do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: messy, Complete: true}, &resp)
+	code := do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: in(messy), Complete: true}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -274,13 +274,13 @@ func TestEndpointErrorPaths(t *testing.T) {
 	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "zzz"}, nil); code != http.StatusBadRequest {
 		t.Fatalf("impact bad schema: %d", code)
 	}
-	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: "zork", After: teamA}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in("zork"), After: in(teamA)}, nil); code != http.StatusBadRequest {
 		t.Fatalf("impact bad before: %d", code)
 	}
-	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA, After: "zork"}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA), After: in("zork")}, nil); code != http.StatusBadRequest {
 		t.Fatalf("impact bad after: %d", code)
 	}
-	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: partial, After: teamA}, nil); code != http.StatusUnprocessableEntity {
+	if code := do(t, srv, "/v1/impact", ImpactRequest{Schema: "paper", Before: in(partial), After: in(teamA)}, nil); code != http.StatusUnprocessableEntity {
 		t.Fatalf("impact partial: %d", code)
 	}
 
@@ -288,10 +288,10 @@ func TestEndpointErrorPaths(t *testing.T) {
 	if code := do(t, srv, "/v1/audit", AuditRequest{Schema: "zzz"}, nil); code != http.StatusBadRequest {
 		t.Fatalf("audit bad schema: %d", code)
 	}
-	if code := do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: "zork"}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: in("zork")}, nil); code != http.StatusBadRequest {
 		t.Fatalf("audit bad policy: %d", code)
 	}
-	if code := do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: partial, Complete: true}, nil); code != http.StatusUnprocessableEntity {
+	if code := do(t, srv, "/v1/audit", AuditRequest{Schema: "paper", Policy: in(partial), Complete: true}, nil); code != http.StatusUnprocessableEntity {
 		t.Fatalf("audit partial: %d", code)
 	}
 
@@ -299,21 +299,21 @@ func TestEndpointErrorPaths(t *testing.T) {
 	if code := do(t, srv, "/v1/query", QueryRequest{Schema: "zzz"}, nil); code != http.StatusBadRequest {
 		t.Fatalf("query bad schema: %d", code)
 	}
-	if code := do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: "zork", Query: "select N decision accept"}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: in("zork"), Query: "select N decision accept"}, nil); code != http.StatusBadRequest {
 		t.Fatalf("query bad policy: %d", code)
 	}
-	if code := do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: partial, Query: "select N decision accept"}, nil); code != http.StatusUnprocessableEntity {
+	if code := do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: in(partial), Query: "select N decision accept"}, nil); code != http.StatusUnprocessableEntity {
 		t.Fatalf("query partial: %d", code)
 	}
 
 	// Schema aliases: empty means five, four works.
 	var dr DiffResponse
 	five := "dport in 25 -> accept\nany -> discard\n"
-	if code := do(t, srv, "/v1/diff", DiffRequest{A: five, B: five}, &dr); code != http.StatusOK || !dr.Equivalent {
+	if code := do(t, srv, "/v1/diff", DiffRequest{A: in(five), B: in(five)}, &dr); code != http.StatusOK || !dr.Equivalent {
 		t.Fatalf("default schema diff: %d", code)
 	}
 	four := "dport in 25 -> accept\nany -> discard\n"
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "four", A: four, B: four}, &dr); code != http.StatusOK {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "four", A: in(four), B: in(four)}, &dr); code != http.StatusOK {
 		t.Fatalf("four schema diff: %d", code)
 	}
 }
@@ -323,7 +323,7 @@ func TestResolveEndpoint(t *testing.T) {
 	srv := NewServer()
 	// First diff to learn the row order, then resolve per Table 4.
 	var dr DiffResponse
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &dr); code != http.StatusOK {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, &dr); code != http.StatusOK {
 		t.Fatalf("diff status = %d", code)
 	}
 	decisions := map[string]string{}
@@ -339,7 +339,7 @@ func TestResolveEndpoint(t *testing.T) {
 	for _, method := range []string{"", "fdd", "a", "b"} {
 		var resp ResolveResponse
 		code := do(t, srv, "/v1/resolve", ResolveRequest{
-			Schema: "paper", A: teamA, B: teamB, Decisions: decisions, Method: method,
+			Schema: "paper", A: in(teamA), B: in(teamB), Decisions: decisions, Method: method,
 		}, &resp)
 		if code != http.StatusOK {
 			t.Fatalf("method %q: status = %d", method, code)
@@ -354,19 +354,19 @@ func TestResolveEndpoint(t *testing.T) {
 	}
 
 	// Errors: incomplete decisions, bad row, bad decision, bad method.
-	if code := do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: teamA, B: teamB,
+	if code := do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: in(teamA), B: in(teamB),
 		Decisions: map[string]string{"1": "discard"}}, nil); code != http.StatusBadRequest {
 		t.Fatalf("incomplete: %d", code)
 	}
-	if code := do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: teamA, B: teamB,
+	if code := do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: in(teamA), B: in(teamB),
 		Decisions: map[string]string{"zero": "discard"}}, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad row: %d", code)
 	}
-	if code := do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: teamA, B: teamB,
+	if code := do(t, srv, "/v1/resolve", ResolveRequest{Schema: "paper", A: in(teamA), B: in(teamB),
 		Decisions: map[string]string{"1": "zork", "2": "accept", "3": "discard"}}, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad decision: %d", code)
 	}
-	bad := ResolveRequest{Schema: "paper", A: teamA, B: teamB, Decisions: decisions, Method: "warp"}
+	bad := ResolveRequest{Schema: "paper", A: in(teamA), B: in(teamB), Decisions: decisions, Method: "warp"}
 	if code := do(t, srv, "/v1/resolve", bad, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad method: %d", code)
 	}
@@ -390,7 +390,7 @@ func TestQueryEndpoint(t *testing.T) {
 	var resp QueryResponse
 	code := do(t, srv, "/v1/query", QueryRequest{
 		Schema: "paper",
-		Policy: teamB,
+		Policy: in(teamB),
 		Query:  "select N where I in 0 && D in 192.168.0.1 decision accept",
 	}, &resp)
 	if code != http.StatusOK {
@@ -403,7 +403,7 @@ func TestQueryEndpoint(t *testing.T) {
 	// Empty result.
 	code = do(t, srv, "/v1/query", QueryRequest{
 		Schema: "paper",
-		Policy: teamB,
+		Policy: in(teamB),
 		Query:  "select N where I in 0 && S in 224.168.0.0/16 decision accept",
 	}, &resp)
 	if code != http.StatusOK || !resp.Empty {
@@ -411,7 +411,11 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 
 	// Bad query text.
-	if code := do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: teamB, Query: "zork"}, nil); code != http.StatusBadRequest {
+	if code := do(t, srv, "/v1/query", QueryRequest{Schema: "paper", Policy: in(teamB), Query: "zork"}, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad query: status = %d", code)
 	}
 }
+
+// in wraps native policy text as a PolicyInput, the way a bare-string
+// client submission unmarshals.
+func in(s string) PolicyInput { return PolicyInput{Text: s} }

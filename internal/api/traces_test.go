@@ -31,7 +31,7 @@ func TestTraceCapturesPipeline(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
 
-	rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB})
+	rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("diff: status %d\n%s", rec.Code, rec.Body.String())
 	}
@@ -103,7 +103,7 @@ func TestTraceResolveSpans(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
 	rec := doRec(t, srv, "/v1/resolve", ResolveRequest{
-		Schema: "paper", A: teamA, B: teamB,
+		Schema: "paper", A: in(teamA), B: in(teamB),
 		Decisions: map[string]string{"1": "discard", "2": "accept", "3": "discard"},
 	})
 	if rec.Code != http.StatusOK {
@@ -143,7 +143,7 @@ func TestTraceResolveSpans(t *testing.T) {
 func TestTracesChromeFormat(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
-	if rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}); rec.Code != 200 {
+	if rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}); rec.Code != 200 {
 		t.Fatalf("diff: status %d", rec.Code)
 	}
 
@@ -183,7 +183,7 @@ func TestSpanMetrics(t *testing.T) {
 	t.Parallel()
 	reg := metrics.NewRegistry()
 	srv := NewServer(WithMetrics(reg))
-	if rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}); rec.Code != 200 {
+	if rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}); rec.Code != 200 {
 		t.Fatalf("diff: status %d", rec.Code)
 	}
 	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)

@@ -40,9 +40,9 @@ func TestCrossCompareEndpoint(t *testing.T) {
 	code := do(t, srv, "/v1/crosscompare", CrossCompareRequest{
 		Schema: "paper",
 		Policies: []NamedPolicy{
-			{Name: "teamA", Policy: teamA},
-			{Name: "teamB", Policy: teamB},
-			{Policy: teamA}, // unnamed: defaults to policy3
+			{Name: "teamA", Policy: in(teamA)},
+			{Name: "teamB", Policy: in(teamB)},
+			{Policy: in(teamA)}, // unnamed: defaults to policy3
 		},
 	}, &resp)
 	if code != http.StatusOK {
@@ -81,9 +81,9 @@ func TestCrossCompareEndpoint(t *testing.T) {
 	code = do(t, srv2, "/v1/crosscompare", CrossCompareRequest{
 		Schema: "paper",
 		Policies: []NamedPolicy{
-			{Name: "a", Policy: teamA},
-			{Name: "b", Policy: teamB},
-			{Name: "c", Policy: "any -> discard\n"},
+			{Name: "a", Policy: in(teamA)},
+			{Name: "b", Policy: in(teamB)},
+			{Name: "c", Policy: in("any -> discard\n")},
 		},
 	}, &resp)
 	if code != http.StatusOK {
@@ -100,7 +100,7 @@ func TestCrossCompareErrors(t *testing.T) {
 
 	rec := doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
 		Schema:   "paper",
-		Policies: []NamedPolicy{{Policy: teamA}},
+		Policies: []NamedPolicy{{Policy: in(teamA)}},
 	})
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("one policy: status = %d", rec.Code)
@@ -111,7 +111,7 @@ func TestCrossCompareErrors(t *testing.T) {
 
 	many := make([]NamedPolicy, maxCrossPolicies+1)
 	for i := range many {
-		many[i] = NamedPolicy{Policy: teamA}
+		many[i] = NamedPolicy{Policy: in(teamA)}
 	}
 	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{Schema: "paper", Policies: many})
 	if rec.Code != http.StatusBadRequest {
@@ -123,7 +123,7 @@ func TestCrossCompareErrors(t *testing.T) {
 
 	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
 		Schema:   "paper",
-		Policies: []NamedPolicy{{Name: "x", Policy: teamA}, {Name: "x", Policy: teamB}},
+		Policies: []NamedPolicy{{Name: "x", Policy: in(teamA)}, {Name: "x", Policy: in(teamB)}},
 	})
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("duplicate names: status = %d", rec.Code)
@@ -131,7 +131,7 @@ func TestCrossCompareErrors(t *testing.T) {
 
 	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
 		Schema:   "paper",
-		Policies: []NamedPolicy{{Policy: teamA}, {Policy: "zork"}},
+		Policies: []NamedPolicy{{Policy: in(teamA)}, {Policy: in("zork")}},
 	})
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("unparseable: status = %d", rec.Code)
@@ -144,7 +144,7 @@ func TestCrossCompareErrors(t *testing.T) {
 	// carry typed per-pair errors, the response is a 200 partial result.
 	rec = doRec(t, srv, "/v1/crosscompare", CrossCompareRequest{
 		Schema:   "paper",
-		Policies: []NamedPolicy{{Policy: teamA}, {Policy: "I in 0 -> accept\n"}},
+		Policies: []NamedPolicy{{Policy: in(teamA)}, {Policy: in("I in 0 -> accept\n")}},
 	})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("incomplete: status = %d", rec.Code)
@@ -185,10 +185,10 @@ func TestErrorEnvelope(t *testing.T) {
 		wantStatus int
 		wantCode   string
 	}{
-		{"unknown schema", "/v1/diff", DiffRequest{Schema: "warp", A: teamA, B: teamB}, 400, CodeUnknownSchema},
-		{"unparseable", "/v1/diff", DiffRequest{Schema: "paper", A: "zork", B: teamB}, 400, CodeUnparseablePolicy},
-		{"incomplete", "/v1/diff", DiffRequest{Schema: "paper", A: "I in 0 -> accept\n", B: teamB}, 422, CodeIncompletePolicy},
-		{"bad impact request", "/v1/impact", ImpactRequest{Schema: "paper", Before: teamA}, 400, CodeBadRequest},
+		{"unknown schema", "/v1/diff", DiffRequest{Schema: "warp", A: in(teamA), B: in(teamB)}, 400, CodeUnknownSchema},
+		{"unparseable", "/v1/diff", DiffRequest{Schema: "paper", A: in("zork"), B: in(teamB)}, 400, CodeUnparseablePolicy},
+		{"incomplete", "/v1/diff", DiffRequest{Schema: "paper", A: in("I in 0 -> accept\n"), B: in(teamB)}, 422, CodeIncompletePolicy},
+		{"bad impact request", "/v1/impact", ImpactRequest{Schema: "paper", Before: in(teamA)}, 400, CodeBadRequest},
 	}
 	for _, tc := range cases {
 		rec := doRec(t, srv, tc.path, tc.body)
@@ -328,7 +328,7 @@ func TestHealthzReportsCacheReadiness(t *testing.T) {
 		t.Fatalf("health = %+v", h)
 	}
 	// After a diff the caches hold the compiled pair and its report.
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, nil); code != http.StatusOK {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, nil); code != http.StatusOK {
 		t.Fatalf("diff status = %d", code)
 	}
 	h = get()
@@ -343,13 +343,13 @@ func TestDiffEndpointCachedFlag(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
 	var first, second DiffResponse
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &first); code != http.StatusOK {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, &first); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if first.Cached {
 		t.Fatal("first diff cannot be cached")
 	}
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &second); code != http.StatusOK {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, &second); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if !second.Cached {
@@ -367,7 +367,7 @@ func TestResolveRowOrderMatchesDiff(t *testing.T) {
 	t.Parallel()
 	srv := NewServer()
 	var dr DiffResponse
-	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: teamA, B: teamB}, &dr); code != http.StatusOK {
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "paper", A: in(teamA), B: in(teamB)}, &dr); code != http.StatusOK {
 		t.Fatalf("diff status = %d", code)
 	}
 	decisions := map[string]string{}
@@ -376,7 +376,7 @@ func TestResolveRowOrderMatchesDiff(t *testing.T) {
 	}
 	var rr ResolveResponse
 	if code := do(t, srv, "/v1/resolve", ResolveRequest{
-		Schema: "paper", A: teamA, B: teamB, Decisions: decisions,
+		Schema: "paper", A: in(teamA), B: in(teamB), Decisions: decisions,
 	}, &rr); code != http.StatusOK {
 		t.Fatalf("resolve status = %d", code)
 	}

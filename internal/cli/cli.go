@@ -9,7 +9,7 @@ import (
 	"strings"
 
 	"diversefw/internal/field"
-	"diversefw/internal/iptables"
+	"diversefw/internal/frontend"
 	"diversefw/internal/rule"
 )
 
@@ -53,30 +53,33 @@ func LoadPolicy(schema *field.Schema, path string) (*rule.Policy, error) {
 	return p, nil
 }
 
-// LoadPolicyFormat reads a policy file in the given format: "text" (the
-// rule DSL, any schema) or "iptables" (one chain of an iptables-save dump,
-// five-tuple schema only).
+// FormatNames lists the accepted -format values: every registered
+// frontend, plus "text" as the historical alias for native.
+func FormatNames() string {
+	return strings.Join(frontend.Formats(), ", ") + ", text"
+}
+
+// LoadPolicyFormat reads a policy file in the given format through the
+// frontend registry — the same parsers the server uses, so CLIs and
+// server can never disagree. "text" and "" alias "native"; chain
+// selects the chain for iptables/nftables inputs.
 func LoadPolicyFormat(schema *field.Schema, path, format, chain string) (*rule.Policy, error) {
-	switch strings.ToLower(format) {
-	case "", "text":
-		return LoadPolicy(schema, path)
-	case "iptables":
-		if !schema.Equal(field.IPv4FiveTuple()) {
-			return nil, fmt.Errorf("iptables input requires -schema five")
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		p, err := iptables.Import(f, chain)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return p, nil
-	default:
-		return nil, fmt.Errorf("unknown input format %q (have: text, iptables)", format)
+	name := strings.ToLower(format)
+	if name == "" || name == "text" {
+		name = frontend.DefaultFormat
 	}
+	if _, err := frontend.Lookup(name); err != nil {
+		return nil, fmt.Errorf("unknown input format %q (have: %s)", format, FormatNames())
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := frontend.Parse(name, schema, string(text), frontend.Options{Chain: chain})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
 }
 
 // SavePolicy writes a policy file in the rule text format.

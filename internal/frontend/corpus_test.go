@@ -1,0 +1,96 @@
+package frontend
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/rule"
+)
+
+// corpusDir is the shared real-ish config corpus at the repo root.
+const corpusDir = "../../testdata/frontends"
+
+func readCorpus(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(corpusDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCorpusValid parses every well-formed corpus config and checks the
+// lowering is comprehensive and round-trips through the native format.
+func TestCorpusValid(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	cases := []struct {
+		file, format string
+		minRules     int // catch-all included
+	}{
+		{"web-dmz.rules", "iptables", 5},
+		{"home-router.nft", "nftables", 6},
+		{"web-sg.json", "secgroup", 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			p, err := Parse(tc.format, schema, readCorpus(t, tc.file), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Rules) < tc.minRules {
+				t.Fatalf("lowered to %d rules, want at least %d:\n%s",
+					len(p.Rules), tc.minRules, rule.FormatPolicy(p))
+			}
+			if !p.EndsWithCatchAll() {
+				t.Fatalf("lowered policy lacks catch-all")
+			}
+			rendered := rule.FormatPolicy(p)
+			back, err := Parse("native", schema, rendered, Options{})
+			if err != nil {
+				t.Fatalf("native round trip: %v", err)
+			}
+			if rule.FormatPolicy(back) != rendered {
+				t.Fatalf("native round trip not a fixpoint")
+			}
+		})
+	}
+}
+
+// TestCorpusMalformed pins the parse-diagnostic positions for the
+// corpus's broken configs — the line/column contract clients see.
+func TestCorpusMalformed(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	cases := []struct {
+		file, format string
+		diags        []Diagnostic // positions only; Message checked non-empty
+	}{
+		{"bad-address.rules", "iptables", []Diagnostic{{Line: 4, Col: 1}}},
+		{"typo.nft", "nftables", []Diagnostic{{Line: 5, Col: 12}, {Line: 6, Col: 19}}},
+		{"truncated.json", "secgroup", []Diagnostic{{Line: 6, Col: 40}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			_, err := Parse(tc.format, schema, readCorpus(t, tc.file), Options{})
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *ParseError", err)
+			}
+			if len(pe.Diagnostics) != len(tc.diags) {
+				t.Fatalf("diagnostics = %+v, want %d", pe.Diagnostics, len(tc.diags))
+			}
+			for i, want := range tc.diags {
+				got := pe.Diagnostics[i]
+				if got.Line != want.Line || got.Col != want.Col {
+					t.Errorf("diag %d at %d:%d, want %d:%d (%s)",
+						i, got.Line, got.Col, want.Line, want.Col, got.Message)
+				}
+				if got.Message == "" {
+					t.Errorf("diag %d has empty message", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,342 @@
+package frontend
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"diversefw/internal/field"
+	"diversefw/internal/rule"
+)
+
+func TestFormats(t *testing.T) {
+	got := Formats()
+	want := []string{"native", "iptables", "nftables", "secgroup"}
+	if len(got) != len(want) {
+		t.Fatalf("Formats() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Formats() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	f, err := Lookup("")
+	if err != nil || f.Name() != "native" {
+		t.Fatalf("Lookup(\"\") = %v, %v; want native", f, err)
+	}
+	if f, err := Lookup("NFTables"); err != nil || f.Name() != "nftables" {
+		t.Fatalf("Lookup is not case-insensitive: %v, %v", f, err)
+	}
+	_, err = Lookup("cisco-asa")
+	if !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("Lookup(cisco-asa) err = %v, want ErrUnknownFormat", err)
+	}
+	if !strings.Contains(err.Error(), "native") {
+		t.Fatalf("unknown-format error should list available formats: %v", err)
+	}
+}
+
+func TestNativeCollectsAllDiagnostics(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	text := "dport in 25 -> accept\nbogus line\nany -> accept\nsrc in zzz -> discard\n"
+	_, err := Parse("native", schema, text, Options{})
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if len(pe.Diagnostics) != 2 {
+		t.Fatalf("diagnostics = %+v, want 2", pe.Diagnostics)
+	}
+	if pe.Diagnostics[0].Line != 2 || pe.Diagnostics[1].Line != 4 {
+		t.Fatalf("diagnostic lines = %d,%d, want 2,4", pe.Diagnostics[0].Line, pe.Diagnostics[1].Line)
+	}
+}
+
+func TestNativeMatchesParsePolicyString(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	text := "src in 10.0.0.0/8 && proto in tcp && dport in 22 -> accept\nany -> discard\n"
+	want, err := rule.ParsePolicyString(schema, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse("native", schema, text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.FormatPolicy(got) != rule.FormatPolicy(want) {
+		t.Fatalf("native frontend disagrees with rule.ParsePolicyString:\n%s\nvs\n%s",
+			rule.FormatPolicy(got), rule.FormatPolicy(want))
+	}
+}
+
+func TestIptablesFrontend(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	dump := `*filter
+:INPUT DROP [0:0]
+-A INPUT -s 10.0.0.0/8 -p tcp --dport 22 -j ACCEPT
+COMMIT
+`
+	p, err := Parse("iptables", schema, dump, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rule.ParsePolicyString(schema,
+		"src in 10.0.0.0/8 && dport in 22 && proto in tcp -> accept\nany -> discard\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.FormatPolicy(p) != rule.FormatPolicy(want) {
+		t.Fatalf("iptables lowering:\n%swant:\n%s", rule.FormatPolicy(p), rule.FormatPolicy(want))
+	}
+}
+
+func TestIptablesDiagnosticLine(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	dump := "*filter\n:INPUT ACCEPT [0:0]\n-A INPUT -s not-an-ip -j DROP\nCOMMIT\n"
+	_, err := Parse("iptables", schema, dump, Options{})
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if len(pe.Diagnostics) != 1 || pe.Diagnostics[0].Line != 3 {
+		t.Fatalf("diagnostics = %+v, want one at line 3", pe.Diagnostics)
+	}
+}
+
+const nftSample = `#!/usr/sbin/nft -f
+flush ruleset
+table inet filter {
+    chain input {
+        type filter hook input priority 0; policy drop;
+        ip saddr 10.0.0.0/8 tcp dport { 22, 80, 8000-8080 } counter accept
+        ip daddr 192.168.1.1 udp dport 53 accept comment "resolver"
+        ip protocol icmp drop
+        ip saddr != 172.16.0.0/12 tcp dport 443 accept
+    }
+}
+`
+
+func TestNftablesLowering(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	p, err := Parse("nftables", schema, nftSample, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rule.ParsePolicyString(schema, `
+src in 10.0.0.0/8 && dport in 22|80|8000-8080 && proto in tcp -> accept
+dst in 192.168.1.1 && dport in 53 && proto in udp -> accept
+proto in icmp -> discard
+src in !172.16.0.0/12 && dport in 443 && proto in tcp -> accept
+any -> discard
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.FormatPolicy(p) != rule.FormatPolicy(want) {
+		t.Fatalf("nftables lowering:\n%swant:\n%s", rule.FormatPolicy(p), rule.FormatPolicy(want))
+	}
+}
+
+func TestNftablesDefaultAcceptPolicy(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	// No "policy" statement: nftables base chains default to accept.
+	p, err := Parse("nftables", schema, `
+table ip t {
+    chain c {
+        tcp dport 23 drop
+    }
+}
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := p.Rules[len(p.Rules)-1]
+	if last.Decision != rule.Accept {
+		t.Fatalf("default catch-all = %v, want accept", last.Decision)
+	}
+}
+
+func TestNftablesChainSelection(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	text := `
+table inet filter {
+    chain input {
+        type filter hook input priority 0; policy drop;
+        tcp dport 22 accept
+    }
+    chain forward {
+        type filter hook forward priority 0; policy drop;
+    }
+}
+`
+	// Default picks the hooked chain named "input".
+	p, err := Parse("nftables", schema, text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("default chain selection got %d rules, want 2", len(p.Rules))
+	}
+	// Explicit selection, case-insensitive.
+	p, err = Parse("nftables", schema, text, Options{Chain: "FORWARD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("forward chain got %d rules, want 1 (just the catch-all)", len(p.Rules))
+	}
+	// A chain that is not there is a positioned diagnostic.
+	_, err = Parse("nftables", schema, text, Options{Chain: "output"})
+	var pe *ParseError
+	if !errors.As(err, &pe) || !strings.Contains(pe.Diagnostics[0].Message, "output") {
+		t.Fatalf("missing chain err = %v, want ParseError naming the chain", err)
+	}
+}
+
+func TestNftablesDiagnostics(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	_, err := Parse("nftables", schema, `table ip t {
+    chain c {
+        tcp dport 99999 accept
+        frob 7 accept
+        tcp dport 22
+    }
+}
+`, Options{})
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if len(pe.Diagnostics) != 3 {
+		t.Fatalf("diagnostics = %+v, want 3", pe.Diagnostics)
+	}
+	for i, wantLine := range []int{3, 4, 5} {
+		if pe.Diagnostics[i].Line != wantLine {
+			t.Fatalf("diag %d at line %d, want %d: %+v", i, pe.Diagnostics[i].Line, wantLine, pe.Diagnostics)
+		}
+	}
+	if pe.Diagnostics[1].Col != 9 {
+		t.Fatalf("diag for %q at col %d, want 9", "frob", pe.Diagnostics[1].Col)
+	}
+}
+
+func TestNftablesRejectAndMeta(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	p, err := Parse("nftables", schema, `
+table ip t {
+    chain c {
+        meta l4proto udp reject with icmp type port-unreachable
+        policy accept;
+    }
+}
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rule.ParsePolicyString(schema, "proto in udp -> discard\nany -> accept\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.FormatPolicy(p) != rule.FormatPolicy(want) {
+		t.Fatalf("got:\n%swant:\n%s", rule.FormatPolicy(p), rule.FormatPolicy(want))
+	}
+}
+
+const sgSample = `{
+  "GroupName": "web",
+  "Description": "public web tier",
+  "IpPermissions": [
+    {"IpProtocol": "tcp", "FromPort": 443, "ToPort": 443,
+     "IpRanges": [{"CidrIp": "0.0.0.0/0"}]},
+    {"IpProtocol": "tcp", "FromPort": 22, "ToPort": 22,
+     "IpRanges": [{"CidrIp": "10.0.0.0/8", "Description": "bastion"},
+                  {"CidrIp": "172.16.0.0/12"}]},
+    {"IpProtocol": "-1",
+     "IpRanges": [{"CidrIp": "192.168.0.0/24"}]}
+  ]
+}`
+
+func TestSecgroupLowering(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	p, err := Parse("secgroup", schema, sgSample, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rule.ParsePolicyString(schema, `
+dport in 443 && proto in tcp -> accept
+src in 10.0.0.0/8|172.16.0.0/12 && dport in 22 && proto in tcp -> accept
+src in 192.168.0.0/24 -> accept
+any -> discard
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.FormatPolicy(p) != rule.FormatPolicy(want) {
+		t.Fatalf("secgroup lowering:\n%swant:\n%s", rule.FormatPolicy(p), rule.FormatPolicy(want))
+	}
+}
+
+func TestSecgroupBareArrayAndICMP(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+	// Bare permission array; ICMP From/To are type/code, not ports.
+	p, err := Parse("secgroup", schema,
+		`[{"IpProtocol": "icmp", "FromPort": 8, "ToPort": 0, "IpRanges": [{"CidrIp": "10.0.0.0/8"}]}]`,
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rule.ParsePolicyString(schema,
+		"src in 10.0.0.0/8 && proto in icmp -> accept\nany -> discard\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.FormatPolicy(p) != rule.FormatPolicy(want) {
+		t.Fatalf("got:\n%swant:\n%s", rule.FormatPolicy(p), rule.FormatPolicy(want))
+	}
+}
+
+func TestSecgroupDiagnostics(t *testing.T) {
+	schema := field.IPv4FiveTuple()
+
+	// JSON syntax errors carry line/column from the byte offset.
+	_, err := Parse("secgroup", schema, "{\n  \"IpPermissions\": [,]\n}", Options{})
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Diagnostics[0].Line != 2 {
+		t.Fatalf("syntax diag = %+v, want line 2", pe.Diagnostics[0])
+	}
+
+	// Semantic problems name the offending permission.
+	_, err = Parse("secgroup", schema,
+		`[{"IpProtocol": "tcp", "FromPort": 80, "ToPort": 22, "IpRanges": [{"CidrIp": "0.0.0.0/0"}]}]`,
+		Options{})
+	if !errors.As(err, &pe) || !strings.Contains(pe.Diagnostics[0].Message, "permission 0") {
+		t.Fatalf("err = %v, want permission-indexed diagnostic", err)
+	}
+}
+
+func TestPlatformFormatsRequireFiveTuple(t *testing.T) {
+	paper := field.PaperExample()
+	for _, format := range []string{"iptables", "nftables", "secgroup"} {
+		_, err := Parse(format, paper, "", Options{})
+		if !errors.Is(err, ErrSchema) {
+			t.Fatalf("%s over paper schema err = %v, want ErrSchema", format, err)
+		}
+	}
+}
+
+func TestParseErrorRendering(t *testing.T) {
+	pe := &ParseError{Format: "nftables", Diagnostics: []Diagnostic{
+		{Line: 3, Col: 9, Message: "unsupported match \"frob\""},
+		{Line: 4, Col: 1, Message: "rule has no verdict"},
+	}}
+	got := pe.Error()
+	if !strings.Contains(got, "line 3:9") || !strings.Contains(got, "and 1 more") {
+		t.Fatalf("ParseError.Error() = %q", got)
+	}
+}

@@ -1,0 +1,45 @@
+package frontend
+
+import (
+	"errors"
+	"strings"
+
+	"diversefw/internal/field"
+	"diversefw/internal/iptables"
+	"diversefw/internal/rule"
+)
+
+// iptablesFrontend promotes the existing internal/iptables importer
+// behind the registry: one chain of an iptables-save dump, lowered onto
+// the five-tuple schema with the chain policy as trailing catch-all.
+type iptablesFrontend struct{}
+
+func init() { register(iptablesFrontend{}) }
+
+func (iptablesFrontend) Name() string { return "iptables" }
+func (iptablesFrontend) Description() string {
+	return "one chain of an iptables-save dump, five-tuple schema"
+}
+
+func (iptablesFrontend) Parse(schema *field.Schema, text string, opt Options) (*rule.Policy, error) {
+	if err := requireFiveTuple("iptables", schema); err != nil {
+		return nil, err
+	}
+	chain := opt.Chain
+	if chain == "" {
+		chain = "INPUT"
+	}
+	p, err := iptables.Import(strings.NewReader(text), chain)
+	if err != nil {
+		var le *iptables.LineError
+		if errors.As(err, &le) {
+			return nil, &ParseError{Format: "iptables", Diagnostics: []Diagnostic{
+				{Line: le.Line, Col: 1, Message: le.Err.Error()},
+			}}
+		}
+		return nil, &ParseError{Format: "iptables", Diagnostics: []Diagnostic{
+			{Line: 1, Col: 1, Message: err.Error()},
+		}}
+	}
+	return p, nil
+}

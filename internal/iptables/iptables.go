@@ -39,6 +39,21 @@ const (
 	fProto
 )
 
+// LineError locates an import failure on its 1-based source line, so
+// callers (the frontend registry, the API's diagnostics envelope) can
+// point at the offending line structurally instead of scraping the
+// message text.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+// Error renders the conventional "iptables: line N: ..." form.
+func (e *LineError) Error() string { return fmt.Sprintf("iptables: line %d: %v", e.Line, e.Err) }
+
+// Unwrap exposes the underlying parse failure.
+func (e *LineError) Unwrap() error { return e.Err }
+
 // Import parses iptables rules for the named chain (e.g. "INPUT") into a
 // policy over field.IPv4FiveTuple. Lines for other chains are skipped. A
 // `-P chain target` line becomes the trailing catch-all; without one the
@@ -65,14 +80,14 @@ func Import(r io.Reader, chain string) (*rule.Policy, error) {
 		switch toks[0] {
 		case "-P":
 			if len(toks) != 3 {
-				return nil, fmt.Errorf("iptables: line %d: -P needs chain and target", lineNo)
+				return nil, &LineError{Line: lineNo, Err: fmt.Errorf("-P needs chain and target")}
 			}
 			if !strings.EqualFold(toks[1], chain) {
 				continue
 			}
 			d, err := parseTarget(toks[2])
 			if err != nil {
-				return nil, fmt.Errorf("iptables: line %d: %v", lineNo, err)
+				return nil, &LineError{Line: lineNo, Err: err}
 			}
 			defaultDecision = d
 		case "-A", "-I":
@@ -81,7 +96,7 @@ func Import(r io.Reader, chain string) (*rule.Policy, error) {
 			}
 			rl, err := parseRule(schema, toks[2:])
 			if err != nil {
-				return nil, fmt.Errorf("iptables: line %d: %v", lineNo, err)
+				return nil, &LineError{Line: lineNo, Err: err}
 			}
 			if toks[0] == "-I" {
 				// -I prepends (insert at head) like iptables does.
@@ -90,7 +105,7 @@ func Import(r io.Reader, chain string) (*rule.Policy, error) {
 				rules = append(rules, rl)
 			}
 		default:
-			return nil, fmt.Errorf("iptables: line %d: unsupported directive %q", lineNo, toks[0])
+			return nil, &LineError{Line: lineNo, Err: fmt.Errorf("unsupported directive %q", toks[0])}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -39,6 +39,14 @@ go test -race -count=1 -run 'TestChaosStress' ./internal/api/
 # the worker pool leaks no goroutines after shutdown.
 go test -race -count=1 -run 'TestJobsChaos' ./internal/api/
 
+# One-iteration fuzz passes over the policy frontends: the parsers face
+# arbitrary config text from the network (nftables rulesets, cloud
+# security-group JSON, iptables dumps), so each corpus entry re-runs
+# through the no-panic/round-trip properties on every gate.
+go test -run=NONE -fuzz=FuzzNftables -fuzztime=1x ./internal/frontend/
+go test -run=NONE -fuzz=FuzzSecgroup -fuzztime=1x ./internal/frontend/
+go test -run=NONE -fuzz=FuzzImport -fuzztime=1x ./internal/iptables/
+
 # The incremental-recompilation differential also reruns uncached under
 # the race detector: hundreds of randomized policy/edit-script pairs
 # asserting that resuming a checkpointed builder is graph-isomorphic to
