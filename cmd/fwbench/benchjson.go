@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"diversefw/internal/calibrate"
 	"diversefw/internal/compare"
 	"diversefw/internal/engine"
 	"diversefw/internal/fdd"
@@ -71,29 +72,6 @@ type benchReport struct {
 	// can compare code speed rather than machine speed.
 	CalibrationNsPerOp int64 `json:"calibration_ns_per_op,omitempty"`
 }
-
-// calibrate measures the fixed reference workload: 1<<24 xorshift64
-// steps, no allocation, no memory traffic beyond registers — pure CPU.
-// Code changes in the repo cannot affect it; only the machine can.
-func calibrate() int64 {
-	r := testing.Benchmark(func(b *testing.B) {
-		var sum uint64
-		for i := 0; i < b.N; i++ {
-			x := uint64(88172645463325252)
-			for j := 0; j < 1<<24; j++ {
-				x ^= x << 13
-				x ^= x >> 7
-				x ^= x << 17
-				sum += x
-			}
-		}
-		calibrationSink = sum
-	})
-	return r.NsPerOp()
-}
-
-// calibrationSink defeats dead-code elimination of the calibration loop.
-var calibrationSink uint64
 
 // gitCommit best-effort resolves HEAD for provenance; benchmarks must
 // still work from an exported tarball.
@@ -340,7 +318,7 @@ func benchJSON(cfg config) error {
 		When:               time.Now().UTC().Format(time.RFC3339),
 		Rules:              cfg.benchRules,
 		Trials:             cfg.trials,
-		CalibrationNsPerOp: calibrate(),
+		CalibrationNsPerOp: calibrate.NsPerOp(),
 	}
 	fmt.Printf("machine calibration: %d ns/op (fixed CPU reference workload)\n", report.CalibrationNsPerOp)
 	fmt.Println("phase            ns/op          B/op           allocs/op")
@@ -458,9 +436,8 @@ func benchJSON(cfg config) error {
 // are compared absolutely, as before.
 func gate(cfg config, base *benchReport, report *benchReport, remeasure func(string) (int64, bool)) error {
 	phases := report.Phases
-	scale := 1.0
-	if base.CalibrationNsPerOp > 0 && report.CalibrationNsPerOp > 0 {
-		scale = float64(report.CalibrationNsPerOp) / float64(base.CalibrationNsPerOp)
+	scale := calibrate.Ratio(report.CalibrationNsPerOp, base.CalibrationNsPerOp)
+	if scale != 1 {
 		fmt.Printf("gate: machine calibration ratio %.3f vs baseline (baseline limits rescaled)\n", scale)
 	}
 	baseNs := make(map[string]int64, len(base.Phases))

@@ -1,0 +1,96 @@
+// Command fwscen executes the seeded scenario matrix in
+// testdata/scenarios against an in-process fwserved instance and gates
+// a release on the outcome: overload shedding, cache-cold storms,
+// adversarial policies, chaos fault flake, and drain under load, each
+// run multiple times with per-run SLO assertions and a cross-run
+// variance gate.
+//
+// Usage:
+//
+//	fwscen [-scenarios testdata/scenarios] [-run regex] [-out dir]
+//	       [-reruns 3] [-loadscale 1.0] [-fast]
+//	       [-baseline results/BENCH_n.json] [-nocalibrate]
+//
+// Each run writes raw_samples.jsonl (the deterministic op schedule —
+// two runs with the same seed produce byte-identical streams) and
+// result.json (phase metrics, assertion verdicts, SLO snapshot) under
+// <out>/<scenario>/run<i>/; each scenario gets a summary.json and the
+// matrix a provenance.json recording commit, Go version, and the
+// machine-calibration ratio against -baseline.
+//
+// -fast is the CI mode: 1 rerun at 0.4 load scale (scripts/check.sh
+// wires it as a release gate; SKIP_SCEN_GATE=1 is the escape hatch).
+//
+// Exit status: 0 all scenarios green, 1 an assertion or variance gate
+// failed, 2 usage or configuration error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"diversefw/internal/scen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		scenarios   = flag.String("scenarios", "testdata/scenarios", "directory of scenario *.json files")
+		runFilter   = flag.String("run", "", "regexp filtering scenario names")
+		out         = flag.String("out", "scen-out", "artifact output directory")
+		reruns      = flag.Int("reruns", 3, "runs per scenario (variance gate needs >= 2)")
+		loadScale   = flag.Float64("loadscale", 1.0, "scale factor on every phase's op count")
+		fast        = flag.Bool("fast", false, "CI mode: 1 rerun at 0.4 load scale")
+		baseline    = flag.String("baseline", "", "BENCH_*.json whose calibration anchors provenance")
+		nocalibrate = flag.Bool("nocalibrate", false, "skip the ~1s machine-calibration measurement")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "fwscen: unexpected arguments %v\n", flag.Args())
+		return 2
+	}
+	cfg := scen.MatrixConfig{
+		ScenarioDir:     *scenarios,
+		OutDir:          *out,
+		Reruns:          *reruns,
+		LoadScale:       *loadScale,
+		Baseline:        *baseline,
+		SkipCalibration: *nocalibrate,
+		Log:             os.Stdout,
+	}
+	if *fast {
+		cfg.Reruns = 1
+		cfg.LoadScale = 0.4
+	}
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fwscen: bad -run regexp: %v\n", err)
+			return 2
+		}
+		cfg.Run = re
+	}
+	res, err := scen.RunMatrix(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fwscen: %v\n", err)
+		return 2
+	}
+	for _, s := range res.Scenarios {
+		verdict := "PASS"
+		if !s.Passed {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%s %-20s (%d runs)\n", verdict, s.Name, s.Reruns)
+	}
+	if !res.Passed {
+		fmt.Println("scenario matrix: FAILED")
+		return 1
+	}
+	fmt.Printf("scenario matrix: all %d scenarios green; artifacts in %s\n", len(res.Scenarios), *out)
+	return 0
+}

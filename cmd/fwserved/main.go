@@ -36,13 +36,20 @@
 //	GET  /v1/jobs         list jobs; GET /v1/jobs/{id} polls status, progress,
 //	                      and partial results; DELETE /v1/jobs/{id} cancels
 //	GET  /v1/version   build info, schema names, limits, cache stats
-//	GET  /healthz      liveness + cache readiness
+//	GET  /healthz      liveness + cache readiness + SLO summary
+//	                   ("slo": ok|warn|burning)
 //	GET  /metrics      Prometheus text format: per-endpoint request
 //	                   counts/latency/status, in-flight gauge,
 //	                   construct/shape/compare phase timings, span
-//	                   durations, and engine cache counters
+//	                   durations, engine cache counters, fwslo_* burn
+//	                   rates, and fwproc_* runtime gauges; scraping with
+//	                   Accept: application/openmetrics-text adds
+//	                   trace-ID exemplars on latency histogram buckets
+//	GET  /debug/slo    live SLO report: per-objective fast/slow window
+//	                   burn rates, budget remaining, status
 //	GET  /debug/traces recent + slowest request traces as span trees
-//	                   (?format=chrome for about:tracing / Perfetto)
+//	                   (?format=chrome for about:tracing / Perfetto;
+//	                   ?endpoint= and ?min_ms= narrow the listing)
 //	GET  /debug/pprof  runtime profiles (CPU, heap, goroutines, ...)
 //
 // Every /v1/* request is traced end to end: the response carries
@@ -90,6 +97,7 @@ import (
 	"diversefw/internal/guard"
 	"diversefw/internal/jobs"
 	"diversefw/internal/metrics"
+	"diversefw/internal/slo"
 	"diversefw/internal/trace"
 )
 
@@ -169,8 +177,10 @@ func run(args []string) int {
 		"async jobs (/v1/jobs): worker pool size for pair comparisons")
 	jobsRetention := fs.Duration("jobs-retention", 15*time.Minute,
 		"async jobs: how long finished jobs stay pollable before being purged")
+	sloObjectives := fs.String("slo-objectives", "",
+		"path to an objectives JSON file (see slo/objectives.json); empty uses the built-in defaults")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-max-fdd-nodes n] [-max-inflight n] [-admission-queue n] [-queue-deadline d] [-shed-threshold f] [-max-per-client n] [-jobs-workers n] [-jobs-retention d] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-max-fdd-nodes n] [-max-inflight n] [-admission-queue n] [-queue-deadline d] [-shed-threshold f] [-max-per-client n] [-jobs-workers n] [-jobs-retention d] [-slo-objectives file] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -205,6 +215,14 @@ func run(args []string) int {
 			Workers:   *jobsWorkers,
 			Retention: *jobsRetention,
 		}),
+	}
+	if *sloObjectives != "" {
+		cfg, err := slo.LoadFile(*sloObjectives)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fwserved: -slo-objectives:", err)
+			return 2
+		}
+		opts = append(opts, api.WithSLO(slo.NewStore(cfg)))
 	}
 	if *maxInflight > 0 {
 		opts = append(opts, api.WithAdmission(admission.Config{

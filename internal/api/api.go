@@ -419,6 +419,10 @@ type CacheHealth struct {
 // "draining" (shutdown in progress, new work rejected).
 type HealthResponse struct {
 	Status string `json:"status"`
+	// SLO summarizes the objective store: "ok", "warn", or "burning"
+	// (the worst multi-window burn status across objectives — see
+	// GET /debug/slo for the per-objective breakdown).
+	SLO string `json:"slo"`
 	// Formats lists the registered policy input formats — readiness
 	// includes knowing what the server can parse.
 	Formats []string    `json:"formats"`

@@ -19,6 +19,7 @@ import (
 	"diversefw/internal/engine"
 	"diversefw/internal/jobs"
 	"diversefw/internal/metrics"
+	"diversefw/internal/slo"
 	"diversefw/internal/trace"
 )
 
@@ -26,16 +27,28 @@ import (
 type Option func(*Server)
 
 // WithMetrics instruments every endpoint on the given registry —
-// per-endpoint request counts by status code, latency histograms, an
-// in-flight gauge, a recovered-panic counter, and per-phase pipeline
-// timing histograms (construct/shape/compare, fed from compare.Timing) —
-// and mounts the registry's text exposition at GET /metrics.
+// per-endpoint request counts by status code, latency histograms (with
+// per-bucket trace-ID exemplars on the OpenMetrics exposition), an
+// in-flight gauge, a recovered-panic counter, per-phase pipeline
+// timing histograms (construct/shape/compare, fed from compare.Timing),
+// and the fwproc_* runtime collectors (goroutines, heap bytes, GC
+// pause total, sampled lazily at scrape) — and mounts the registry's
+// text exposition at GET /metrics.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(s *Server) {
 		s.inst = newInstruments(reg)
+		metrics.RegisterProcess(reg)
 		s.metricsReg = reg
 		s.metricsHandler = reg.Handler()
 	}
+}
+
+// WithSLO replaces the default objective store (slo.DefaultConfig) —
+// the way to serve a custom slo/objectives.json. The store is always
+// on: it feeds GET /debug/slo, the fwslo_* metrics, and the healthz
+// summary.
+func WithSLO(store *slo.Store) Option {
+	return func(s *Server) { s.slo = store }
 }
 
 // WithLogger enables structured access logging (one record per request:
@@ -258,6 +271,7 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			defer s.inst.inflight.Dec()
 		}
 		sw := &statusWriter{ResponseWriter: w}
+		shed := false
 		if tr != nil {
 			sw.beforeWrite = func(h http.Header) {
 				if st := serverTiming(tr); st != "" {
@@ -283,9 +297,16 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 				status = http.StatusOK
 			}
 			elapsed := time.Since(start)
+			traceID := ""
+			if tr != nil {
+				traceID = tr.ID()
+			}
 			if s.inst != nil {
 				s.inst.requests.With(pattern, strconv.Itoa(status)).Inc()
-				s.inst.latency.With(pattern).Observe(elapsed.Seconds())
+				s.inst.latency.With(pattern).ObserveExemplar(elapsed.Seconds(), traceID)
+			}
+			if traced {
+				s.slo.Record(pattern, elapsed, status, shed)
 			}
 			logAttrs := []any{
 				"method", r.Method,
@@ -318,8 +339,11 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			}
 			if err != nil {
 				var ae *admission.Error
-				if tr != nil && errors.As(err, &ae) {
-					tr.Root().SetAttr("admissionShed", string(ae.Reason))
+				if errors.As(err, &ae) {
+					shed = true
+					if tr != nil {
+						tr.Root().SetAttr("admissionShed", string(ae.Reason))
+					}
 				}
 				writeAdmissionError(sw, err)
 				return

@@ -92,7 +92,7 @@ func TestHealthzShape(t *testing.T) {
 	if rec := getJSON(t, srv, "/healthz", &doc); rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
-	for _, key := range []string{"status", "cache", "admission"} {
+	for _, key := range []string{"status", "slo", "cache", "admission"} {
 		if _, ok := doc[key]; !ok {
 			t.Fatalf("healthz missing %q: %v", key, doc)
 		}
@@ -100,6 +100,10 @@ func TestHealthzShape(t *testing.T) {
 	var status string
 	if err := json.Unmarshal(doc["status"], &status); err != nil || status != "ok" {
 		t.Fatalf("status = %q (%v), want ok", status, err)
+	}
+	var sloStatus string
+	if err := json.Unmarshal(doc["slo"], &sloStatus); err != nil || sloStatus != "ok" {
+		t.Fatalf("slo = %q (%v), want ok", sloStatus, err)
 	}
 	var adm map[string]json.RawMessage
 	if err := json.Unmarshal(doc["admission"], &adm); err != nil {

@@ -30,6 +30,7 @@ import (
 	"diversefw/internal/redundancy"
 	"diversefw/internal/resolve"
 	"diversefw/internal/rule"
+	"diversefw/internal/slo"
 	"diversefw/internal/trace"
 )
 
@@ -66,6 +67,7 @@ type Server struct {
 	adm            *admission.Controller
 	jobsCfg        jobs.Config
 	jobs           *jobs.Coordinator
+	slo            *slo.Store
 	draining       atomic.Bool
 }
 
@@ -94,15 +96,28 @@ func NewServer(opts ...Option) *Server {
 		// the metrics registry regardless of option order.
 		s.adm = admission.New(*s.admCfg, s.metricsReg)
 	}
+	// The SLO store is always on, like tracing: objectives are part of
+	// the serving contract (/debug/slo, the healthz summary), and the
+	// built-in DefaultConfig keeps a bare server meaningful. WithSLO
+	// swaps in a store built from a custom objectives file.
+	if s.slo == nil {
+		s.slo = slo.NewStore(slo.DefaultConfig())
+	}
+	if s.metricsReg != nil {
+		s.slo.RegisterMetrics(s.metricsReg)
+	}
 	// The job coordinator is always on (the endpoints are part of v1);
 	// WithJobs only tunes it. Like the admission controller, it is built
-	// here so it joins the engine, registry, and trace buffer the option
-	// order settled on.
+	// here so it joins the engine, registry, trace buffer, and SLO
+	// store the option order settled on.
 	if s.jobsCfg.Metrics == nil {
 		s.jobsCfg.Metrics = s.metricsReg
 	}
 	if s.jobsCfg.Traces == nil {
 		s.jobsCfg.Traces = s.traces
+	}
+	if s.jobsCfg.SLO == nil {
+		s.jobsCfg.SLO = s.slo
 	}
 	s.jobs = jobs.New(s.eng, s.jobsCfg)
 	s.handle("/healthz", s.health)
@@ -117,6 +132,7 @@ func NewServer(opts ...Option) *Server {
 	s.handle("/v1/jobs", s.jobsCollection)
 	s.handle("/v1/jobs/{id}", s.jobByID)
 	s.handle("/debug/traces", s.debugTraces)
+	s.handle("/debug/slo", s.debugSLO)
 	if s.metricsHandler != nil {
 		s.handle("/metrics", s.metricsHandler.ServeHTTP)
 	}
@@ -137,6 +153,17 @@ func (s *Server) Jobs() *jobs.Coordinator { return s.jobs }
 // Admission returns the server's admission controller; nil without
 // WithAdmission.
 func (s *Server) Admission() *admission.Controller { return s.adm }
+
+// SLO returns the server's objective store (for tests and tooling).
+func (s *Server) SLO() *slo.Store { return s.slo }
+
+// debugSLO is GET /debug/slo: the live per-objective burn-rate report.
+func (s *Server) debugSLO(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
+}
 
 // Close stops the job coordinator: every live job is canceled (its
 // in-flight pairs see their context die) and the workers are waited
@@ -178,6 +205,7 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := HealthResponse{
 		Status:  status,
+		SLO:     string(s.slo.Status()),
 		Formats: frontend.Formats(),
 		Cache: CacheHealth{
 			Ready:          true,

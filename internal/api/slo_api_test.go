@@ -1,0 +1,241 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diversefw/internal/jobs"
+	"diversefw/internal/metrics"
+	"diversefw/internal/slo"
+)
+
+// TestDebugSLOLive drives real traffic through /v1/diff and /v1/jobs
+// and asserts GET /debug/slo reports live window totals and burn rates
+// for the latency and error-rate objectives on both targets — the
+// acceptance contract for the SLO layer.
+func TestDebugSLOLive(t *testing.T) {
+	t.Parallel()
+	reg := metrics.NewRegistry()
+	srv := NewServer(WithMetrics(reg), WithJobs(jobs.Config{Workers: 2}))
+	defer srv.Close()
+
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "five", A: in(fiveA), B: in(fiveB)}, nil); code != http.StatusOK {
+		t.Fatalf("diff status = %d", code)
+	}
+	snap := submitJob(t, srv, JobSubmitRequest{
+		Schema: "five",
+		Kind:   "crosscompare",
+		Policies: []NamedPolicy{
+			{Name: "a", Policy: in(fiveA)},
+			{Name: "b", Policy: in(fiveB)},
+			{Name: "c", Policy: in(fiveA)},
+		},
+	})
+	final := pollUntilTerminal(t, srv, snap.ID)
+	if final.State != "completed" {
+		t.Fatalf("job state = %s", final.State)
+	}
+
+	var rep slo.Report
+	if rec := getJSON(t, srv, "/debug/slo", &rep); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/slo status = %d", rec.Code)
+	}
+	if rep.Status == "" || len(rep.Objectives) == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	byName := make(map[string]slo.ObjectiveReport, len(rep.Objectives))
+	for _, o := range rep.Objectives {
+		byName[o.Name] = o
+	}
+	for name, wantTotal := range map[string]uint64{
+		"diff-latency-p95":     1, // the one diff request
+		"diff-errors":          1,
+		"jobs-latency-p95":     1, // at least the submit POST
+		"job-pair-latency-p95": 3, // 3 policies -> 3 pairs
+		"job-pair-errors":      3,
+		"global-shed":          2, // wildcard sees diff + jobs submit
+	} {
+		o, ok := byName[name]
+		if !ok {
+			t.Fatalf("objective %q missing from report", name)
+		}
+		if o.Slow.Total < wantTotal {
+			t.Errorf("%s: slow window total = %d, want >= %d", name, o.Slow.Total, wantTotal)
+		}
+		if o.Status != slo.StatusOK {
+			t.Errorf("%s: status = %s on clean traffic (fast burn %g)", name, o.Status, o.Fast.BurnRate)
+		}
+		if o.Fast.Total > o.Slow.Total {
+			t.Errorf("%s: fast window (%d) larger than slow (%d)", name, o.Fast.Total, o.Slow.Total)
+		}
+	}
+	if byName["diff-errors"].Slow.Bad != 0 {
+		t.Errorf("diff-errors counted bad events on clean traffic: %+v", byName["diff-errors"])
+	}
+
+	// The same store surfaces as fwslo_* metrics on the scrape path.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`fwslo_burn_rate{objective="diff-latency-p95",window="fast"}`,
+		`fwslo_error_budget_remaining{objective="diff-errors"}`,
+		`fwslo_objective_status{objective="global-shed"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthzSLOBurning: a sustained error budget blowout flips the
+// healthz slo summary to burning while the overall status stays ok —
+// the summary is a signal, not a liveness failure.
+func TestHealthzSLOBurning(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+	defer srv.Close()
+	for i := 0; i < 50; i++ {
+		srv.SLO().Record("/v1/diff", time.Millisecond, http.StatusInternalServerError, false)
+	}
+
+	var h HealthResponse
+	getJSON(t, srv, "/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if h.SLO != "burning" {
+		t.Fatalf("slo = %q, want burning", h.SLO)
+	}
+
+	var rep slo.Report
+	getJSON(t, srv, "/debug/slo", &rep)
+	if rep.Status != slo.StatusBurning {
+		t.Fatalf("report status = %s, want burning", rep.Status)
+	}
+	for _, o := range rep.Objectives {
+		if o.Name == "diff-errors" && o.Status != slo.StatusBurning {
+			t.Fatalf("diff-errors status = %s after 50 5xx", o.Status)
+		}
+	}
+}
+
+// TestDebugTracesFilters pins the ?endpoint= and ?min_ms= query
+// contract on /debug/traces, including the 400 on malformed input.
+func TestDebugTracesFilters(t *testing.T) {
+	t.Parallel()
+	srv := NewServer()
+	defer srv.Close()
+	if code := do(t, srv, "/v1/diff", DiffRequest{Schema: "five", A: in(fiveA), B: in(fiveB)}, nil); code != http.StatusOK {
+		t.Fatalf("diff status = %d", code)
+	}
+	if code := do(t, srv, "/v1/crosscompare", CrossCompareRequest{
+		Schema:   "five",
+		Policies: []NamedPolicy{{Policy: in(fiveA)}, {Policy: in(fiveB)}},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("crosscompare status = %d", code)
+	}
+
+	get := func(path string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		var doc map[string]json.RawMessage
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+		return rec, doc
+	}
+	roots := func(doc map[string]json.RawMessage) []string {
+		var recent []struct {
+			Root struct {
+				Name string `json:"name"`
+			} `json:"root"`
+		}
+		if err := json.Unmarshal(doc["recent"], &recent); err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, len(recent))
+		for i, r := range recent {
+			names[i] = r.Root.Name
+		}
+		return names
+	}
+
+	if _, doc := get("/debug/traces"); len(roots(doc)) != 2 {
+		t.Fatalf("unfiltered recent = %v, want both requests", roots(doc))
+	}
+	_, doc := get("/debug/traces?endpoint=/v1/diff")
+	if got := roots(doc); len(got) != 1 || got[0] != "/v1/diff" {
+		t.Fatalf("endpoint filter kept %v", got)
+	}
+	if _, doc := get("/debug/traces?min_ms=0"); len(roots(doc)) != 2 {
+		t.Fatalf("min_ms=0 dropped traces: %v", roots(doc))
+	}
+	if _, doc := get("/debug/traces?endpoint=/v1/diff&min_ms=600000"); len(roots(doc)) != 0 {
+		t.Fatalf("ten-minute floor kept %v", roots(doc))
+	}
+	for _, bad := range []string{"min_ms=abc", "min_ms=-1", "min_ms=1e"} {
+		rec, _ := get("/debug/traces?" + bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", bad, rec.Code)
+		} else if e := errorBody(t, rec); e.Err.Code != CodeBadRequest {
+			t.Errorf("%s: code = %s", bad, e.Err.Code)
+		}
+	}
+	// Filters compose with the chrome exporter too.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/traces?format=chrome&endpoint=/v1/diff", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "/v1/diff") {
+		t.Fatalf("chrome+filter: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestMetricsExemplarCarriesTraceID: a served request's trace ID shows
+// up as an OpenMetrics exemplar on the request-duration histogram — the
+// metric-to-trace pivot.
+func TestMetricsExemplarCarriesTraceID(t *testing.T) {
+	t.Parallel()
+	reg := metrics.NewRegistry()
+	srv := NewServer(WithMetrics(reg))
+	defer srv.Close()
+
+	rec := doRec(t, srv, "/v1/diff", DiffRequest{Schema: "five", A: in(fiveA), B: in(fiveB)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("diff status = %d", rec.Code)
+	}
+	traceID := rec.Header().Get("X-Trace-ID")
+	if traceID == "" {
+		t.Fatal("no X-Trace-ID on response")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	scrape := httptest.NewRecorder()
+	srv.ServeHTTP(scrape, req)
+	body := scrape.Body.String()
+	want := `fwserved_http_request_duration_seconds_bucket{path="/v1/diff",le="`
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, want) && strings.Contains(line, `trace_id="`+traceID+`"`) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no exemplar carrying trace %s on /v1/diff buckets:\n%s", traceID, body)
+	}
+
+	// A classic scrape of the same registry must stay 0.0.4-clean.
+	plain := httptest.NewRecorder()
+	srv.ServeHTTP(plain, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if strings.Contains(plain.Body.String(), "trace_id") {
+		t.Fatal("classic scrape leaked exemplars")
+	}
+}

@@ -3,18 +3,38 @@ package api
 import (
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"diversefw/internal/trace"
 )
 
 // debugTraces serves the retained request traces. The default format is
 // the buffer snapshot as JSON; ?format=chrome renders the same traces as
-// a Chrome trace_event array for about:tracing / Perfetto.
+// a Chrome trace_event array for about:tracing / Perfetto. Two filters
+// narrow either format: ?endpoint= keeps traces whose root span matches
+// the pattern exactly (e.g. /v1/diff, or job for async jobs), and
+// ?min_ms= keeps traces at least that many milliseconds long. Malformed
+// or negative min_ms is a 400.
 func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
+	q := r.URL.Query()
+	minDur := time.Duration(0)
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("min_ms must be a non-negative number, got %q", raw))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
 	snap := s.traces.Snapshot()
+	if endpoint := q.Get("endpoint"); endpoint != "" || minDur > 0 {
+		snap = snap.Filter(endpoint, minDur)
+	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		writeJSON(w, http.StatusOK, snap)

@@ -1,0 +1,46 @@
+// Package calibrate measures the host's CPU speed with a fixed
+// reference workload, so performance snapshots taken on different days
+// (or different noisy-neighbor weather) can be compared as code speed
+// rather than machine speed. fwbench stamps the number into every
+// BENCH_*.json and rescales gate limits by the ratio of two
+// calibrations; fwscen stamps it into scenario provenance for the same
+// reason.
+package calibrate
+
+import "testing"
+
+// NsPerOp runs the reference workload — 1<<24 xorshift64 steps, no
+// allocation, no memory traffic beyond registers, pure CPU — under
+// testing.Benchmark and returns its ns/op. Code changes in this repo
+// cannot affect the number; only the machine can. Expect a full run to
+// take on the order of a second (testing.Benchmark targets 1s of
+// iterations).
+func NsPerOp() int64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		var sum uint64
+		for i := 0; i < b.N; i++ {
+			x := uint64(88172645463325252)
+			for j := 0; j < 1<<24; j++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				sum += x
+			}
+		}
+		sink = sum
+	})
+	return r.NsPerOp()
+}
+
+// sink defeats dead-code elimination of the calibration loop.
+var sink uint64
+
+// Ratio returns current/baseline as a rescale factor for
+// baseline-relative limits, or 1 when either side is missing (<= 0) —
+// uncalibrated comparisons fall back to absolute numbers.
+func Ratio(current, baseline int64) float64 {
+	if current <= 0 || baseline <= 0 {
+		return 1
+	}
+	return float64(current) / float64(baseline)
+}

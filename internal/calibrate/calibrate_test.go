@@ -1,0 +1,34 @@
+package calibrate
+
+import "testing"
+
+func TestRatio(t *testing.T) {
+	cases := []struct {
+		cur, base int64
+		want      float64
+	}{
+		{100, 100, 1},
+		{200, 100, 2},
+		{50, 100, 0.5},
+		{0, 100, 1},
+		{100, 0, 1},
+		{-5, 100, 1},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.cur, c.base); got != c.want {
+			t.Errorf("Ratio(%d, %d) = %g, want %g", c.cur, c.base, got, c.want)
+		}
+	}
+}
+
+// TestNsPerOp only sanity-checks the sign: the workload is fixed, so
+// any functioning machine yields a positive ns/op. Runs the full 1s
+// benchmark loop, so keep it out of tight inner loops.
+func TestNsPerOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration takes ~1s")
+	}
+	if got := NsPerOp(); got <= 0 {
+		t.Fatalf("NsPerOp = %d, want > 0", got)
+	}
+}

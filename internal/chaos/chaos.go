@@ -167,6 +167,25 @@ func FailWith(err error) Fault {
 	return func(context.Context) error { return err }
 }
 
+// EveryN returns a fault that runs inner on every n-th firing (the
+// n-th, 2n-th, ...) and is a no-op otherwise. The counter is its own —
+// two EveryN faults never share state — and atomic, so the cadence is
+// exact even when fired concurrently. n < 1 means never. Deterministic
+// by construction: with a serialized workload the k-th firing either
+// always or never faults, which is what seeded scenario runs need.
+func EveryN(n int, inner Fault) Fault {
+	var count atomic.Uint64
+	return func(ctx context.Context) error {
+		if n < 1 {
+			return nil
+		}
+		if count.Add(1)%uint64(n) != 0 {
+			return nil
+		}
+		return inner(ctx)
+	}
+}
+
 // ExhaustBudget returns a fault that latches the context's work budget
 // as exceeded on resource kind and returns nil, so the walk keeps going
 // until its own next budget poll — exercising the mid-walk unwind path

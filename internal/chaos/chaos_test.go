@@ -125,3 +125,30 @@ func TestConcurrentRegisterFire(t *testing.T) {
 		t.Fatalf("active = %d after all removed", got)
 	}
 }
+
+func TestEveryN(t *testing.T) {
+	boom := errors.New("boom")
+	f := EveryN(3, FailWith(boom))
+	for i := 1; i <= 12; i++ {
+		err := f(context.Background())
+		if i%3 == 0 && !errors.Is(err, boom) {
+			t.Fatalf("firing %d: err = %v, want boom", i, err)
+		}
+		if i%3 != 0 && err != nil {
+			t.Fatalf("firing %d: err = %v, want nil", i, err)
+		}
+	}
+	// Independent counters: a second EveryN from the same inner fault
+	// starts from zero.
+	g := EveryN(2, FailWith(boom))
+	if err := g(context.Background()); err != nil {
+		t.Fatalf("fresh EveryN fired on first call: %v", err)
+	}
+	// n < 1 never fires.
+	h := EveryN(0, FailWith(boom))
+	for i := 0; i < 5; i++ {
+		if err := h(context.Background()); err != nil {
+			t.Fatalf("EveryN(0) fired: %v", err)
+		}
+	}
+}

@@ -17,6 +17,13 @@ import (
 // ErrClosed reports a Submit after Close.
 var ErrClosed = errors.New("jobs: coordinator closed")
 
+// Recorder receives one observation per settled pair for objective
+// tracking. It mirrors the slo.Store Record signature without importing
+// the package, so the coordinator stays decoupled from SLO policy.
+type Recorder interface {
+	Record(target string, latency time.Duration, status int, shed bool)
+}
+
 // Config configures a Coordinator. The zero value is usable: 4
 // workers, 15 minute retention, 256 stored jobs, in-memory store,
 // hash sharding, no instrumentation.
@@ -37,6 +44,10 @@ type Config struct {
 	Store Store
 	// Sharder overrides the default hash sharder.
 	Sharder Sharder
+	// SLO, when non-nil, receives one observation per settled pair under
+	// target "job:<kind>" — OK pairs as status 200, errored pairs as 422;
+	// skipped pairs are not recorded (a cancel is not a failure).
+	SLO Recorder
 }
 
 // Coordinator owns the worker pool and the job store. Safe for
@@ -373,7 +384,14 @@ func (c *Coordinator) runPair(j *Job, k int) {
 		trace.A("status", string(status)))
 	c.settle(j, k, status, r, err, elapsed)
 	if c.inst != nil {
-		c.inst.pairDuration.Observe(elapsed.Seconds())
+		c.inst.pairDuration.ObserveExemplar(elapsed.Seconds(), j.tr.ID())
+	}
+	if c.cfg.SLO != nil {
+		code := 200
+		if status == PairError {
+			code = 422
+		}
+		c.cfg.SLO.Record("job:"+string(j.spec.Kind), elapsed, code, false)
 	}
 }
 

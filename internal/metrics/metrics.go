@@ -2,8 +2,15 @@
 // serving path: counters, gauges, and latency histograms, rendered in
 // the Prometheus text exposition format (version 0.0.4) so any standard
 // scraper can consume them. Only what fwserved needs is implemented —
-// there is deliberately no global default registry, no metric expiry,
-// and no exemplar support.
+// there is deliberately no global default registry and no metric
+// expiry.
+//
+// Histograms additionally carry exemplars: each bucket remembers the
+// most recent (value, trace ID) pair fed through ObserveExemplar.
+// Exemplars are only rendered on the OpenMetrics exposition
+// (WriteOpenMetrics, negotiated by the Accept header on Handler) —
+// classic 0.0.4 text parsers reject the `# {...}` suffix, so
+// WritePrometheus never emits it.
 //
 // All instruments are safe for concurrent use. Registration
 // (Registry.NewCounter and friends) is expected at startup; observing
@@ -64,10 +71,64 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 }
 
+// openMetricsRenderable is implemented by families whose OpenMetrics
+// rendering differs from the classic text one (histograms, which attach
+// exemplars). Families without it render identically in both formats.
+type openMetricsRenderable interface {
+	renderOpenMetrics(w io.Writer)
+}
+
+// WriteOpenMetrics renders every registered metric in the OpenMetrics
+// text exposition, families sorted by name and terminated with the
+// mandatory `# EOF` marker. Histogram buckets carry their exemplars
+// here (`... # {trace_id="..."} value`); everything else renders as in
+// WritePrometheus.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]renderable, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name() < ms[j].name() })
+	for _, m := range ms {
+		if om, ok := m.(openMetricsRenderable); ok {
+			om.renderOpenMetrics(w)
+			continue
+		}
+		m.render(w)
+	}
+	io.WriteString(w, "# EOF\n")
+}
+
+// ContentType constants for the two expositions Handler can serve.
+const (
+	ContentTypePrometheus  = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics exposition (how Prometheus requests exemplars).
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mediaType == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
 // Handler serves the registry over HTTP (the /metrics endpoint).
+// Scrapers negotiating `application/openmetrics-text` via Accept get
+// the OpenMetrics exposition with exemplars; everyone else gets the
+// classic 0.0.4 text format without them.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			r.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypePrometheus)
 		r.WritePrometheus(w)
 	})
 }
@@ -146,14 +207,25 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // Prometheus defaults: 5ms up to 10s).
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
-// Histogram accumulates observations into cumulative buckets.
+// exemplar is one retained (value, trace ID) pair for a histogram
+// bucket; the whole struct is swapped atomically so a concurrent scrape
+// can never see a torn pair.
+type exemplar struct {
+	value   float64
+	traceID string
+}
+
+// Histogram accumulates observations into cumulative buckets. Each
+// bucket additionally retains the most recent exemplar fed through
+// ObserveExemplar, rendered only on the OpenMetrics exposition.
 type Histogram struct {
 	family
-	labels string
-	bounds []float64       // upper bounds, ascending; +Inf implicit
-	counts []atomic.Uint64 // one per bound, plus the +Inf overflow slot
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, updated by CAS
+	labels    string
+	bounds    []float64       // upper bounds, ascending; +Inf implicit
+	counts    []atomic.Uint64 // one per bound, plus the +Inf overflow slot
+	exemplars []atomic.Pointer[exemplar]
+	count     atomic.Uint64
+	sum       atomic.Uint64 // float64 bits, updated by CAS
 }
 
 func newHistogram(f family, labels string, buckets []float64) *Histogram {
@@ -166,10 +238,11 @@ func newHistogram(f family, labels string, buckets []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		family: f,
-		labels: labels,
-		bounds: buckets,
-		counts: make([]atomic.Uint64, len(buckets)+1),
+		family:    f,
+		labels:    labels,
+		bounds:    buckets,
+		counts:    make([]atomic.Uint64, len(buckets)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(buckets)+1),
 	}
 }
 
@@ -187,6 +260,19 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar is Observe plus exemplar retention: the bucket the
+// value lands in remembers (v, traceID) as its most recent exemplar,
+// linking that bucket's latency band to a concrete trace in
+// /debug/traces. An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{value: v, traceID: traceID})
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -195,21 +281,43 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 func (h *Histogram) render(w io.Writer) {
 	h.header(w)
-	h.renderRows(w)
+	h.renderRows(w, false)
+}
+
+func (h *Histogram) renderOpenMetrics(w io.Writer) {
+	h.header(w)
+	h.renderRows(w, true)
 }
 
 // renderRows prints the bucket/sum/count rows without the family header
-// (vectors print the header once for all children).
-func (h *Histogram) renderRows(w io.Writer) {
+// (vectors print the header once for all children). With exemplars set,
+// each bucket that retains one gets the OpenMetrics
+// `# {trace_id="..."} value` suffix.
+func (h *Histogram) renderRows(w io.Writer, exemplars bool) {
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", h.fname, addLabel(h.labels, "le", formatFloat(b)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", h.fname,
+			addLabel(h.labels, "le", formatFloat(b)), cum, h.exemplarSuffix(i, exemplars))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket%s %d\n", h.fname, addLabel(h.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", h.fname,
+		addLabel(h.labels, "le", "+Inf"), cum, h.exemplarSuffix(len(h.bounds), exemplars))
 	fmt.Fprintf(w, "%s_sum%s %s\n", h.fname, h.labels, formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", h.fname, h.labels, h.count.Load())
+}
+
+// exemplarSuffix renders bucket i's exemplar in OpenMetrics syntax, or
+// "" when disabled or never observed.
+func (h *Histogram) exemplarSuffix(i int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabel(e.traceID) + `"} ` + formatFloat(e.value)
 }
 
 // NewHistogram registers a histogram. Nil or empty buckets mean
@@ -350,7 +458,18 @@ func (v *HistogramVec) render(w io.Writer) {
 	}
 	v.header(w)
 	for _, h := range children {
-		h.renderRows(w)
+		h.renderRows(w, false)
+	}
+}
+
+func (v *HistogramVec) renderOpenMetrics(w io.Writer) {
+	children := v.sortedChildren()
+	if len(children) == 0 {
+		return
+	}
+	v.header(w)
+	for _, h := range children {
+		h.renderRows(w, true)
 	}
 }
 
@@ -366,6 +485,61 @@ func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNa
 	}}
 	r.register(v)
 	return v
+}
+
+// Label is one name="value" pair on a Sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one time series produced by a callback metric at scrape
+// time.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// funcMetric is a family whose values are computed lazily at render
+// time by a callback — runtime gauges, burn rates, anything derived
+// from live state that would be wasteful to push on every event.
+type funcMetric struct {
+	family
+	collect func() []Sample
+}
+
+func (f *funcMetric) render(w io.Writer) {
+	samples := f.collect()
+	if len(samples) == 0 {
+		return
+	}
+	f.header(w)
+	for _, s := range samples {
+		labels := ""
+		if len(s.Labels) > 0 {
+			names := make([]string, len(s.Labels))
+			values := make([]string, len(s.Labels))
+			for i, l := range s.Labels {
+				names[i], values[i] = l.Name, l.Value
+			}
+			labels = formatLabels(names, values)
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.fname, labels, formatFloat(s.Value))
+	}
+}
+
+// NewGaugeFunc registers a gauge family whose samples are computed by
+// collect on every scrape. collect must be safe for concurrent calls
+// and should be cheap; a nil or empty return renders nothing.
+func (r *Registry) NewGaugeFunc(name, help string, collect func() []Sample) {
+	r.register(&funcMetric{family{name, help, "gauge"}, collect})
+}
+
+// NewCounterFunc is NewGaugeFunc with counter semantics: collect must
+// return monotonically non-decreasing values (e.g. a cumulative total
+// read from runtime state).
+func (r *Registry) NewCounterFunc(name, help string, collect func() []Sample) {
+	r.register(&funcMetric{family{name, help, "counter"}, collect})
 }
 
 // formatLabels renders {k="v",...} with values escaped per the text

@@ -1,0 +1,31 @@
+package metrics
+
+import "runtime"
+
+// RegisterProcess adds the fwproc_* runtime collectors to the registry:
+// goroutine count, heap bytes, and cumulative GC pause time, all
+// sampled lazily at scrape time so an idle process pays nothing. These
+// are what scenario artifacts capture as collector overhead — a run
+// whose instrumentation balloons the heap or leaks goroutines shows up
+// in its own telemetry.
+func RegisterProcess(r *Registry) {
+	r.NewGaugeFunc("fwproc_goroutines",
+		"Goroutines currently live in the process.",
+		func() []Sample {
+			return []Sample{{Value: float64(runtime.NumGoroutine())}}
+		})
+	r.NewGaugeFunc("fwproc_heap_bytes",
+		"Bytes of allocated heap objects (runtime MemStats HeapAlloc).",
+		func() []Sample {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return []Sample{{Value: float64(ms.HeapAlloc)}}
+		})
+	r.NewCounterFunc("fwproc_gc_pause_seconds",
+		"Cumulative stop-the-world GC pause time.",
+		func() []Sample {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return []Sample{{Value: float64(ms.PauseTotalNs) / 1e9}}
+		})
+}

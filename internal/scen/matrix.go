@@ -1,0 +1,265 @@
+package scen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+
+	"diversefw/internal/calibrate"
+)
+
+// provenanceSchema identifies the provenance.json format.
+const provenanceSchema = "fwscen-provenance/v1"
+
+// MatrixConfig configures one matrix execution.
+type MatrixConfig struct {
+	ScenarioDir string
+	// Run filters scenarios by name; nil runs all.
+	Run *regexp.Regexp
+	// OutDir receives out/<scenario>/run<i>/{raw_samples.jsonl,
+	// result.json}, per-scenario summary.json, and provenance.json.
+	OutDir string
+	// Reruns is how many times each scenario executes (default 3; the
+	// variance gate needs at least 2 to measure spread).
+	Reruns int
+	// LoadScale scales every phase's op count; the fast gate uses < 1.
+	LoadScale float64
+	// Baseline is an optional results/BENCH_*.json whose machine
+	// calibration anchors the calibration ratio in provenance.
+	Baseline string
+	// SkipCalibration skips the ~1s reference-workload measurement.
+	SkipCalibration bool
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// ScenarioSummary is one scenario's verdict across its reruns.
+type ScenarioSummary struct {
+	Name   string `json:"name"`
+	Reruns int    `json:"reruns"`
+	Passed bool   `json:"passed"`
+	// FailedRuns lists 0-based run indices whose assertions failed.
+	FailedRuns []int `json:"failed_runs,omitempty"`
+	// VarianceFailures lists assertions whose cross-run spread exceeded
+	// their maxVarPct.
+	VarianceFailures []string `json:"variance_failures,omitempty"`
+	Runs             []RunResult
+}
+
+// Provenance records what produced a matrix's artifacts — enough to
+// decide whether two artifact sets are comparable.
+type Provenance struct {
+	Schema             string   `json:"schema"`
+	GitCommit          string   `json:"git_commit"`
+	GoVersion          string   `json:"go_version"`
+	GOMAXPROCS         int      `json:"gomaxprocs"`
+	When               string   `json:"when"`
+	CalibrationNsPerOp int64    `json:"calibration_ns_per_op,omitempty"`
+	Baseline           string   `json:"baseline,omitempty"`
+	BaselineNsPerOp    int64    `json:"baseline_calibration_ns_per_op,omitempty"`
+	CalibrationRatio   float64  `json:"calibration_ratio,omitempty"`
+	Scenarios          []string `json:"scenarios"`
+	Reruns             int      `json:"reruns"`
+	LoadScale          float64  `json:"load_scale"`
+	Passed             bool     `json:"passed"`
+}
+
+// MatrixResult is the whole matrix's outcome.
+type MatrixResult struct {
+	Scenarios  []ScenarioSummary `json:"scenarios"`
+	Provenance Provenance        `json:"provenance"`
+	Passed     bool              `json:"passed"`
+}
+
+// RunMatrix executes every selected scenario Reruns times, applies the
+// per-run assertions and the cross-run variance gate, and writes
+// summary and provenance artifacts under cfg.OutDir.
+func RunMatrix(cfg MatrixConfig) (MatrixResult, error) {
+	if cfg.Reruns < 1 {
+		cfg.Reruns = 3
+	}
+	if cfg.LoadScale <= 0 {
+		cfg.LoadScale = 1
+	}
+	logf := func(format string, args ...interface{}) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	scenarios, err := LoadDir(cfg.ScenarioDir)
+	if err != nil {
+		return MatrixResult{}, err
+	}
+	if cfg.Run != nil {
+		kept := scenarios[:0]
+		for _, sc := range scenarios {
+			if cfg.Run.MatchString(sc.Name) {
+				kept = append(kept, sc)
+			}
+		}
+		scenarios = kept
+		if len(scenarios) == 0 {
+			return MatrixResult{}, fmt.Errorf("scen: -run matched no scenarios")
+		}
+	}
+
+	res := MatrixResult{Passed: true}
+	for _, sc := range scenarios {
+		sum := ScenarioSummary{Name: sc.Name, Reruns: cfg.Reruns, Passed: true}
+		for run := 0; run < cfg.Reruns; run++ {
+			dir := filepath.Join(cfg.OutDir, sc.Name, fmt.Sprintf("run%d", run))
+			rr, err := RunScenario(sc, dir, run, cfg.LoadScale)
+			if err != nil {
+				return MatrixResult{}, fmt.Errorf("%s run %d: %w", sc.Name, run, err)
+			}
+			if !rr.Passed {
+				sum.Passed = false
+				sum.FailedRuns = append(sum.FailedRuns, run)
+				for _, a := range rr.Assertions {
+					if !a.Passed {
+						logf("FAIL %s run %d: %s %s %s (actual %.4g)",
+							sc.Name, run, a.Phase, a.Metric, a.Op, a.Actual)
+					}
+				}
+			}
+			sum.Runs = append(sum.Runs, rr)
+			logf("%s run %d/%d: passed=%v (%.0f ms)", sc.Name, run+1, cfg.Reruns, rr.Passed, rr.DurationMs)
+		}
+		sum.VarianceFailures = varianceFailures(sc, sum.Runs)
+		if len(sum.VarianceFailures) > 0 {
+			sum.Passed = false
+			for _, v := range sum.VarianceFailures {
+				logf("FAIL %s variance: %s", sc.Name, v)
+			}
+		}
+		if !sum.Passed {
+			res.Passed = false
+		}
+		if err := writeJSONFile(filepath.Join(cfg.OutDir, sc.Name, "summary.json"), sum); err != nil {
+			return MatrixResult{}, err
+		}
+		res.Scenarios = append(res.Scenarios, sum)
+	}
+
+	prov := Provenance{
+		Schema:     provenanceSchema,
+		GitCommit:  gitCommit(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		When:       time.Now().UTC().Format(time.RFC3339),
+		Reruns:     cfg.Reruns,
+		LoadScale:  cfg.LoadScale,
+		Passed:     res.Passed,
+	}
+	for _, sc := range scenarios {
+		prov.Scenarios = append(prov.Scenarios, sc.Name)
+	}
+	if !cfg.SkipCalibration {
+		prov.CalibrationNsPerOp = calibrate.NsPerOp()
+	}
+	if cfg.Baseline != "" {
+		if base, err := readBaselineCalibration(cfg.Baseline); err != nil {
+			logf("provenance: baseline %s unreadable: %v", cfg.Baseline, err)
+		} else {
+			prov.Baseline = cfg.Baseline
+			prov.BaselineNsPerOp = base
+			prov.CalibrationRatio = calibrate.Ratio(prov.CalibrationNsPerOp, base)
+		}
+	}
+	res.Provenance = prov
+	if err := writeJSONFile(filepath.Join(cfg.OutDir, "provenance.json"), prov); err != nil {
+		return MatrixResult{}, err
+	}
+	return res, nil
+}
+
+// varianceFailures applies the cross-run spread gate: for every
+// assertion carrying maxVarPct, (max-min)/mean*100 over the runs'
+// actual values must stay at or under it. All-zero series have zero
+// spread by definition.
+func varianceFailures(sc Scenario, runs []RunResult) []string {
+	if len(runs) < 2 {
+		return nil
+	}
+	var fails []string
+	for i, a := range sc.Assertions {
+		if a.MaxVarPct <= 0 {
+			continue
+		}
+		var vals []float64
+		for _, r := range runs {
+			if i < len(r.Assertions) {
+				vals = append(vals, r.Assertions[i].Actual)
+			}
+		}
+		if len(vals) < 2 {
+			continue
+		}
+		min, max, sum := vals[0], vals[0], 0.0
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		mean := sum / float64(len(vals))
+		if mean == 0 {
+			if max != min {
+				fails = append(fails, fmt.Sprintf("%s %s: zero mean with nonzero spread %v", a.Phase, a.Metric, vals))
+			}
+			continue
+		}
+		spread := (max - min) / mean * 100
+		if spread > a.MaxVarPct {
+			fails = append(fails, fmt.Sprintf("%s %s: spread %.1f%% > %.1f%% across %d runs (%v)",
+				a.Phase, a.Metric, spread, a.MaxVarPct, len(vals), vals))
+		}
+	}
+	return fails
+}
+
+// readBaselineCalibration loosely extracts calibration_ns_per_op from a
+// BENCH_*.json; the rest of that schema is fwbench's business.
+func readBaselineCalibration(path string) (int64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		CalibrationNsPerOp int64 `json:"calibration_ns_per_op"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return 0, err
+	}
+	return doc.CalibrationNsPerOp, nil
+}
+
+// gitCommit best-effort resolves HEAD for provenance.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func writeJSONFile(path string, v interface{}) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,567 @@
+package scen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diversefw/internal/admission"
+	"diversefw/internal/api"
+	"diversefw/internal/chaos"
+	"diversefw/internal/engine"
+	"diversefw/internal/guard"
+	"diversefw/internal/jobs"
+	"diversefw/internal/metrics"
+	"diversefw/internal/rule"
+	"diversefw/internal/slo"
+	"diversefw/internal/synth"
+)
+
+// resultSchema identifies the result.json format.
+const resultSchema = "fwscen-result/v1"
+
+// PhaseMetrics is one phase's aggregate outcome. Rates are fractions of
+// Count; latency percentiles are over admitted (non-shed) ops.
+type PhaseMetrics struct {
+	Count int `json:"count"`
+	OK    int `json:"ok"`
+	// Errors counts transport failures and non-shed 5xx responses —
+	// things that should never happen, as opposed to typed 4xx refusals.
+	Errors int `json:"errors"`
+	// Shed counts load-shedding refusals: server_overloaded,
+	// client_over_limit, and admission-queue timeouts.
+	Shed int `json:"shed"`
+	// Invalid counts protocol violations: a non-2xx without the typed
+	// error envelope, or a 2xx whose body does not decode.
+	Invalid    int            `json:"invalid"`
+	CodeCounts map[string]int `json:"code_counts,omitempty"`
+	P50Ms      float64        `json:"p50_ms"`
+	P95Ms      float64        `json:"p95_ms"`
+	P99Ms      float64        `json:"p99_ms"`
+}
+
+// AssertionResult is one evaluated assertion.
+type AssertionResult struct {
+	Assertion
+	Actual float64 `json:"actual"`
+	Passed bool    `json:"passed"`
+}
+
+// RuntimeSample is the collector-overhead reading scraped from the
+// server's own /metrics at the end of the run.
+type RuntimeSample struct {
+	Goroutines float64 `json:"goroutines"`
+	HeapBytes  float64 `json:"heap_bytes"`
+}
+
+// RunResult is one scenario run, serialized to result.json.
+type RunResult struct {
+	Schema     string                  `json:"schema"`
+	Scenario   string                  `json:"scenario"`
+	Seed       int64                   `json:"seed"`
+	Run        int                     `json:"run"`
+	LoadScale  float64                 `json:"load_scale"`
+	DurationMs float64                 `json:"duration_ms"`
+	Phases     map[string]PhaseMetrics `json:"phases"`
+	SLO        *slo.Report             `json:"slo,omitempty"`
+	Runtime    RuntimeSample           `json:"runtime"`
+	Assertions []AssertionResult       `json:"assertions"`
+	Passed     bool                    `json:"passed"`
+}
+
+// outcome is one executed op's classification.
+type outcome struct {
+	phase     string
+	latencyMs float64
+	ok        bool
+	shed      bool
+	err       bool
+	invalid   bool
+	code      string
+}
+
+// RunScenario executes one scenario run, writing raw_samples.jsonl and
+// result.json into outDir. The run is hermetic: its own engine, its own
+// metrics registry, its own admission controller, an httptest listener
+// on a loopback port. Chaos faults go through the process-wide Default
+// registry and are always removed before return, so sequential runs
+// cannot leak faults into each other.
+func RunScenario(sc Scenario, outDir string, run int, loadScale float64) (RunResult, error) {
+	if err := sc.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if loadScale <= 0 {
+		loadScale = 1
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return RunResult{}, err
+	}
+	samples := Schedule(sc, loadScale)
+	var raw bytes.Buffer
+	if err := WriteSamples(&raw, samples); err != nil {
+		return RunResult{}, err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "raw_samples.jsonl"), raw.Bytes(), 0o644); err != nil {
+		return RunResult{}, err
+	}
+
+	eng := engine.New(engine.Config{Limits: guard.Limits{
+		MaxFDDNodes:   int64(sc.Server.MaxFDDNodes),
+		MaxEdgeSplits: int64(sc.Server.MaxFDDNodes),
+	}})
+	workers := sc.Server.JobsWorkers
+	if workers < 1 {
+		workers = 2
+	}
+	opts := []api.Option{
+		api.WithEngine(eng),
+		api.WithMetrics(metrics.NewRegistry()),
+		api.WithJobs(jobs.Config{Workers: workers}),
+	}
+	if sc.Server.MaxInflight > 0 {
+		opts = append(opts, api.WithAdmission(admission.Config{
+			MaxInFlight:   sc.Server.MaxInflight,
+			MaxQueue:      sc.Server.MaxQueue,
+			QueueDeadline: time.Duration(sc.Server.QueueDeadlineMillis) * time.Millisecond,
+			MaxPerClient:  sc.Server.MaxPerClient,
+		}))
+	}
+	srv := api.NewServer(opts...)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	started := time.Now()
+	outcomes := make([]outcome, len(samples))
+	byPhase := map[string][]Sample{}
+	for _, s := range samples {
+		byPhase[s.Phase] = append(byPhase[s.Phase], s)
+	}
+	for _, phase := range []string{PhaseWarmup, PhaseInject, PhaseRecover} {
+		ops := byPhase[phase]
+		if len(ops) == 0 {
+			continue
+		}
+		w := 2
+		if phase == PhaseInject {
+			w = sc.Load.Workers
+		}
+		if w > len(ops) {
+			w = len(ops)
+		}
+		var removes []func()
+		var settled atomic.Int64
+		var drainOnce sync.Once
+		if phase == PhaseInject {
+			for _, f := range sc.Inject.Faults {
+				removes = append(removes, chaos.Register(chaos.Point(f.Point), buildFault(f)))
+			}
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				client := &http.Client{Timeout: 60 * time.Second}
+				for k := worker; k < len(ops); k += w {
+					s := ops[k]
+					outcomes[s.Seq] = executeOp(client, ts.URL, sc, s)
+					if phase == PhaseInject && sc.Inject.DrainAfterOps > 0 &&
+						settled.Add(1) >= int64(scaleOps(sc.Inject.DrainAfterOps, loadScale)) {
+						drainOnce.Do(srv.BeginDrain)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, rm := range removes {
+			rm()
+		}
+	}
+
+	result := RunResult{
+		Schema:     resultSchema,
+		Scenario:   sc.Name,
+		Seed:       sc.Seed,
+		Run:        run,
+		LoadScale:  loadScale,
+		DurationMs: float64(time.Since(started).Microseconds()) / 1000,
+		Phases:     map[string]PhaseMetrics{},
+	}
+	all := aggregate(outcomes, "")
+	result.Phases[PhaseAll] = all
+	for _, phase := range []string{PhaseWarmup, PhaseInject, PhaseRecover} {
+		if len(byPhase[phase]) > 0 {
+			result.Phases[phase] = aggregate(outcomes, phase)
+		}
+	}
+	result.SLO = fetchSLO(ts.URL)
+	result.Runtime = fetchRuntime(ts.URL)
+
+	result.Passed = true
+	for _, a := range sc.Assertions {
+		actual, err := assertionValue(result, a)
+		ar := AssertionResult{Assertion: a, Actual: actual}
+		if err == nil {
+			ar.Passed = evalOp(a, actual)
+		}
+		if !ar.Passed {
+			result.Passed = false
+		}
+		result.Assertions = append(result.Assertions, ar)
+	}
+
+	buf, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "result.json"), append(buf, '\n'), 0o644); err != nil {
+		return RunResult{}, err
+	}
+	return result, nil
+}
+
+// buildFault converts a FaultSpec into a registered chaos fault.
+func buildFault(f FaultSpec) chaos.Fault {
+	var inner chaos.Fault
+	switch f.Kind {
+	case "latency":
+		inner = chaos.Latency(time.Duration(f.Millis) * time.Millisecond)
+	case "error":
+		inner = chaos.FailWith(fmt.Errorf("injected: scenario fault at %s", f.Point))
+	case "budget":
+		inner = chaos.ExhaustBudget(guard.KindNodes)
+	}
+	if f.EveryN > 1 {
+		return chaos.EveryN(f.EveryN, inner)
+	}
+	return inner
+}
+
+// policyText renders the synthetic policy for one seed at the sample's
+// rule count.
+func policyText(seed int64, rules int) string {
+	return rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: rules, Seed: seed}))
+}
+
+// shedCodes are the load-shedding refusals: not errors, the server
+// protecting itself. Queue-deadline timeouts count — an op shed after
+// waiting is still shed.
+var shedCodes = map[string]bool{
+	"server_overloaded": true,
+	"client_over_limit": true,
+	"timeout":           true,
+}
+
+// executeOp runs one scheduled op against the server and classifies it.
+func executeOp(client *http.Client, baseURL string, sc Scenario, s Sample) outcome {
+	o := outcome{phase: s.Phase}
+	start := time.Now()
+	switch s.Op {
+	case "diff":
+		req := api.DiffRequest{Schema: "five"}
+		if s.Adversarial {
+			req.A = api.PolicyInput{Text: rule.FormatPolicy(synth.Adversarial(s.Rules))}
+		} else {
+			req.A = api.PolicyInput{Text: policyText(s.SeedA, s.Rules)}
+		}
+		req.B = api.PolicyInput{Text: policyText(s.SeedB, s.Rules)}
+		status, body, err := postJSON(client, baseURL+"/v1/diff", req)
+		o.latencyMs = sinceMs(start)
+		classifyHTTP(&o, status, body, err)
+	case "jobs":
+		req := api.JobSubmitRequest{Schema: "five", Kind: "crosscompare"}
+		for i, seed := range s.JobSeeds {
+			req.Policies = append(req.Policies, api.NamedPolicy{
+				Name:   fmt.Sprintf("p%d", i+1),
+				Policy: api.PolicyInput{Text: policyText(seed, s.Rules)},
+			})
+		}
+		status, body, err := postJSON(client, baseURL+"/v1/jobs", req)
+		if err != nil || status != http.StatusAccepted {
+			o.latencyMs = sinceMs(start)
+			classifyHTTP(&o, status, body, err)
+			return o
+		}
+		var snap api.JobStatusResponse
+		if json.Unmarshal(body, &snap) != nil || snap.ID == "" {
+			o.latencyMs = sinceMs(start)
+			o.invalid = true
+			return o
+		}
+		final, err := pollJob(client, baseURL, snap.ID)
+		o.latencyMs = sinceMs(start)
+		switch {
+		case err != nil:
+			o.err = true
+			o.code = "transport_error"
+		case final.State == "completed" && final.Progress.Errors == 0:
+			o.ok = true
+		case final.State == "completed":
+			o.code = "job_pair_error"
+		default:
+			o.err = true
+			o.code = "job_" + final.State
+		}
+	}
+	return o
+}
+
+func sinceMs(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// pollJob polls until the job reaches a terminal state.
+func pollJob(client *http.Client, baseURL, id string) (api.JobStatusResponse, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(baseURL + "/v1/jobs/" + id)
+		if err != nil {
+			return api.JobStatusResponse{}, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return api.JobStatusResponse{}, fmt.Errorf("poll status %d: %s", resp.StatusCode, body)
+		}
+		var snap api.JobStatusResponse
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return api.JobStatusResponse{}, err
+		}
+		if snap.State == "completed" || snap.State == "canceled" {
+			return snap, nil
+		}
+		if time.Now().After(deadline) {
+			return snap, errors.New("job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func postJSON(client *http.Client, url string, body interface{}) (int, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+// classifyHTTP folds one HTTP exchange into the outcome. The error
+// envelope is the contract: any refusal without it is an invalid
+// response, which scenarios pin to zero.
+func classifyHTTP(o *outcome, status int, body []byte, err error) {
+	if err != nil {
+		o.err = true
+		o.code = "transport_error"
+		return
+	}
+	if status < 300 {
+		var doc map[string]json.RawMessage
+		if json.Unmarshal(body, &doc) != nil {
+			o.invalid = true
+			return
+		}
+		o.ok = true
+		return
+	}
+	var e api.Error
+	if json.Unmarshal(body, &e) != nil || e.Err.Code == "" {
+		o.invalid = true
+		return
+	}
+	o.code = e.Err.Code
+	if shedCodes[e.Err.Code] {
+		o.shed = true
+		return
+	}
+	if status >= 500 {
+		o.err = true
+	}
+}
+
+// aggregate folds outcomes into one phase's metrics; phase "" means all.
+func aggregate(outcomes []outcome, phase string) PhaseMetrics {
+	pm := PhaseMetrics{CodeCounts: map[string]int{}}
+	var lats []float64
+	for _, o := range outcomes {
+		if phase != "" && o.phase != phase {
+			continue
+		}
+		pm.Count++
+		if o.ok {
+			pm.OK++
+		}
+		if o.err {
+			pm.Errors++
+		}
+		if o.shed {
+			pm.Shed++
+		}
+		if o.invalid {
+			pm.Invalid++
+		}
+		if o.code != "" {
+			pm.CodeCounts[o.code]++
+		}
+		if !o.shed {
+			lats = append(lats, o.latencyMs)
+		}
+	}
+	pm.P50Ms = percentile(lats, 0.50)
+	pm.P95Ms = percentile(lats, 0.95)
+	pm.P99Ms = percentile(lats, 0.99)
+	return pm
+}
+
+// percentile is nearest-rank on a copy of values.
+func percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// fetchSLO snapshots /debug/slo at the end of the run; best-effort.
+func fetchSLO(baseURL string) *slo.Report {
+	resp, err := http.Get(baseURL + "/debug/slo")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var rep slo.Report
+	if json.NewDecoder(resp.Body).Decode(&rep) != nil {
+		return nil
+	}
+	return &rep
+}
+
+// fetchRuntime scrapes fwproc_* gauges from the server's /metrics.
+func fetchRuntime(baseURL string) RuntimeSample {
+	var rs RuntimeSample
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return rs
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "fwproc_goroutines "); ok {
+			rs.Goroutines, _ = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		}
+		if v, ok := strings.CutPrefix(line, "fwproc_heap_bytes "); ok {
+			rs.HeapBytes, _ = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		}
+	}
+	return rs
+}
+
+// statusRank maps an SLO status onto the numeric scale assertions use.
+func statusRank(s slo.Status) float64 {
+	switch s {
+	case slo.StatusWarn:
+		return 1
+	case slo.StatusBurning:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// assertionValue resolves one assertion's actual value from a run.
+func assertionValue(r RunResult, a Assertion) (float64, error) {
+	if name, ok := strings.CutPrefix(a.Metric, "slo:"); ok {
+		if r.SLO == nil {
+			return 0, errors.New("no SLO snapshot")
+		}
+		for _, o := range r.SLO.Objectives {
+			if o.Name == name {
+				return statusRank(o.Status), nil
+			}
+		}
+		return 0, fmt.Errorf("objective %q not in SLO report", name)
+	}
+	pm, ok := r.Phases[a.Phase]
+	if !ok {
+		return 0, fmt.Errorf("phase %q has no ops", a.Phase)
+	}
+	if code, isRate := strings.CutPrefix(a.Metric, "rate:"); isRate {
+		if pm.Count == 0 {
+			return 0, nil
+		}
+		return float64(pm.CodeCounts[code]) / float64(pm.Count), nil
+	}
+	switch a.Metric {
+	case "count":
+		return float64(pm.Count), nil
+	case "ok_rate":
+		return ratio(pm.OK, pm.Count), nil
+	case "error_rate":
+		return ratio(pm.Errors, pm.Count), nil
+	case "shed_rate":
+		return ratio(pm.Shed, pm.Count), nil
+	case "invalid_responses":
+		return float64(pm.Invalid), nil
+	case "p50_ms":
+		return pm.P50Ms, nil
+	case "p95_ms":
+		return pm.P95Ms, nil
+	case "p99_ms":
+		return pm.P99Ms, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q", a.Metric)
+}
+
+func ratio(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// evalOp applies the assertion operator with a small tolerance on eq
+// (rates are float divisions).
+func evalOp(a Assertion, actual float64) bool {
+	switch a.Op {
+	case "le":
+		return actual <= a.Value
+	case "lt":
+		return actual < a.Value
+	case "ge":
+		return actual >= a.Value
+	case "gt":
+		return actual > a.Value
+	case "eq":
+		return math.Abs(actual-a.Value) < 1e-9
+	case "between":
+		return actual >= a.Min && actual <= a.Max
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+// Package slo turns the serving path's raw signals into service level
+// objectives: declarative per-target objectives (latency, error rate,
+// shed rate), a dependency-free rolling multi-window store fed by the
+// API and jobs layers, and SRE-workbook multi-window burn rates — how
+// fast the error budget is being spent over a fast (5m) and a slow (1h)
+// window. An objective is "burning" only when BOTH windows exceed the
+// critical burn threshold: the fast window makes the signal responsive,
+// the slow window keeps a brief spike from paging.
+//
+// Objectives ship declaratively in slo/objectives.json at the repo
+// root (DefaultConfig mirrors it in code, so a server without the file
+// still has objectives); the live state is served at GET /debug/slo and
+// exported as the fwslo_* metric family.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Signal names what an objective measures.
+type Signal string
+
+const (
+	// SignalLatency: fraction of requests answering within
+	// ThresholdMillis. A request is "bad" when it took longer.
+	SignalLatency Signal = "latency"
+	// SignalErrorRate: fraction of requests not failing server-side. A
+	// request is "bad" on a 5xx status; admission sheds are excluded
+	// (they have their own signal).
+	SignalErrorRate Signal = "error_rate"
+	// SignalShedRate: fraction of requests not shed by admission
+	// control. A request is "bad" when it was shed.
+	SignalShedRate Signal = "shed_rate"
+)
+
+// Objective is one declarative service level objective. Goal is the
+// target good fraction over the slow window — 0.99 means at most 1% of
+// events may be bad before the budget is spent.
+type Objective struct {
+	// Name is the stable identifier carried on /debug/slo and fwslo_*
+	// labels.
+	Name string `json:"name"`
+	// Target selects which events feed this objective: an endpoint
+	// pattern ("/v1/diff"), a job class ("job:crosscompare"), or "*"
+	// for every recorded event.
+	Target string  `json:"target"`
+	Signal Signal  `json:"signal"`
+	Goal   float64 `json:"goal"`
+	// ThresholdMillis is the latency cut for SignalLatency objectives
+	// (ignored by the other signals).
+	ThresholdMillis float64 `json:"thresholdMillis,omitempty"`
+}
+
+// Windows sizes the rolling store: bucketed at BucketSeconds, burn
+// rates computed over the trailing FastSeconds and SlowSeconds.
+type Windows struct {
+	BucketSeconds int `json:"bucketSeconds"`
+	FastSeconds   int `json:"fastSeconds"`
+	SlowSeconds   int `json:"slowSeconds"`
+}
+
+// Burn holds the burn-rate thresholds: an objective is "warn" when both
+// windows burn at >= Warn, "burning" when both burn at >= Critical.
+// Critical defaults to the SRE-workbook fast-page rate of 14.4 (a 30d
+// budget gone in 2 days).
+type Burn struct {
+	Warn     float64 `json:"warn"`
+	Critical float64 `json:"critical"`
+}
+
+// Config is the full declarative SLO specification — what
+// slo/objectives.json contains.
+type Config struct {
+	Windows    Windows     `json:"windows"`
+	Burn       Burn        `json:"burn"`
+	Objectives []Objective `json:"objectives"`
+}
+
+// DefaultConfig returns the built-in objectives, kept byte-for-byte in
+// sync with slo/objectives.json (a test asserts the parity): p95/p99
+// latency and error rate on the two serving endpoints, pair latency per
+// job class, and a global shed-rate objective.
+func DefaultConfig() Config {
+	return Config{
+		Windows: Windows{BucketSeconds: 30, FastSeconds: 300, SlowSeconds: 3600},
+		Burn:    Burn{Warn: 2, Critical: 14.4},
+		Objectives: []Objective{
+			{Name: "diff-latency-p95", Target: "/v1/diff", Signal: SignalLatency, Goal: 0.95, ThresholdMillis: 250},
+			{Name: "diff-latency-p99", Target: "/v1/diff", Signal: SignalLatency, Goal: 0.99, ThresholdMillis: 1000},
+			{Name: "diff-errors", Target: "/v1/diff", Signal: SignalErrorRate, Goal: 0.999},
+			{Name: "jobs-latency-p95", Target: "/v1/jobs", Signal: SignalLatency, Goal: 0.95, ThresholdMillis: 250},
+			{Name: "jobs-errors", Target: "/v1/jobs", Signal: SignalErrorRate, Goal: 0.999},
+			{Name: "job-pair-latency-p95", Target: "job:crosscompare", Signal: SignalLatency, Goal: 0.95, ThresholdMillis: 2000},
+			{Name: "job-pair-errors", Target: "job:crosscompare", Signal: SignalErrorRate, Goal: 0.99},
+			{Name: "global-shed", Target: "*", Signal: SignalShedRate, Goal: 0.99},
+		},
+	}
+}
+
+// Parse decodes and validates a Config from JSON.
+func Parse(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("slo: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadFile reads and validates an objectives file.
+func LoadFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Validate checks the config is internally consistent; the zero parts
+// of a sparse hand-written file are filled with defaults first
+// (bucket/window sizes, burn thresholds).
+func (c *Config) Validate() error {
+	def := DefaultConfig()
+	if c.Windows.BucketSeconds == 0 {
+		c.Windows.BucketSeconds = def.Windows.BucketSeconds
+	}
+	if c.Windows.FastSeconds == 0 {
+		c.Windows.FastSeconds = def.Windows.FastSeconds
+	}
+	if c.Windows.SlowSeconds == 0 {
+		c.Windows.SlowSeconds = def.Windows.SlowSeconds
+	}
+	if c.Burn.Warn == 0 {
+		c.Burn.Warn = def.Burn.Warn
+	}
+	if c.Burn.Critical == 0 {
+		c.Burn.Critical = def.Burn.Critical
+	}
+	w := c.Windows
+	if w.BucketSeconds < 1 {
+		return fmt.Errorf("slo: bucketSeconds must be >= 1, got %d", w.BucketSeconds)
+	}
+	if w.FastSeconds < w.BucketSeconds {
+		return fmt.Errorf("slo: fastSeconds (%d) must be >= bucketSeconds (%d)", w.FastSeconds, w.BucketSeconds)
+	}
+	if w.SlowSeconds < w.FastSeconds {
+		return fmt.Errorf("slo: slowSeconds (%d) must be >= fastSeconds (%d)", w.SlowSeconds, w.FastSeconds)
+	}
+	if c.Burn.Warn <= 0 || c.Burn.Critical < c.Burn.Warn {
+		return fmt.Errorf("slo: burn thresholds must satisfy 0 < warn <= critical, got warn=%g critical=%g",
+			c.Burn.Warn, c.Burn.Critical)
+	}
+	if len(c.Objectives) == 0 {
+		return fmt.Errorf("slo: no objectives")
+	}
+	seen := make(map[string]bool, len(c.Objectives))
+	for i, o := range c.Objectives {
+		if o.Name == "" {
+			return fmt.Errorf("slo: objective %d has no name", i)
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("slo: duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+		if o.Target == "" {
+			return fmt.Errorf("slo: objective %q has no target", o.Name)
+		}
+		if o.Goal <= 0 || o.Goal >= 1 {
+			return fmt.Errorf("slo: objective %q goal must be in (0,1), got %g", o.Name, o.Goal)
+		}
+		switch o.Signal {
+		case SignalLatency:
+			if o.ThresholdMillis <= 0 {
+				return fmt.Errorf("slo: latency objective %q needs thresholdMillis > 0", o.Name)
+			}
+		case SignalErrorRate, SignalShedRate:
+		default:
+			return fmt.Errorf("slo: objective %q has unknown signal %q", o.Name, o.Signal)
+		}
+	}
+	return nil
+}
+
+// Status classifies an objective (or the service): ok, warn, burning.
+type Status string
+
+const (
+	StatusOK      Status = "ok"
+	StatusWarn    Status = "warn"
+	StatusBurning Status = "burning"
+)
+
+// worse reports whether a is a more severe status than b.
+func worse(a, b Status) bool { return statusRank(a) > statusRank(b) }
+
+func statusRank(s Status) int {
+	switch s {
+	case StatusBurning:
+		return 2
+	case StatusWarn:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// burnRate is (bad/total)/(1-goal): 1.0 spends the budget exactly at
+// the sustainable rate, higher spends it faster. An empty window burns
+// nothing.
+func burnRate(total, bad uint64, goal float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - goal)
+}
+
+// statusFor applies the multi-window rule: both windows must exceed a
+// threshold before it counts, so min(fast, slow) is the effective burn.
+func statusFor(fast, slow float64, burn Burn) Status {
+	m := fast
+	if slow < m {
+		m = slow
+	}
+	switch {
+	case m >= burn.Critical:
+		return StatusBurning
+	case m >= burn.Warn:
+		return StatusWarn
+	default:
+		return StatusOK
+	}
+}
+
+// bucketDuration returns the configured bucket width.
+func (w Windows) bucketDuration() time.Duration {
+	return time.Duration(w.BucketSeconds) * time.Second
+}

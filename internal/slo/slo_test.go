@@ -1,0 +1,259 @@
+package slo
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock drives a store through scripted time for the window-math
+// tests.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) now() time.Time          { return c.t }
+func (c *fixedClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// testStore builds a store on one objective with a swapped clock.
+func testStore(t *testing.T, obj Objective) (*Store, *fixedClock) {
+	t.Helper()
+	cfg := Config{
+		Windows:    Windows{BucketSeconds: 30, FastSeconds: 300, SlowSeconds: 3600},
+		Burn:       Burn{Warn: 2, Critical: 14.4},
+		Objectives: []Objective{obj},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(cfg)
+	clk := &fixedClock{t: time.Unix(1_700_000_000, 0)}
+	s.now = clk.now
+	return s, clk
+}
+
+// approx compares within an absolute 1e-9 — tight enough to pin the
+// math, loose enough for 1-goal rounding.
+func approx(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestBurnRateWindows is the table-driven window math: each case scripts
+// (advance, record) events against one error-rate objective and asserts
+// the resulting window totals, burn rates, budget, and status.
+func TestBurnRateWindows(t *testing.T) {
+	const goal = 0.99 // budget: 1% of events may be bad
+	type event struct {
+		advance time.Duration
+		bad     bool
+		n       int
+	}
+	cases := []struct {
+		name               string
+		events             []event
+		fastTotal, fastBad uint64
+		slowTotal, slowBad uint64
+		fastBurn, slowBurn float64
+		budget             float64
+		status             Status
+	}{
+		{
+			// The empty window burns nothing and has its full budget.
+			name:   "empty window",
+			status: StatusOK,
+			budget: 1,
+		},
+		{
+			// Exactly 1 bad in 100 at a 0.99 goal: burn rate exactly
+			// 1.0 — the budget is being spent at precisely the
+			// sustainable rate, budget 0, status still ok (warn is 2).
+			name: "objective exactly met",
+			events: []event{
+				{n: 99}, {bad: true, n: 1},
+			},
+			fastTotal: 100, fastBad: 1, slowTotal: 100, slowBad: 1,
+			fastBurn: 1, slowBurn: 1, budget: 0, status: StatusOK,
+		},
+		{
+			// All bad in both windows: burn 1/(1-goal) = 100x, far past
+			// critical in both windows.
+			name:      "burning both windows",
+			events:    []event{{bad: true, n: 20}},
+			fastTotal: 20, fastBad: 20, slowTotal: 20, slowBad: 20,
+			fastBurn: 100, slowBurn: 100, budget: -99, status: StatusBurning,
+		},
+		{
+			// A bad burst that has aged out of the fast window but not
+			// the slow one: the fast window is quiet, so the multi-window
+			// rule holds the status at ok — old damage alone must not
+			// page.
+			name: "spike aged out of fast window",
+			events: []event{
+				{bad: true, n: 10},
+				{advance: 10 * time.Minute, n: 90},
+			},
+			fastTotal: 90, fastBad: 0, slowTotal: 100, slowBad: 10,
+			fastBurn: 0, slowBurn: 10, budget: -9, status: StatusOK,
+		},
+		{
+			// Clock skew between windows: records land, the clock steps
+			// BACKWARDS by a bucket, more records land. Counts must not
+			// corrupt, and the fast window can never exceed the slow one.
+			name: "clock skew backwards",
+			events: []event{
+				{n: 50},
+				{advance: -31 * time.Second, bad: true, n: 4},
+				{n: 46},
+			},
+			fastTotal: 100, fastBad: 4, slowTotal: 100, slowBad: 4,
+			fastBurn: 4, slowBurn: 4, budget: -3, status: StatusWarn,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, clk := testStore(t, Objective{
+				Name: "o", Target: "/v1/diff", Signal: SignalErrorRate, Goal: goal,
+			})
+			for _, e := range tc.events {
+				clk.advance(e.advance)
+				status := 200
+				if e.bad {
+					status = 500
+				}
+				for i := 0; i < e.n; i++ {
+					s.Record("/v1/diff", time.Millisecond, status, false)
+				}
+			}
+			rep := s.Snapshot()
+			if len(rep.Objectives) != 1 {
+				t.Fatalf("objectives = %d, want 1", len(rep.Objectives))
+			}
+			o := rep.Objectives[0]
+			if o.Fast.Total != tc.fastTotal || o.Fast.Bad != tc.fastBad {
+				t.Errorf("fast = %d/%d bad, want %d/%d", o.Fast.Bad, o.Fast.Total, tc.fastBad, tc.fastTotal)
+			}
+			if o.Slow.Total != tc.slowTotal || o.Slow.Bad != tc.slowBad {
+				t.Errorf("slow = %d/%d bad, want %d/%d", o.Slow.Bad, o.Slow.Total, tc.slowBad, tc.slowTotal)
+			}
+			// Burn rates involve 1-goal, which is inexact in float64;
+			// compare within tolerance, not bit-for-bit.
+			if !approx(o.Fast.BurnRate, tc.fastBurn) || !approx(o.Slow.BurnRate, tc.slowBurn) {
+				t.Errorf("burn = fast %g / slow %g, want %g / %g",
+					o.Fast.BurnRate, o.Slow.BurnRate, tc.fastBurn, tc.slowBurn)
+			}
+			if !approx(o.BudgetRemaining, tc.budget) {
+				t.Errorf("budgetRemaining = %g, want %g", o.BudgetRemaining, tc.budget)
+			}
+			if o.Status != tc.status {
+				t.Errorf("status = %q, want %q", o.Status, tc.status)
+			}
+			if o.Fast.Total > o.Slow.Total || o.Fast.Bad > o.Slow.Bad {
+				t.Errorf("fast window (%d/%d) exceeds slow window (%d/%d)",
+					o.Fast.Bad, o.Fast.Total, o.Slow.Bad, o.Slow.Total)
+			}
+			if rep.Status != tc.status {
+				t.Errorf("report status = %q, want %q", rep.Status, tc.status)
+			}
+		})
+	}
+}
+
+// TestSignalRouting: each signal counts (and excludes) the right events,
+// and "*" objectives see everything.
+func TestSignalRouting(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewStore(cfg)
+	clk := &fixedClock{t: time.Unix(1_700_000_000, 0)}
+	s.now = clk.now
+
+	s.Record("/v1/diff", 10*time.Millisecond, 200, false) // good everywhere
+	s.Record("/v1/diff", 2*time.Second, 200, false)       // slow: bad for p95 and p99
+	s.Record("/v1/diff", 5*time.Millisecond, 500, false)  // server error
+	s.Record("/v1/diff", time.Millisecond, 503, true)     // shed: only the shed objective counts it
+	s.Record("job:crosscompare", 3*time.Second, 200, false)
+
+	byName := make(map[string]ObjectiveReport)
+	for _, o := range s.Snapshot().Objectives {
+		byName[o.Name] = o
+	}
+	check := func(name string, total, bad uint64) {
+		t.Helper()
+		o, ok := byName[name]
+		if !ok {
+			t.Fatalf("objective %q missing from snapshot", name)
+		}
+		if o.Fast.Total != total || o.Fast.Bad != bad {
+			t.Errorf("%s: fast = %d/%d bad, want %d/%d", name, o.Fast.Bad, o.Fast.Total, bad, total)
+		}
+	}
+	check("diff-latency-p95", 3, 1)     // shed excluded; the 2s one is bad
+	check("diff-errors", 3, 1)          // shed excluded; the 500 is bad
+	check("jobs-latency-p95", 0, 0)     // nothing recorded for /v1/jobs
+	check("job-pair-latency-p95", 1, 1) // 3s pair > 2s threshold
+	check("job-pair-errors", 1, 0)
+	check("global-shed", 5, 1) // wildcard sees all 5, one shed
+}
+
+// TestObjectivesFileParity: the checked-in slo/objectives.json and the
+// built-in DefaultConfig must describe the same objectives, so a server
+// without the file behaves identically to one started with it.
+func TestObjectivesFileParity(t *testing.T) {
+	cfg, err := LoadFile("../../slo/objectives.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def := DefaultConfig(); !reflect.DeepEqual(cfg, def) {
+		t.Fatalf("slo/objectives.json diverged from DefaultConfig():\nfile: %+v\ncode: %+v", cfg, def)
+	}
+}
+
+// TestValidateRejects pins the validation errors a hand-edited
+// objectives file can trip.
+func TestValidateRejects(t *testing.T) {
+	base := func() Config { return DefaultConfig() }
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"no objectives", func(c *Config) { c.Objectives = nil }, "no objectives"},
+		{"duplicate name", func(c *Config) { c.Objectives[1].Name = c.Objectives[0].Name }, "duplicate"},
+		{"goal out of range", func(c *Config) { c.Objectives[0].Goal = 1 }, "goal"},
+		{"latency without threshold", func(c *Config) { c.Objectives[0].ThresholdMillis = 0 }, "thresholdMillis"},
+		{"unknown signal", func(c *Config) { c.Objectives[0].Signal = "p50" }, "unknown signal"},
+		{"fast wider than slow", func(c *Config) { c.Windows.FastSeconds = 7200 }, "slowSeconds"},
+		{"inverted burn thresholds", func(c *Config) { c.Burn.Warn = 20 }, "warn"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRejectsUnknownFields: a typoed objectives file fails loudly
+// instead of silently dropping the misspelled key.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"objectives":[{"name":"x","target":"*","signal":"shed_rate","gaol":0.99}]}`))
+	if err == nil {
+		t.Fatal("Parse accepted an unknown field")
+	}
+}
+
+// TestNilStore: a nil store records and reports as a no-op, so callers
+// need no guards on the hot path.
+func TestNilStore(t *testing.T) {
+	var s *Store
+	s.Record("/v1/diff", time.Millisecond, 200, false)
+	if got := s.Status(); got != StatusOK {
+		t.Fatalf("nil store status = %q", got)
+	}
+	if rep := s.Snapshot(); rep.Status != StatusOK || len(rep.Objectives) != 0 {
+		t.Fatalf("nil store snapshot = %+v", rep)
+	}
+}

@@ -1,0 +1,294 @@
+package slo
+
+import (
+	"sync"
+	"time"
+
+	"diversefw/internal/metrics"
+)
+
+// Store is the rolling multi-window event store behind /debug/slo. The
+// serving middleware and the jobs coordinator feed it one Record call
+// per finished unit of work; Snapshot folds the retained buckets into
+// per-objective window totals, burn rates, and statuses on demand.
+//
+// Buckets are aligned wall-clock rings sized to cover the slow window
+// plus one bucket of slack, so the store's memory is fixed at
+// objectives x (slowSeconds/bucketSeconds + 1) pairs of counters
+// regardless of traffic. A nil *Store is a valid no-op recorder, so
+// callers never need to guard the hot path.
+type Store struct {
+	cfg       Config
+	bucketDur time.Duration
+	nBuckets  int
+
+	// now is swappable for the window-math tests (clock skew, empty
+	// windows) — production stores always use time.Now.
+	now func() time.Time
+
+	mu     sync.Mutex
+	states []objState
+	// routes maps an exact target to the objectives watching it; wild
+	// holds the "*" objectives that watch everything.
+	routes map[string][]int
+	wild   []int
+}
+
+// objState is one objective's ring of counting buckets.
+type objState struct {
+	def     Objective
+	buckets []winBucket
+}
+
+// winBucket counts events whose record time fell into the aligned
+// bucket starting at start (unix seconds). A stale slot (start too old)
+// is reset in place when the ring wraps onto it.
+type winBucket struct {
+	start int64
+	total uint64
+	bad   uint64
+}
+
+// NewStore builds a store for the config. The config must already be
+// valid (Parse/LoadFile validate; DefaultConfig is valid by
+// construction).
+func NewStore(cfg Config) *Store {
+	s := &Store{
+		cfg:       cfg,
+		bucketDur: cfg.Windows.bucketDuration(),
+		nBuckets:  cfg.Windows.SlowSeconds/cfg.Windows.BucketSeconds + 1,
+		now:       time.Now,
+		routes:    make(map[string][]int),
+	}
+	s.states = make([]objState, len(cfg.Objectives))
+	for i, o := range cfg.Objectives {
+		s.states[i] = objState{def: o, buckets: make([]winBucket, s.nBuckets)}
+		if o.Target == "*" {
+			s.wild = append(s.wild, i)
+			continue
+		}
+		s.routes[o.Target] = append(s.routes[o.Target], i)
+	}
+	return s
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Record feeds one finished unit of work into every objective watching
+// target (exact match plus the "*" objectives): a request (target =
+// endpoint pattern, status = HTTP status, shed = rejected by admission
+// control) or a job pair (target = "job:<kind>", status 200/500-style).
+// Safe for concurrent use; nil-safe.
+func (s *Store) Record(target string, latency time.Duration, status int, shed bool) {
+	if s == nil {
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, idx := range s.routes[target] {
+		s.recordLocked(idx, now, latency, status, shed)
+	}
+	for _, idx := range s.wild {
+		s.recordLocked(idx, now, latency, status, shed)
+	}
+}
+
+func (s *Store) recordLocked(idx int, now time.Time, latency time.Duration, status int, shed bool) {
+	st := &s.states[idx]
+	var total, bad bool
+	switch st.def.Signal {
+	case SignalLatency:
+		// Shed requests never ran the pipeline; their (fast) rejection
+		// latency would dilute the objective, so they are excluded.
+		if !shed {
+			total = true
+			bad = latency > time.Duration(st.def.ThresholdMillis*float64(time.Millisecond))
+		}
+	case SignalErrorRate:
+		// Sheds are deliberate refusals with their own signal, not
+		// server failures; 499 (client went away) is not ours either.
+		if !shed {
+			total = true
+			bad = status >= 500
+		}
+	case SignalShedRate:
+		total = true
+		bad = shed
+	}
+	if !total {
+		return
+	}
+	b := s.bucketLocked(st, now)
+	b.total++
+	if bad {
+		b.bad++
+	}
+}
+
+// bucketLocked locates (resetting if stale) the ring bucket for t.
+// Bucket starts are aligned to bucketDur, so a backwards clock step
+// within one bucket lands in the same slot and a larger step lands in
+// an older slot — never corrupting counts, at worst attributing an
+// event to an adjacent window edge.
+func (s *Store) bucketLocked(st *objState, t time.Time) *winBucket {
+	start := t.Unix() - t.Unix()%int64(s.cfg.Windows.BucketSeconds)
+	slot := int((start / int64(s.cfg.Windows.BucketSeconds)) % int64(s.nBuckets))
+	if slot < 0 {
+		slot += s.nBuckets
+	}
+	b := &st.buckets[slot]
+	if b.start != start {
+		*b = winBucket{start: start}
+	}
+	return b
+}
+
+// WindowReport is one objective's totals and burn rate over one
+// trailing window.
+type WindowReport struct {
+	Seconds  int     `json:"seconds"`
+	Total    uint64  `json:"total"`
+	Bad      uint64  `json:"bad"`
+	BurnRate float64 `json:"burnRate"`
+}
+
+// ObjectiveReport is one objective's live state on /debug/slo.
+type ObjectiveReport struct {
+	Name            string  `json:"name"`
+	Target          string  `json:"target"`
+	Signal          Signal  `json:"signal"`
+	Goal            float64 `json:"goal"`
+	ThresholdMillis float64 `json:"thresholdMillis,omitempty"`
+	// Fast and Slow are the two burn windows; the objective's status is
+	// driven by the smaller of the two burn rates (both must exceed a
+	// threshold before it counts).
+	Fast WindowReport `json:"fast"`
+	Slow WindowReport `json:"slow"`
+	// BudgetRemaining is the slow window's unspent error budget as a
+	// fraction: 1 with no bad events, 0 when the budget is exactly
+	// spent, negative when overspent.
+	BudgetRemaining float64 `json:"budgetRemaining"`
+	Status          Status  `json:"status"`
+}
+
+// Report is the GET /debug/slo body.
+type Report struct {
+	Status     Status            `json:"status"`
+	Windows    Windows           `json:"windows"`
+	Burn       Burn              `json:"burn"`
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// Snapshot folds the retained buckets into the live report. Nil-safe
+// (an empty report).
+func (s *Store) Snapshot() Report {
+	if s == nil {
+		return Report{Status: StatusOK}
+	}
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := Report{
+		Status:  StatusOK,
+		Windows: s.cfg.Windows,
+		Burn:    s.cfg.Burn,
+	}
+	for i := range s.states {
+		st := &s.states[i]
+		o := ObjectiveReport{
+			Name:            st.def.Name,
+			Target:          st.def.Target,
+			Signal:          st.def.Signal,
+			Goal:            st.def.Goal,
+			ThresholdMillis: st.def.ThresholdMillis,
+			Fast:            s.windowLocked(st, now, s.cfg.Windows.FastSeconds),
+			Slow:            s.windowLocked(st, now, s.cfg.Windows.SlowSeconds),
+		}
+		o.BudgetRemaining = 1 - o.Slow.BurnRate
+		o.Status = statusFor(o.Fast.BurnRate, o.Slow.BurnRate, s.cfg.Burn)
+		if worse(o.Status, rep.Status) {
+			rep.Status = o.Status
+		}
+		rep.Objectives = append(rep.Objectives, o)
+	}
+	return rep
+}
+
+// windowLocked sums the buckets inside the trailing window of the given
+// width. A bucket belongs to the window when its start is no older than
+// the window (minus one bucket of slack for the partially-expired
+// oldest bucket) and not ahead of now by more than one bucket —
+// tolerating small clock skew in either direction without ever counting
+// a bucket into a window it cannot belong to. Because the filter is
+// monotone in the window width, a fast window's totals can never exceed
+// the slow window's.
+func (s *Store) windowLocked(st *objState, now time.Time, seconds int) WindowReport {
+	oldest := now.Unix() - int64(seconds)
+	newest := now.Unix() + int64(s.cfg.Windows.BucketSeconds)
+	w := WindowReport{Seconds: seconds}
+	for i := range st.buckets {
+		b := &st.buckets[i]
+		if b.total == 0 || b.start <= oldest-int64(s.cfg.Windows.BucketSeconds) || b.start > newest {
+			continue
+		}
+		w.Total += b.total
+		w.Bad += b.bad
+	}
+	w.BurnRate = burnRate(w.Total, w.Bad, st.def.Goal)
+	return w
+}
+
+// Status returns the worst objective status — the /healthz summary.
+// Nil-safe.
+func (s *Store) Status() Status {
+	if s == nil {
+		return StatusOK
+	}
+	return s.Snapshot().Status
+}
+
+// RegisterMetrics exports the store as the fwslo_* family, sampled
+// lazily on scrape: per-objective burn rates by window, remaining error
+// budget, and the numeric status (0 ok, 1 warn, 2 burning).
+func (s *Store) RegisterMetrics(reg *metrics.Registry) {
+	reg.NewGaugeFunc("fwslo_burn_rate",
+		"Error-budget burn rate by objective and window (1.0 = budget spent exactly at the sustainable rate).",
+		func() []metrics.Sample {
+			rep := s.Snapshot()
+			out := make([]metrics.Sample, 0, 2*len(rep.Objectives))
+			for _, o := range rep.Objectives {
+				out = append(out,
+					metrics.Sample{Labels: []metrics.Label{{Name: "objective", Value: o.Name}, {Name: "window", Value: "fast"}}, Value: o.Fast.BurnRate},
+					metrics.Sample{Labels: []metrics.Label{{Name: "objective", Value: o.Name}, {Name: "window", Value: "slow"}}, Value: o.Slow.BurnRate})
+			}
+			return out
+		})
+	reg.NewGaugeFunc("fwslo_error_budget_remaining",
+		"Unspent error budget over the slow window, as a fraction (negative when overspent).",
+		func() []metrics.Sample {
+			rep := s.Snapshot()
+			out := make([]metrics.Sample, 0, len(rep.Objectives))
+			for _, o := range rep.Objectives {
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{{Name: "objective", Value: o.Name}},
+					Value:  o.BudgetRemaining,
+				})
+			}
+			return out
+		})
+	reg.NewGaugeFunc("fwslo_objective_status",
+		"Objective status: 0 ok, 1 warn, 2 burning.",
+		func() []metrics.Sample {
+			rep := s.Snapshot()
+			out := make([]metrics.Sample, 0, len(rep.Objectives))
+			for _, o := range rep.Objectives {
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{{Name: "objective", Value: o.Name}},
+					Value:  float64(statusRank(o.Status)),
+				})
+			}
+			return out
+		})
+}

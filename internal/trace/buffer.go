@@ -85,6 +85,33 @@ type Snapshot struct {
 	Slow                []Record `json:"slow,omitempty"`
 }
 
+// Filter returns a copy of the snapshot keeping only traces whose root
+// span matches: name equal to root (when root is non-empty) and root
+// duration at least min. Capacity/Observed still describe the whole
+// buffer — the filter narrows what is listed, not what was seen.
+func (s Snapshot) Filter(root string, min time.Duration) Snapshot {
+	keep := func(rec Record) bool {
+		if root != "" && rec.Root.Name != root {
+			return false
+		}
+		return rec.Root.DurationMicros >= min.Microseconds()
+	}
+	out := s
+	out.Recent = make([]Record, 0, len(s.Recent))
+	for _, rec := range s.Recent {
+		if keep(rec) {
+			out.Recent = append(out.Recent, rec)
+		}
+	}
+	out.Slow = nil
+	for _, rec := range s.Slow {
+		if keep(rec) {
+			out.Slow = append(out.Slow, rec)
+		}
+	}
+	return out
+}
+
 // Snapshot returns the retained traces: the recent ring oldest-first,
 // and the slow list slowest-first.
 func (b *Buffer) Snapshot() Snapshot {

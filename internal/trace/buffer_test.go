@@ -186,3 +186,55 @@ func TestSpanConcurrentChildren(t *testing.T) {
 		t.Fatalf("root has %d children, want 400", got)
 	}
 }
+
+func TestSnapshotFilter(t *testing.T) {
+	b := NewBuffer(8, 5*time.Millisecond, 4)
+	b.Add(rec("/v1/diff", 2*time.Millisecond))
+	b.Add(rec("/v1/diff", 9*time.Millisecond))
+	b.Add(rec("/v1/jobs", 7*time.Millisecond))
+	// Same root name, different trace IDs — both must survive a name
+	// filter.
+	fast := rec("/v1/diff", 1*time.Millisecond)
+	fast.TraceID = "fast2"
+	b.Add(fast)
+	s := b.Snapshot()
+
+	byName := s.Filter("/v1/diff", 0)
+	if len(byName.Recent) != 3 {
+		t.Fatalf("name filter kept %d recent, want 3", len(byName.Recent))
+	}
+	for _, r := range byName.Recent {
+		if r.Root.Name != "/v1/diff" {
+			t.Fatalf("name filter leaked %q", r.Root.Name)
+		}
+	}
+	if len(byName.Slow) != 1 || byName.Slow[0].Root.Name != "/v1/diff" {
+		t.Fatalf("slow list after name filter = %+v", byName.Slow)
+	}
+
+	byDur := s.Filter("", 5*time.Millisecond)
+	if len(byDur.Recent) != 2 {
+		t.Fatalf("duration filter kept %d recent, want 2", len(byDur.Recent))
+	}
+	for _, r := range byDur.Recent {
+		if r.Root.DurationMicros < (5 * time.Millisecond).Microseconds() {
+			t.Fatalf("duration filter leaked %dus", r.Root.DurationMicros)
+		}
+	}
+
+	both := s.Filter("/v1/jobs", 5*time.Millisecond)
+	if len(both.Recent) != 1 || both.Recent[0].Root.Name != "/v1/jobs" {
+		t.Fatalf("combined filter = %+v", both.Recent)
+	}
+
+	// Counters describe the whole buffer, not the filtered view.
+	if both.Observed != s.Observed || both.Capacity != s.Capacity {
+		t.Fatalf("filter rewrote counters: %+v vs %+v", both, s)
+	}
+
+	// No match yields empty-but-valid, not nil-recent surprises in JSON.
+	none := s.Filter("/v1/analyze", 0)
+	if len(none.Recent) != 0 || len(none.Slow) != 0 {
+		t.Fatalf("no-match filter = %+v", none)
+	}
+}

@@ -53,20 +53,41 @@ go test -run=NONE -fuzz=FuzzImport -fuzztime=1x ./internal/iptables/
 # scratch construction — the correctness proof for the edits fast path.
 go test -race -count=1 -run 'TestIncrementalDifferential' ./internal/impact/
 
-# Performance gate: the pipeline must stay within 5% of the last
+# Performance gate: the pipeline must stay within 12% of the last
 # committed snapshot on the gated phases, after rescaling the baseline
 # by the machine-calibration ratio both snapshots record (this box's
 # absolute timings drift by tens of percent between sessions on
 # byte-identical workloads; BENCH_4 was the first calibrated snapshot).
+# The envelope is set just above this box's measured same-binary noise:
+# back-to-back runs of one unchanged binary swing +/-10-12% per phase
+# even after calibration (see the BENCH_7 note in EXPERIMENTS.md), so a
+# 5% gate fails on noise alone, while the regressions the gate exists
+# to catch (a resume path quietly rebuilding from scratch, a cache
+# stopping to coalesce) overshoot any sane envelope by multiples.
 # impact_incremental_tail is gated so the edit-to-diff fast path cannot
 # silently rot back toward from-scratch cost, and
 # crosscompare_16x_sharded_4_workers so the async-job coordinator's
 # scheduling and compile-cache coalescing cannot either. Skippable for
 # doc-only loops (SKIP_BENCH_GATE=1) — CI always runs it.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
 if [ "${SKIP_BENCH_GATE:-}" != "1" ]; then
-    tmpdir=$(mktemp -d)
-    trap 'rm -rf "$tmpdir"' EXIT
-    go run ./cmd/fwbench -json -out "$tmpdir" \
-        -baseline results/BENCH_6.json -gate 5 \
+    go run ./cmd/fwbench -json -out "$tmpdir/bench" \
+        -baseline results/BENCH_7.json -gate 12 \
         -gatephases construct,compare,impact_incremental_tail,crosscompare_16x_sharded_4_workers
+fi
+
+# Scenario-matrix gate: the seeded scenario matrix (overload, cache-cold
+# storm, adversarial policies, chaos fault flake, drain under load) runs
+# in fast mode — 1 rerun at 0.4 load scale — with per-run SLO assertions.
+# The full matrix (3 reruns, full load, cross-run variance gate) is the
+# release-candidate run; see EXPERIMENTS.md. Provenance (commit, Go
+# version, calibration ratio) lands next to the committed benchmark
+# snapshots so a red gate is attributable to a machine, not a mystery.
+# Skippable for doc-only loops (SKIP_SCEN_GATE=1) — CI always runs it.
+if [ "${SKIP_SCEN_GATE:-}" != "1" ]; then
+    go run ./cmd/fwscen -fast -out "$tmpdir/scen" \
+        -baseline results/BENCH_7.json
+    cp "$tmpdir/scen/provenance.json" results/provenance.json
 fi
