@@ -8,6 +8,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -56,6 +58,13 @@ type benchReport struct {
 	// TracedOverheadPct is (diff_end_to_end_traced / diff_end_to_end - 1)
 	// * 100: what carrying a live span tree through the pipeline costs.
 	TracedOverheadPct float64 `json:"traced_overhead_pct,omitempty"`
+	// DurableOverheadPct is what journaling the job lifecycle at
+	// fsync=batch costs over the in-memory store on the cross-comparison
+	// workload, as (durable/in-memory - 1) * 100. It is measured by
+	// measureDurableOverhead's interleaved pairs, not as a ratio of the
+	// two independently-timed phases: this box's timings drift by more
+	// between phases than the effect being measured.
+	DurableOverheadPct float64 `json:"durable_overhead_pct,omitempty"`
 	// SpanStats records, from one traced run of the benchmark pair, the
 	// numeric span attributes summed per span name (construct runs once
 	// per policy, so its stats are the pair's totals) — the deep FDD
@@ -71,6 +80,93 @@ type benchReport struct {
 	// sessions with byte-identical allocation profiles), so the gate
 	// can compare code speed rather than machine speed.
 	CalibrationNsPerOp int64 `json:"calibration_ns_per_op,omitempty"`
+}
+
+// measureDurableOverhead times the cross-comparison workload against
+// the in-memory store and against a journaled store at fsync=batch,
+// and returns the median paired overhead in percent. The measurement is
+// shaped around this box's noise, which arrives as multi-second bursts
+// that slow everything by tens of percent:
+//
+//   - Many short paired runs: each pair is an 8-policy job (~a tenth
+//     of a second per side), so a noise burst usually covers both sides
+//     of a pair and cancels in the ratio instead of landing on one
+//     side; 24 pairs give the median room to shrug off the pairs a
+//     burst boundary does split. Single independently-timed phases —
+//     and even a handful of 16-policy pairs — swing by more than the
+//     effect being measured.
+//
+//   - Alternating order (mem-first on even pairs, durable-first on
+//     odd): a monotonic ramp in machine speed biases half the pairs
+//     each way and cancels in the median.
+//
+//   - Steady state: both coordinators live across all the runs, the
+//     way a server holds one journal across thousands of jobs. Per-job
+//     cost therefore includes settle/finalize journaling and any
+//     compaction the accumulated log triggers, but not an open and an
+//     fsync-close of a whole journal life per job.
+func measureDurableOverhead() float64 {
+	const pairs = 24
+	const nPolicies, jobRules = 8, 20
+	root, err := os.MkdirTemp("", "fwbench-journal-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "durable overhead: %v\n", err)
+		return 0
+	}
+	defer os.RemoveAll(root)
+	st, err := jobs.OpenJournal(root, jobs.JournalOptions{Fsync: jobs.FsyncBatch})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "durable overhead: %v\n", err)
+		return 0
+	}
+	memCoord := jobs.New(engine.New(engine.Config{}), jobs.Config{Workers: 4})
+	durCoord := jobs.New(engine.New(engine.Config{}), jobs.Config{Workers: 4, Store: st})
+	defer memCoord.Close()
+	defer durCoord.Close()
+	runOnce := func(c *jobs.Coordinator, names []string, policies []*rule.Policy) (time.Duration, error) {
+		start := time.Now()
+		snap, err := c.Submit(jobs.Spec{
+			Kind: jobs.KindCrossCompare, SchemaName: "five",
+			Names: names, Policies: policies,
+		})
+		if err != nil {
+			return 0, err
+		}
+		done, err := c.Done(snap.ID)
+		if err != nil {
+			return 0, err
+		}
+		<-done
+		return time.Since(start), nil
+	}
+	ratios := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		// Fresh policies per pair (the same set for both sides): the
+		// engines live across pairs, and reused policies would let
+		// compilation caching shrink every run after the first.
+		names := make([]string, nPolicies)
+		policies := make([]*rule.Policy, nPolicies)
+		for k := range policies {
+			names[k] = fmt.Sprintf("p%d", k+1)
+			policies[k] = synth.Synthetic(synth.Config{Rules: jobRules, Seed: int64(i*nPolicies + k + 1)})
+		}
+		var mem, durable time.Duration
+		var memErr, durErr error
+		if i%2 == 0 {
+			mem, memErr = runOnce(memCoord, names, policies)
+			durable, durErr = runOnce(durCoord, names, policies)
+		} else {
+			durable, durErr = runOnce(durCoord, names, policies)
+			mem, memErr = runOnce(memCoord, names, policies)
+		}
+		if memErr != nil || durErr != nil {
+			fmt.Fprintf(os.Stderr, "durable overhead: %v %v\n", memErr, durErr)
+			return 0
+		}
+		ratios = append(ratios, float64(durable)/float64(mem))
+	}
+	sort.Float64s(ratios)
+	return (ratios[len(ratios)/2] - 1) * 100
 }
 
 // gitCommit best-effort resolves HEAD for provenance; benchmarks must
@@ -308,6 +404,56 @@ func benchJSON(cfg config) error {
 				c.Close()
 			}
 		}},
+		// The same 16-policy cross-comparison, but against a journaled
+		// store at fsync=batch in a scratch directory — the durability tax
+		// of the serving default. Each iteration opens a fresh journal (one
+		// server life per job), and the open is timed with the job: it is
+		// part of what the durable path costs. The ratio against the
+		// in-memory phase above becomes durable_overhead_pct.
+		{"jobs_durable_overhead", func(b *testing.B) {
+			const nPolicies, jobRules = 16, 20
+			names := make([]string, nPolicies)
+			policies := make([]*rule.Policy, nPolicies)
+			for i := range policies {
+				names[i] = fmt.Sprintf("p%d", i+1)
+				policies[i] = synth.Synthetic(synth.Config{Rules: jobRules, Seed: int64(i + 1)})
+			}
+			root, err := os.MkdirTemp("", "fwbench-journal-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(root)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := jobs.OpenJournal(filepath.Join(root, strconv.Itoa(i)), jobs.JournalOptions{Fsync: jobs.FsyncBatch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := engine.New(engine.Config{})
+				c := jobs.New(eng, jobs.Config{Workers: 4, Store: st})
+				snap, err := c.Submit(jobs.Spec{
+					Kind: jobs.KindCrossCompare, SchemaName: "five",
+					Names: names, Policies: policies,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				done, err := c.Done(snap.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-done
+				final, err := c.Get(snap.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if final.State != jobs.StateCompleted || final.Progress.OK != final.Progress.Total {
+					b.Fatalf("job did not complete cleanly: %+v", final.Progress)
+				}
+				c.Close()
+			}
+			b.StopTimer()
+		}},
 	}
 
 	report := benchReport{
@@ -346,6 +492,8 @@ func benchJSON(cfg config) error {
 		report.TracedOverheadPct = (float64(traced)/float64(cold) - 1) * 100
 		fmt.Printf("\ntracing overhead: %+.2f%% (traced vs untraced end-to-end diff)\n", report.TracedOverheadPct)
 	}
+	report.DurableOverheadPct = measureDurableOverhead()
+	fmt.Printf("durable store overhead: %+.2f%% (journaled fsync=batch vs in-memory crosscompare, median of interleaved pairs)\n", report.DurableOverheadPct)
 	report.SpanStats = spanStats(pa, pb)
 
 	overload, err := runOverload(cfg.benchRules)

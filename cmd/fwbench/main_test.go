@@ -89,6 +89,7 @@ func TestJSONBenchSnapshot(t *testing.T) {
 		"diff_warm_cache": true, "impact_incremental_head": true,
 		"impact_incremental_middle": true, "impact_incremental_tail": true,
 		"crosscompare_16x_sharded_4_workers": true,
+		"jobs_durable_overhead":              true,
 	}
 	for _, p := range r0.Phases {
 		if !want[p.Name] {
@@ -104,6 +105,9 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	}
 	if r0.TracedOverheadPct == 0 {
 		t.Fatal("traced_overhead_pct not recorded")
+	}
+	if r0.DurableOverheadPct == 0 {
+		t.Fatal("durable_overhead_pct not recorded")
 	}
 	for _, span := range []string{"construct", "shape", "compare"} {
 		if len(r0.SpanStats[span]) == 0 {
@@ -128,9 +132,9 @@ func TestJSONBenchSnapshot(t *testing.T) {
 	if r1.Baseline != base {
 		t.Fatalf("baseline not recorded: %q", r1.Baseline)
 	}
-	// Ten per-phase ratios plus the warm-vs-cold-baseline headline.
-	if len(r1.SpeedupVsBaseline) != 11 {
-		t.Fatalf("want 11 speedup entries, got %v", r1.SpeedupVsBaseline)
+	// Eleven per-phase ratios plus the warm-vs-cold-baseline headline.
+	if len(r1.SpeedupVsBaseline) != 12 {
+		t.Fatalf("want 12 speedup entries, got %v", r1.SpeedupVsBaseline)
 	}
 	for name, s := range r1.SpeedupVsBaseline {
 		if s <= 0 {

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"diversefw/internal/jobs"
+	"diversefw/internal/rule"
+	"diversefw/internal/synth"
+)
+
+// TestMain lets the crash-restart test re-exec this test binary as a
+// real fwserved process: with FWSERVED_REEXEC set, the binary IS the
+// server (run() with the args from FWSERVED_ARGS), exiting before any
+// test runs.
+func TestMain(m *testing.M) {
+	if os.Getenv("FWSERVED_REEXEC") == "1" {
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv("FWSERVED_ARGS")), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "fwserved reexec: bad FWSERVED_ARGS:", err)
+			os.Exit(2)
+		}
+		os.Exit(run(args))
+	}
+	os.Exit(m.Run())
+}
+
+// startJournaledServer re-execs the test binary as fwserved on an
+// ephemeral port with the given journal directory and returns the
+// process and the address it reports in its "listening" log line.
+func startJournaledServer(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	args, err := json.Marshal([]string{
+		"-addr", "127.0.0.1:0",
+		"-jobs-journal", dir,
+		"-jobs-fsync", "always",
+		"-jobs-workers", "2",
+		"-log-format", "json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "FWSERVED_REEXEC=1", "FWSERVED_ARGS="+string(args))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// The structured "listening" line carries the resolved port.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never logged listening")
+		return nil, ""
+	}
+}
+
+type crashJobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Progress struct {
+		Total   int `json:"total"`
+		Settled int `json:"settled"`
+		OK      int `json:"ok"`
+		Errors  int `json:"errors"`
+		Skipped int `json:"skipped"`
+	} `json:"progress"`
+}
+
+// TestCrashRestartResumesWithoutDuplicateSettles is the durability
+// acceptance test: SIGKILL a journaled server mid-job, restart it on
+// the same directory, and the job must reach a terminal state with
+// every pair answered exactly once — the journal proves no settle was
+// ever recomputed.
+func TestCrashRestartResumesWithoutDuplicateSettles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocess servers")
+	}
+	dir := t.TempDir()
+	cmd1, addr := startJournaledServer(t, dir)
+	base := "http://" + addr
+
+	// 2 small + 8 large policies, 45 pairs: the small-vs-small pair
+	// settles almost immediately (so the kill lands mid-job, after the
+	// journal has something to lose), while the large pairs keep the job
+	// running long enough to be killed. The large ones are perturbed
+	// variants of one base — expensive to compare, but with small
+	// reports, so the whole run stays under the compaction threshold and
+	// the log keeps every settle for the duplicate scan below.
+	type namedPolicy struct {
+		Name   string `json:"name"`
+		Policy struct {
+			Text string `json:"text"`
+		} `json:"policy"`
+	}
+	var body struct {
+		Schema   string        `json:"schema"`
+		Policies []namedPolicy `json:"policies"`
+	}
+	body.Schema = "five"
+	large := synth.Synthetic(synth.Config{Rules: 300, Seed: 1})
+	for i := 0; i < 10; i++ {
+		np := namedPolicy{Name: fmt.Sprintf("team%d", i+1)}
+		switch {
+		case i < 2:
+			np.Policy.Text = rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 5, Seed: int64(i + 11)}))
+		default:
+			p, _ := synth.Perturb(large, 10, int64(i))
+			np.Policy.Text = rule.FormatPolicy(p)
+		}
+		body.Policies = append(body.Policies, np)
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted crashJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.Progress.Total != 45 {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, submitted)
+	}
+
+	// SIGKILL the moment the journal holds at least one settle. Scanning
+	// the log directly (rather than polling HTTP) keeps the window
+	// between first settle and the kill as small as possible, and
+	// -jobs-fsync=always means every scanned settle is already durable.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		refs, err := jobs.ScanSettles(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no settle ever journaled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+	preKill, err := jobs.ScanSettles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preKill) == 0 {
+		t.Fatal("journal lost its settles at kill")
+	}
+	if len(preKill) >= 45 {
+		t.Fatalf("job finished before the kill (%d settles): nothing to resume", len(preKill))
+	}
+	t.Logf("killed mid-job with %d/45 pairs settled", len(preKill))
+
+	// Restart on the same journal: the job must resume and finish.
+	_, addr2 := startJournaledServer(t, dir)
+	base2 := "http://" + addr2
+
+	hresp, err := http.Get(base2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Recovery *jobs.RecoveryReport `json:"recovery"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Recovery == nil {
+		t.Fatal("healthz has no recovery block on a journaled server")
+	}
+	if health.Recovery.JobsRecovered != 1 || health.Recovery.JobsResumed != 1 {
+		t.Fatalf("recovery = %+v", health.Recovery)
+	}
+	if health.Recovery.PairsRestored < len(preKill) {
+		t.Fatalf("restored %d pairs, journal held %d at kill", health.Recovery.PairsRestored, len(preKill))
+	}
+
+	deadline = time.Now().Add(120 * time.Second)
+	var final crashJobStatus
+	for {
+		jr, err := http.Get(base2 + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.StatusCode != http.StatusOK {
+			t.Fatalf("poll after restart: %d", jr.StatusCode)
+		}
+		final = crashJobStatus{}
+		if err := json.NewDecoder(jr.Body).Decode(&final); err != nil {
+			t.Fatal(err)
+		}
+		jr.Body.Close()
+		if final.State == "completed" || final.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job never finished: %+v", final)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.State != "completed" || final.Progress.Settled != 45 ||
+		final.Progress.OK != 45 || final.Progress.Errors != 0 || final.Progress.Skipped != 0 {
+		t.Fatalf("resumed job = %+v", final)
+	}
+
+	// The whole log, both lives included, must settle every pair at most
+	// once: the restored pairs were served from the journal, not rerun.
+	refs, err := jobs.ScanSettles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[jobs.SettleRef]bool)
+	for _, r := range refs {
+		if seen[r] {
+			t.Fatalf("pair settled twice across the crash: %+v", r)
+		}
+		seen[r] = true
+	}
+	if len(refs) != 45 {
+		t.Fatalf("journal holds %d settles, want exactly 45", len(refs))
+	}
+}

@@ -177,10 +177,18 @@ func run(args []string) int {
 		"async jobs (/v1/jobs): worker pool size for pair comparisons")
 	jobsRetention := fs.Duration("jobs-retention", 15*time.Minute,
 		"async jobs: how long finished jobs stay pollable before being purged")
+	jobsJournal := fs.String("jobs-journal", "",
+		"async jobs: directory for the crash-safe job journal; on restart, journaled jobs are recovered and unfinished ones resume (empty disables durability)")
+	jobsFsync := fs.String("jobs-fsync", "batch",
+		"async jobs journal fsync policy: always (sync every record), batch (sync on a short timer), or never (leave it to the OS)")
+	jobsRetryMax := fs.Int("jobs-retry-max", 3,
+		"async jobs: max attempts per pair; a pair still failing transiently after this many runs is quarantined as an error entry (1 disables retries)")
+	jobsRetryBase := fs.Duration("jobs-retry-base", 50*time.Millisecond,
+		"async jobs: base delay for per-pair retry backoff (doubles per attempt, capped, jittered)")
 	sloObjectives := fs.String("slo-objectives", "",
 		"path to an objectives JSON file (see slo/objectives.json); empty uses the built-in defaults")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-max-fdd-nodes n] [-max-inflight n] [-admission-queue n] [-queue-deadline d] [-shed-threshold f] [-max-per-client n] [-jobs-workers n] [-jobs-retention d] [-slo-objectives file] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
+		fmt.Fprintln(os.Stderr, "usage: fwserved [-addr host:port] [-request-timeout d] [-drain-timeout d] [-compile-cache-mb n] [-report-cache-mb n] [-max-fdd-nodes n] [-max-inflight n] [-admission-queue n] [-queue-deadline d] [-shed-threshold f] [-max-per-client n] [-jobs-workers n] [-jobs-retention d] [-jobs-journal dir] [-jobs-fsync always|batch|never] [-jobs-retry-max n] [-jobs-retry-base d] [-slo-objectives file] [-log-format json|text] [-log-level l] [-trace-capacity n] [-slow-trace-threshold d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -205,16 +213,39 @@ func run(args []string) int {
 		},
 	})
 	traces := trace.NewBuffer(*traceCapacity, *slowTraceThreshold, api.DefaultSlowTraceCapacity)
+	jobsCfg := jobs.Config{
+		Workers:   *jobsWorkers,
+		Retention: *jobsRetention,
+		RetryMax:  *jobsRetryMax,
+		RetryBase: *jobsRetryBase,
+	}
+	if *jobsJournal != "" {
+		fsyncPolicy, err := jobs.ParseFsyncPolicy(*jobsFsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fwserved: -jobs-fsync:", err)
+			return 2
+		}
+		store, err := jobs.OpenJournal(*jobsJournal, jobs.JournalOptions{Fsync: fsyncPolicy})
+		if err != nil {
+			logger.Error("jobs journal open failed", "dir", *jobsJournal, "err", err)
+			return 1
+		}
+		rep := store.RecoveryReport()
+		logger.Info("jobs journal recovered",
+			"dir", *jobsJournal, "fsync", string(fsyncPolicy),
+			"jobsRecovered", rep.JobsRecovered, "jobsResumed", rep.JobsResumed,
+			"pairsRestored", rep.PairsRestored, "recordsApplied", rep.RecordsApplied,
+			"corruptRecordsSkipped", rep.CorruptRecordsSkipped,
+			"tornBytesTruncated", rep.TornBytesTruncated)
+		jobsCfg.Store = store
+	}
 	opts := []api.Option{
 		api.WithEngine(eng),
 		api.WithMetrics(reg),
 		api.WithLogger(logger),
 		api.WithRequestTimeout(*requestTimeout),
 		api.WithTracing(traces),
-		api.WithJobs(jobs.Config{
-			Workers:   *jobsWorkers,
-			Retention: *jobsRetention,
-		}),
+		api.WithJobs(jobsCfg),
 	}
 	if *sloObjectives != "" {
 		cfg, err := slo.LoadFile(*sloObjectives)

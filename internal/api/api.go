@@ -20,6 +20,7 @@ import (
 	"diversefw/internal/field"
 	"diversefw/internal/frontend"
 	"diversefw/internal/impact"
+	"diversefw/internal/jobs"
 	"diversefw/internal/rule"
 )
 
@@ -349,6 +350,12 @@ type JobPair struct {
 	// request would get (e.g. 422 policy_too_complex on a budget trip).
 	Error         *PairError `json:"error,omitempty"`
 	ElapsedMillis float64    `json:"elapsedMillis,omitempty"`
+	// Attempts counts how many times the pair ran, the settling run
+	// included (> 1 means transient failures were retried).
+	Attempts int `json:"attempts,omitempty"`
+	// Quarantined marks a pair that kept failing transiently until its
+	// retry budget ran out and was isolated as an error entry.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // JobProgress counts a job's pairs by outcome; every field is monotonic
@@ -359,6 +366,9 @@ type JobProgress struct {
 	OK      int `json:"ok"`
 	Errors  int `json:"errors"`
 	Skipped int `json:"skipped"`
+	// Quarantined counts the subset of Errors that exhausted their
+	// retry budget on transient failures (poison pairs).
+	Quarantined int `json:"quarantined"`
 }
 
 // JobStatusResponse is one job's snapshot: the POST /v1/jobs response
@@ -429,6 +439,9 @@ type HealthResponse struct {
 	Cache   CacheHealth `json:"cache"`
 	// Admission is present when admission control is configured.
 	Admission *admission.Stats `json:"admission,omitempty"`
+	// Recovery is present when the job layer runs on a journaled store:
+	// what the last startup's replay recovered, resumed, and tolerated.
+	Recovery *jobs.RecoveryReport `json:"recovery,omitempty"`
 }
 
 // Machine-readable error codes carried in ErrorDetail.Code. These are

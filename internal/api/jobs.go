@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"diversefw/internal/jobs"
@@ -20,18 +21,51 @@ const maxJobPolicies = 64
 func (s *Server) jobsCollection(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet, http.MethodHead:
-		resp := JobListResponse{Jobs: []JobStatusResponse{}}
-		for _, snap := range s.jobs.List() {
-			// Listings stay light: progress and state, no per-pair bodies.
-			resp.Jobs = append(resp.Jobs, convertJobSnapshot(snap, false))
-		}
-		writeJSON(w, http.StatusOK, resp)
+		s.jobList(w, r)
 	case http.MethodPost:
 		s.jobSubmit(w, r)
 	default:
 		w.Header().Set("Allow", "GET, POST")
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET or POST"))
 	}
+}
+
+// jobList serves GET /v1/jobs. ?state= keeps only jobs in one lifecycle
+// state and ?limit= bounds the page (newest first), so the listing stays
+// readable while retention holds hundreds of finished jobs. Malformed
+// values are 400s, not silently ignored filters.
+func (s *Server) jobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := q.Get("state")
+	switch jobs.State(state) {
+	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateCompleted, jobs.StateCanceled:
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("unknown state %q: use queued, running, completed, or canceled", state))
+		return
+	}
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("limit must be a positive integer, got %q", ls))
+			return
+		}
+		limit = n
+	}
+	resp := JobListResponse{Jobs: []JobStatusResponse{}}
+	for _, snap := range s.jobs.List() {
+		if state != "" && snap.State != jobs.State(state) {
+			continue
+		}
+		// Listings stay light: progress and state, no per-pair bodies.
+		resp.Jobs = append(resp.Jobs, convertJobSnapshot(snap, false))
+		if limit > 0 && len(resp.Jobs) == limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) jobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -183,11 +217,12 @@ func convertJobSnapshot(snap jobs.Snapshot, withPairs bool) JobStatusResponse {
 		State:    string(snap.State),
 		Policies: snap.Names,
 		Progress: JobProgress{
-			Total:   snap.Progress.Total,
-			Settled: snap.Progress.Settled,
-			OK:      snap.Progress.OK,
-			Errors:  snap.Progress.Errors,
-			Skipped: snap.Progress.Skipped,
+			Total:       snap.Progress.Total,
+			Settled:     snap.Progress.Settled,
+			OK:          snap.Progress.OK,
+			Errors:      snap.Progress.Errors,
+			Skipped:     snap.Progress.Skipped,
+			Quarantined: snap.Progress.Quarantined,
 		},
 		TraceID:   snap.TraceID,
 		CreatedAt: snap.Created.UTC().Format(time.RFC3339Nano),
@@ -206,10 +241,12 @@ func convertJobSnapshot(snap jobs.Snapshot, withPairs bool) JobStatusResponse {
 	schema, _ := schemaByName(snap.SchemaName)
 	for _, pr := range snap.Pairs {
 		jp := JobPair{
-			Name:   pr.Name,
-			A:      snap.Names[pr.Pair.I],
-			B:      snap.Names[pr.Pair.J],
-			Status: string(pr.Status),
+			Name:        pr.Name,
+			A:           snap.Names[pr.Pair.I],
+			B:           snap.Names[pr.Pair.J],
+			Status:      string(pr.Status),
+			Attempts:    pr.Attempts,
+			Quarantined: pr.Quarantined,
 		}
 		switch pr.Status {
 		case jobs.PairOK:

@@ -1,0 +1,203 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"diversefw/internal/chaos"
+	"diversefw/internal/jobs"
+	"diversefw/internal/rule"
+	"diversefw/internal/synth"
+)
+
+// listJobs GETs /v1/jobs with a query string and decodes the page.
+func listJobs(t *testing.T, srv http.Handler, query string) JobListResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs"+query, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs%s: status = %d: %s", query, rec.Code, rec.Body.String())
+	}
+	var list JobListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	return list
+}
+
+// TestJobsListFilterAndPagination pins the ?state= filter and ?limit=
+// page bound, including their 400s on malformed values.
+func TestJobsListFilterAndPagination(t *testing.T) {
+	srv := NewServer(WithJobs(jobs.Config{Workers: 2}))
+	defer srv.Close()
+
+	// Two jobs run to completion; a third is parked on an injected
+	// latency and canceled, so all three terminal states except running
+	// are represented.
+	for i := 0; i < 2; i++ {
+		req := JobSubmitRequest{Schema: "five", Policies: []NamedPolicy{
+			{Name: "a", Policy: in(rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 10, Seed: int64(i + 1)})))},
+			{Name: "b", Policy: in(rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 10, Seed: int64(i + 7)})))},
+		}}
+		snap := pollUntilTerminal(t, srv, submitJob(t, srv, req).ID)
+		if snap.State != "completed" {
+			t.Fatalf("setup job %d: %s", i, snap.State)
+		}
+	}
+	remove := chaos.Register(chaos.PointJobPair, chaos.Latency(time.Hour))
+	parked := submitJob(t, srv, JobSubmitRequest{Schema: "paper", Policies: []NamedPolicy{
+		{Name: "a", Policy: in(teamA)}, {Name: "b", Policy: in(teamB)},
+	}})
+	req := httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+parked.ID, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	remove()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel parked job: %d", rec.Code)
+	}
+
+	if list := listJobs(t, srv, ""); len(list.Jobs) != 3 {
+		t.Fatalf("unfiltered = %d jobs", len(list.Jobs))
+	}
+	list := listJobs(t, srv, "?state=completed")
+	if len(list.Jobs) != 2 {
+		t.Fatalf("state=completed = %d jobs", len(list.Jobs))
+	}
+	for _, j := range list.Jobs {
+		if j.State != "completed" {
+			t.Fatalf("filtered listing leaked state %q", j.State)
+		}
+	}
+	list = listJobs(t, srv, "?state=canceled")
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != parked.ID {
+		t.Fatalf("state=canceled = %+v", list.Jobs)
+	}
+	if list = listJobs(t, srv, "?state=running"); len(list.Jobs) != 0 {
+		t.Fatalf("state=running = %d jobs", len(list.Jobs))
+	}
+	// Newest first: limit=1 returns the parked (last-submitted) job.
+	list = listJobs(t, srv, "?limit=1")
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != parked.ID {
+		t.Fatalf("limit=1 = %+v", list.Jobs)
+	}
+	// Filter applies before the page bound.
+	list = listJobs(t, srv, "?state=completed&limit=1")
+	if len(list.Jobs) != 1 || list.Jobs[0].State != "completed" {
+		t.Fatalf("state+limit = %+v", list.Jobs)
+	}
+	if list = listJobs(t, srv, "?limit=50"); len(list.Jobs) != 3 {
+		t.Fatalf("limit over count = %d jobs", len(list.Jobs))
+	}
+
+	for _, query := range []string{"?state=zork", "?state=COMPLETED", "?limit=0", "?limit=-1", "?limit=ten", "?limit=1.5"} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs"+query, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET /v1/jobs%s: status = %d, want 400", query, rec.Code)
+		}
+		if e := errorBody(t, rec); e.Err.Code != CodeBadRequest {
+			t.Fatalf("GET /v1/jobs%s: code = %q", query, e.Err.Code)
+		}
+	}
+}
+
+// TestJobsDeleteTerminalIdempotent pins DELETE's contract on terminal
+// jobs: 200 with the terminal state echoed, repeatable, never a flip
+// from completed to canceled.
+func TestJobsDeleteTerminalIdempotent(t *testing.T) {
+	t.Parallel()
+	srv := NewServer(WithJobs(jobs.Config{Workers: 2}))
+	defer srv.Close()
+
+	snap := submitJob(t, srv, JobSubmitRequest{Schema: "paper", Policies: []NamedPolicy{
+		{Name: "a", Policy: in(teamA)}, {Name: "b", Policy: in(teamB)},
+	}})
+	final := pollUntilTerminal(t, srv, snap.ID)
+	if final.State != "completed" {
+		t.Fatalf("state = %s", final.State)
+	}
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+snap.ID, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("DELETE #%d: status = %d", i+1, rec.Code)
+		}
+		var got JobStatusResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.State != "completed" || got.ID != snap.ID {
+			t.Fatalf("DELETE #%d echoed %s/%s, want completed/%s", i+1, got.ID, got.State, snap.ID)
+		}
+	}
+}
+
+// TestJobsJournalRecoveryThroughAPI is the durable path end to end at
+// the HTTP layer: a server backed by a journal dies after finishing a
+// job; its successor serves the same job from replay and reports the
+// recovery on /healthz.
+func TestJobsJournalRecoveryThroughAPI(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	submitReq := JobSubmitRequest{Schema: "five"}
+	for i := 0; i < 3; i++ {
+		submitReq.Policies = append(submitReq.Policies, NamedPolicy{
+			Name:   fmt.Sprintf("team%d", i+1),
+			Policy: in(rule.FormatPolicy(synth.Synthetic(synth.Config{Rules: 12, Seed: int64(i + 1)}))),
+		})
+	}
+
+	st, err := jobs.OpenJournal(dir, jobs.JournalOptions{Fsync: jobs.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(WithJobs(jobs.Config{Workers: 2, Store: st}))
+	snap := submitJob(t, srv, submitReq)
+	final := pollUntilTerminal(t, srv, snap.ID)
+	if final.State != "completed" || final.Progress.OK != 3 {
+		t.Fatalf("first life: %+v", final.Progress)
+	}
+	srv.Close()
+
+	st2, err := jobs.OpenJournal(dir, jobs.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(WithJobs(jobs.Config{Workers: 2, Store: st2}))
+	defer srv2.Close()
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv2.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	var health HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Recovery == nil || health.Recovery.JobsRecovered != 1 || health.Recovery.PairsRestored != 3 {
+		t.Fatalf("healthz recovery = %+v", health.Recovery)
+	}
+
+	got := getJob(t, srv2, snap.ID)
+	if got.State != "completed" || got.Progress != final.Progress {
+		t.Fatalf("restored job = %+v, want %+v", got.Progress, final.Progress)
+	}
+	for i, p := range got.Pairs {
+		if p.Status != "ok" || p.Equivalent == nil {
+			t.Fatalf("restored pair %d = %+v", i, p)
+		}
+		if want := final.Pairs[i]; *p.Equivalent != *want.Equivalent ||
+			len(p.Discrepancies) != len(want.Discrepancies) {
+			t.Fatalf("restored pair %d diverged: %+v vs %+v", i, p, want)
+		}
+	}
+}

@@ -218,6 +218,9 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		as := s.adm.Stats()
 		resp.Admission = &as
 	}
+	if s.jobs != nil {
+		resp.Recovery = s.jobs.Recovery()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -52,9 +52,18 @@ const (
 	PointShape Point = "shape.walk"
 	// PointJobPair fires at the top of one async-job pair comparison,
 	// on the worker goroutine with the job's context. An error fails
-	// that pair (it settles as an error entry) without touching its
+	// that pair (it settles as an error entry; with retries enabled it
+	// is retried and eventually quarantined) without touching its
 	// siblings.
 	PointJobPair Point = "jobs.pair"
+	// PointJournalWrite fires before appending a record to the jobs
+	// journal. An error drops the record: durability degrades (counted,
+	// healed by the next compaction), the job operation succeeds.
+	PointJournalWrite Point = "jobs.journal.write"
+	// PointJournalFsync fires before an fsync of the jobs journal. An
+	// error skips the sync — the write sits in the page cache until the
+	// next sync, the same exposure FsyncNever accepts by design.
+	PointJournalFsync Point = "jobs.journal.fsync"
 )
 
 // Fault is one injected behavior. It runs synchronously at the Fire

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -48,6 +49,14 @@ type Config struct {
 	// target "job:<kind>" — OK pairs as status 200, errored pairs as 422;
 	// skipped pairs are not recorded (a cancel is not a failure).
 	SLO Recorder
+	// RetryMax caps how many times one pair runs before a transiently
+	// failing pair settles as a quarantined error (default 1: retries
+	// off, every error is final on its first attempt). Permanent errors
+	// — budget trips, incomplete policies — never retry.
+	RetryMax int
+	// RetryBase is the base backoff before a pair's second attempt
+	// (default 50ms); see retryDelay for the growth and jitter.
+	RetryBase time.Duration
 }
 
 // Coordinator owns the worker pool and the job store. Safe for
@@ -57,6 +66,10 @@ type Coordinator struct {
 	cfg     Config
 	store   Store
 	sharder Sharder
+	// durable is non-nil when the store journals job lifecycle records
+	// (a JournalStore); the coordinator then emits settle/terminal
+	// records and adopts the store's recovered jobs at construction.
+	durable durableStore
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -88,16 +101,17 @@ type Job struct {
 	cancelFn context.CancelFunc
 	tr       *trace.Trace
 
-	mu       sync.Mutex
-	state    State
-	started  time.Time
-	finished time.Time
-	pairs    []PairResult
-	settled  int
-	ok       int
-	errs     int
-	skipped  int
-	done     chan struct{}
+	mu          sync.Mutex
+	state       State
+	started     time.Time
+	finished    time.Time
+	pairs       []PairResult
+	settled     int
+	ok          int
+	errs        int
+	skipped     int
+	quarantined int
+	done        chan struct{}
 }
 
 // New returns a coordinator executing pairs against eng. Call Close to
@@ -118,6 +132,12 @@ func New(eng *engine.Engine, cfg Config) *Coordinator {
 	if cfg.Sharder == nil {
 		cfg.Sharder = HashSharder{}
 	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 1
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		eng:     eng,
@@ -130,7 +150,96 @@ func New(eng *engine.Engine, cfg Config) *Coordinator {
 	if cfg.Metrics != nil {
 		c.inst = newInstruments(cfg.Metrics)
 	}
+	if ds, ok := cfg.Store.(durableStore); ok {
+		c.durable = ds
+		c.adoptRecovered(ds.takeRecovered())
+	}
 	return c
+}
+
+// Recovery returns the durable store's replay report, or nil when the
+// store is not journaled. Rendered by /healthz.
+func (c *Coordinator) Recovery() *RecoveryReport {
+	if c.durable == nil {
+		return nil
+	}
+	return c.durable.recoveryReport()
+}
+
+// adoptRecovered attaches the runtime half (context, trace, done
+// channel) to jobs a JournalStore replayed, and re-enqueues the
+// unsettled pairs of the non-terminal ones. Settled pairs keep their
+// journaled results — the whole point of the journal is that a restart
+// never recomputes them — and the engine's content-addressed compile
+// cache makes the resumed pairs' recompiles cheap.
+func (c *Coordinator) adoptRecovered(recovered []*Job) {
+	resumed := 0
+	for _, j := range recovered {
+		// A job whose pairs all settled before the crash but whose
+		// finalize record was lost completes here rather than hanging
+		// forever (no worker would ever settle its "last" pair again).
+		if !j.state.Terminal() && j.settled == len(j.pairs) {
+			j.state = StateCompleted
+			j.finished = time.Now()
+		}
+		if j.state.Terminal() {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			j.ctx, j.cancelFn = ctx, cancel
+			_, j.tr = trace.New(ctx, "job", j.id)
+			j.tr.Finish()
+			j.done = make(chan struct{})
+			close(j.done)
+			continue
+		}
+		resumed++
+		jctx, cancel := context.WithCancel(c.baseCtx)
+		jctx, tr := trace.New(jctx, "job", j.id)
+		tr.Root().SetAttr("job.kind", string(j.spec.Kind))
+		tr.Root().SetAttr("job.recovered", true)
+		j.ctx, j.cancelFn, j.tr = jctx, cancel, tr
+		j.done = make(chan struct{})
+		if c.inst != nil {
+			c.inst.active.Inc()
+		}
+	}
+	if c.inst != nil {
+		c.inst.recovered.Set(int64(len(recovered)))
+		c.inst.stored.Set(int64(c.store.Len()))
+	}
+	if resumed == 0 {
+		return
+	}
+	c.start()
+	for _, j := range recovered {
+		j := j
+		if j.state.Terminal() {
+			continue
+		}
+		type route struct{ k, w int }
+		var pending []route
+		for k := range j.pairs {
+			if j.pairs[k].Status.Settled() {
+				continue
+			}
+			p := j.pairs[k].Pair
+			pending = append(pending, route{
+				k: k,
+				w: c.sharder.Shard(j.hashes[p.I], j.hashes[p.J], c.cfg.Workers),
+			})
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			for _, r := range pending {
+				select {
+				case c.queues[r.w] <- task{j: j, k: r.k}:
+				case <-j.ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 }
 
 // Workers returns the size of the worker pool.
@@ -327,6 +436,11 @@ func (c *Coordinator) Close() {
 			j.mu.Unlock()
 		}
 		c.wg.Wait()
+		// The coordinator owns its store's lifecycle: a JournalStore
+		// flushes and closes its log once no worker can settle again.
+		if cl, ok := c.store.(io.Closer); ok {
+			cl.Close()
+		}
 	})
 }
 
@@ -355,6 +469,8 @@ func (c *Coordinator) runPair(j *Job, k int) {
 		return
 	}
 	j.pairs[k].Status = PairRunning
+	j.pairs[k].Attempts++
+	attempt := j.pairs[k].Attempts
 	if j.state == StateQueued {
 		j.state = StateRunning
 		j.started = time.Now()
@@ -367,13 +483,33 @@ func (c *Coordinator) runPair(j *Job, k int) {
 	elapsed := time.Since(start)
 
 	status := PairOK
+	quarantined := false
 	if err != nil {
 		status = PairError
 		if j.ctx.Err() != nil {
 			// The job died while this pair was in flight; the pair was
 			// (or is about to be) settled as skipped by Cancel/Close.
-			c.settle(j, k, PairSkipped, nil, nil, elapsed)
+			c.settle(j, k, PairSkipped, nil, nil, elapsed, false)
 			return
+		}
+		if transientError(err) {
+			if attempt < c.cfg.RetryMax {
+				// A moment-in-time failure with retry budget left: back
+				// off and requeue instead of settling. The attempt still
+				// leaves a span so the trace shows the whole history.
+				if c.inst != nil {
+					c.inst.retries.Inc()
+				}
+				j.tr.Root().AddCompleted("job.pair", start, elapsed,
+					trace.A("pair", j.pairs[k].Name),
+					trace.A("status", "retry"),
+					trace.A("attempt", attempt))
+				c.scheduleRetry(j, k, attempt)
+				return
+			}
+			// Out of budget: quarantine the poison pair as an error
+			// entry — its siblings (and the job) proceed normally.
+			quarantined = c.cfg.RetryMax > 1
 		}
 	}
 	// The span goes on the trace BEFORE the settle: settling the last
@@ -382,7 +518,7 @@ func (c *Coordinator) runPair(j *Job, k int) {
 	j.tr.Root().AddCompleted("job.pair", start, elapsed,
 		trace.A("pair", j.pairs[k].Name),
 		trace.A("status", string(status)))
-	c.settle(j, k, status, r, err, elapsed)
+	c.settle(j, k, status, r, err, elapsed, quarantined)
 	if c.inst != nil {
 		c.inst.pairDuration.ObserveExemplar(elapsed.Seconds(), j.tr.ID())
 	}
@@ -415,7 +551,7 @@ func (c *Coordinator) comparePair(j *Job, p Pair) (r *compare.Report, err error)
 // first settle wins, late settles (a canceled pair finishing after
 // Cancel marked it skipped) are no-ops. Settling the last pair
 // finalizes the job.
-func (c *Coordinator) settle(j *Job, k int, status PairStatus, r *compare.Report, err error, elapsed time.Duration) {
+func (c *Coordinator) settle(j *Job, k int, status PairStatus, r *compare.Report, err error, elapsed time.Duration, quarantined bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.pairs[k].Status.Settled() {
@@ -425,21 +561,63 @@ func (c *Coordinator) settle(j *Job, k int, status PairStatus, r *compare.Report
 	j.pairs[k].Report = r
 	j.pairs[k].Err = err
 	j.pairs[k].Elapsed = elapsed
+	j.pairs[k].Quarantined = quarantined
 	j.settled++
 	switch status {
 	case PairOK:
 		j.ok++
 	case PairError:
 		j.errs++
+		if quarantined {
+			j.quarantined++
+		}
 	case PairSkipped:
 		j.skipped++
 	}
 	if c.inst != nil {
 		c.inst.pairs.With(string(status)).Inc()
+		if quarantined {
+			c.inst.quarantined.Inc()
+		}
+	}
+	if c.durable != nil {
+		c.durable.appendSettle(j, k)
 	}
 	if j.settled == len(j.pairs) && !j.state.Terminal() {
 		c.finalizeLocked(j, StateCompleted)
 	}
+}
+
+// scheduleRetry returns a running pair to pending and re-feeds it to
+// its shard after a capped, jittered backoff. Cancellation at any point
+// simply wins: a canceled job settles the pair as skipped, and both the
+// timer and the queue send give up on the job's context.
+func (c *Coordinator) scheduleRetry(j *Job, k, attempt int) {
+	j.mu.Lock()
+	if j.state.Terminal() || j.pairs[k].Status != PairRunning {
+		j.mu.Unlock()
+		return
+	}
+	j.pairs[k].Status = PairPending
+	j.mu.Unlock()
+	p := j.pairs[k].Pair
+	w := c.sharder.Shard(j.hashes[p.I], j.hashes[p.J], c.cfg.Workers)
+	delay := retryDelay(c.cfg.RetryBase, j.id, k, attempt)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-j.ctx.Done():
+			return
+		}
+		select {
+		case c.queues[w] <- task{j: j, k: k}:
+		case <-j.ctx.Done():
+		}
+	}()
 }
 
 // skipUnsettledLocked settles every pending/running pair as skipped.
@@ -465,10 +643,14 @@ func (c *Coordinator) finalizeLocked(j *Job, state State) {
 	j.finished = time.Now()
 	j.cancelFn()
 	close(j.done)
+	if c.durable != nil {
+		c.durable.appendFinal(j, state, j.finished)
+	}
 	j.tr.Root().SetAttr("job.state", string(state))
 	j.tr.Root().SetAttr("job.ok", j.ok)
 	j.tr.Root().SetAttr("job.errors", j.errs)
 	j.tr.Root().SetAttr("job.skipped", j.skipped)
+	j.tr.Root().SetAttr("job.quarantined", j.quarantined)
 	j.tr.Finish()
 	if c.cfg.Traces != nil {
 		c.cfg.Traces.Observe(j.tr)
@@ -511,11 +693,12 @@ func (c *Coordinator) snapshot(j *Job) Snapshot {
 		Names:      append([]string(nil), j.spec.Names...),
 		TraceID:    j.tr.ID(),
 		Progress: Progress{
-			Total:   len(j.pairs),
-			Settled: j.settled,
-			OK:      j.ok,
-			Errors:  j.errs,
-			Skipped: j.skipped,
+			Total:       len(j.pairs),
+			Settled:     j.settled,
+			OK:          j.ok,
+			Errors:      j.errs,
+			Skipped:     j.skipped,
+			Quarantined: j.quarantined,
 		},
 		Pairs:    append([]PairResult(nil), j.pairs...),
 		Created:  j.created,
@@ -533,6 +716,9 @@ type instruments struct {
 	stored       *metrics.Gauge
 	pairs        *metrics.CounterVec
 	pairDuration *metrics.Histogram
+	retries      *metrics.Counter
+	quarantined  *metrics.Counter
+	recovered    *metrics.Gauge
 }
 
 func newInstruments(reg *metrics.Registry) *instruments {
@@ -549,5 +735,11 @@ func newInstruments(reg *metrics.Registry) *instruments {
 			"Job pair comparisons settled, by status.", "status"),
 		pairDuration: reg.NewHistogram("fwjobs_pair_duration_seconds",
 			"Wall time of one job pair comparison.", nil),
+		retries: reg.NewCounter("fwjobs_retries_total",
+			"Transiently failed pair attempts sent back for a retry."),
+		quarantined: reg.NewCounter("fwjobs_quarantined_total",
+			"Pairs quarantined after exhausting their retry budget."),
+		recovered: reg.NewGauge("fwjobs_recovered_jobs",
+			"Jobs recovered from the journal at the last startup."),
 	}
 }

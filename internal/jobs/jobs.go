@@ -105,14 +105,20 @@ type Spec struct {
 }
 
 // PairResult is one pair's current outcome. Exactly one of Report and
-// Err is set once Status is ok or error.
+// Err is set once Status is ok or error. Attempts counts executions
+// including the settling one; Quarantined marks a pair that kept
+// failing transiently until the retry budget ran out and was isolated
+// as an error entry rather than being retried forever or failing its
+// siblings.
 type PairResult struct {
-	Pair    Pair
-	Name    string
-	Status  PairStatus
-	Report  *compare.Report
-	Err     error
-	Elapsed time.Duration
+	Pair        Pair
+	Name        string
+	Status      PairStatus
+	Report      *compare.Report
+	Err         error
+	Elapsed     time.Duration
+	Attempts    int
+	Quarantined bool
 }
 
 // Progress counts a job's pairs by outcome. Every field is monotonic
@@ -124,6 +130,9 @@ type Progress struct {
 	OK      int `json:"ok"`
 	Errors  int `json:"errors"`
 	Skipped int `json:"skipped"`
+	// Quarantined counts the subset of Errors that exhausted their
+	// retry budget on transient failures.
+	Quarantined int `json:"quarantined"`
 }
 
 // Snapshot is a point-in-time copy of a job, safe to render after the

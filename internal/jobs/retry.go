@@ -1,0 +1,60 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"diversefw/internal/fdd"
+	"diversefw/internal/guard"
+)
+
+// transientError classifies a pair failure for the retry policy.
+//
+// Permanent: the input itself is the problem — a work-budget trip
+// (policy_too_complex: the pair's diagram blows up and will blow up
+// identically on every attempt) or a non-comprehensive policy
+// (unparseable/incomplete: no FDD exists to build). Retrying those
+// burns worker time to reach the same answer.
+//
+// Transient: everything else — context deadlines, injected chaos
+// latency and faults, shed dependencies, I/O hiccups. Those are
+// properties of the moment, not the pair, so a backed-off retry has a
+// real chance.
+func transientError(err error) bool {
+	switch {
+	case errors.Is(err, guard.ErrBudget):
+		return false
+	case errors.Is(err, fdd.ErrIncomplete):
+		return false
+	}
+	return true
+}
+
+// retryDelay is the capped exponential backoff before attempt+1:
+// base·2^(attempt−1), capped at 16·base, then jittered into
+// [d/2, d] deterministically from (job, pair, attempt) — reruns of a
+// seeded scenario see identical retry timing, while the pairs of one
+// job still spread out instead of thundering back in lockstep.
+func retryDelay(base time.Duration, jobID string, k, attempt int) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 4 {
+		shift = 4
+	}
+	d := uint64(base << shift)
+	h := fnv.New64a()
+	io.WriteString(h, jobID)
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(k))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(attempt))
+	h.Write(buf[:])
+	return time.Duration(d/2 + h.Sum64()%(d/2+1))
+}

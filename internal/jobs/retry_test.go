@@ -1,0 +1,241 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diversefw/internal/chaos"
+	"diversefw/internal/engine"
+	"diversefw/internal/guard"
+	"diversefw/internal/metrics"
+)
+
+func TestTransientErrorClassification(t *testing.T) {
+	cases := []struct {
+		err       error
+		transient bool
+	}{
+		{errors.New("chaos: injected failure"), true},
+		{context.DeadlineExceeded, true},
+		{guard.ErrBudget, false},
+		{&guard.ErrBudgetExceeded{}, false},
+	}
+	for _, tc := range cases {
+		if got := transientError(tc.err); got != tc.transient {
+			t.Errorf("transientError(%v) = %v, want %v", tc.err, got, tc.transient)
+		}
+	}
+}
+
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	base := 50 * time.Millisecond
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := retryDelay(base, "job-1", 3, attempt)
+		if d != retryDelay(base, "job-1", 3, attempt) {
+			t.Fatalf("attempt %d: delay not deterministic", attempt)
+		}
+		shift := attempt - 1
+		if shift > 4 {
+			shift = 4
+		}
+		full := base << shift
+		if d < full/2 || d > full {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+		}
+	}
+	// Different pairs of the same job spread out instead of thundering
+	// back together.
+	if retryDelay(base, "job-1", 0, 2) == retryDelay(base, "job-1", 1, 2) &&
+		retryDelay(base, "job-1", 0, 3) == retryDelay(base, "job-1", 1, 3) {
+		t.Fatal("jitter did not separate pairs")
+	}
+}
+
+// flakyFault fails the first n fires, then passes.
+func flakyFault(n int64) (chaos.Fault, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(ctx context.Context) error {
+		if calls.Add(1) <= n {
+			return errors.New("chaos: transient blip")
+		}
+		return nil
+	}, &calls
+}
+
+// TestRetryTransientThenSucceeds: a pair failing twice transiently with
+// RetryMax 3 ends OK on its third attempt, with the retries counted.
+func TestRetryTransientThenSucceeds(t *testing.T) {
+	fault, calls := flakyFault(2)
+	remove := chaos.Register(chaos.PointJobPair, fault)
+	defer remove()
+
+	reg := metrics.NewRegistry()
+	c := New(engine.New(engine.Config{}), Config{
+		Workers: 1, RetryMax: 3, RetryBase: time.Millisecond, Metrics: reg,
+	})
+	defer c.Close()
+	names, policies := testPolicies(t, 2)
+	snap, err := c.Submit(Spec{Kind: KindCrossCompare, Names: names, Policies: policies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, c, snap.ID)
+	if final.State != StateCompleted || final.Progress.OK != 1 || final.Progress.Quarantined != 0 {
+		t.Fatalf("progress = %+v", final.Progress)
+	}
+	p := final.Pairs[0]
+	if p.Status != PairOK || p.Attempts != 3 || p.Quarantined {
+		t.Fatalf("pair = %+v", p)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("pair executions = %d, want 3", got)
+	}
+	if got := c.inst.retries.Value(); got != 2 {
+		t.Fatalf("fwjobs_retries_total = %d, want 2", got)
+	}
+	if got := c.inst.quarantined.Value(); got != 0 {
+		t.Fatalf("fwjobs_quarantined_total = %d, want 0", got)
+	}
+}
+
+// TestRetryQuarantineAfterBudget: a pair that never stops failing
+// transiently settles as a quarantined error after exactly RetryMax
+// attempts; its sibling pairs are untouched.
+func TestRetryQuarantineAfterBudget(t *testing.T) {
+	var calls atomic.Int64
+	remove := chaos.Register(chaos.PointJobPair, func(ctx context.Context) error {
+		calls.Add(1)
+		return errors.New("chaos: always down")
+	})
+	defer remove()
+
+	reg := metrics.NewRegistry()
+	c := New(engine.New(engine.Config{}), Config{
+		Workers: 1, RetryMax: 3, RetryBase: time.Millisecond, Metrics: reg,
+	})
+	defer c.Close()
+	names, policies := testPolicies(t, 2)
+	snap, err := c.Submit(Spec{Kind: KindCrossCompare, Names: names, Policies: policies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, c, snap.ID)
+	if final.State != StateCompleted || final.Progress.Errors != 1 || final.Progress.Quarantined != 1 {
+		t.Fatalf("progress = %+v", final.Progress)
+	}
+	p := final.Pairs[0]
+	if p.Status != PairError || p.Attempts != 3 || !p.Quarantined {
+		t.Fatalf("pair = %+v", p)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("pair executions = %d, want RetryMax=3", got)
+	}
+	if got := c.inst.quarantined.Value(); got != 1 {
+		t.Fatalf("fwjobs_quarantined_total = %d, want 1", got)
+	}
+}
+
+// TestPermanentErrorNeverRetries: a budget trip is the input's fault;
+// it settles on the first attempt, unquarantined, even with retry
+// budget available.
+func TestPermanentErrorNeverRetries(t *testing.T) {
+	var calls atomic.Int64
+	remove := chaos.Register(chaos.PointJobPair, func(ctx context.Context) error {
+		calls.Add(1)
+		return &guard.ErrBudgetExceeded{}
+	})
+	defer remove()
+
+	c := New(engine.New(engine.Config{}), Config{
+		Workers: 1, RetryMax: 5, RetryBase: time.Millisecond,
+	})
+	defer c.Close()
+	names, policies := testPolicies(t, 2)
+	snap, err := c.Submit(Spec{Kind: KindCrossCompare, Names: names, Policies: policies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, c, snap.ID)
+	p := final.Pairs[0]
+	if p.Status != PairError || p.Attempts != 1 || p.Quarantined {
+		t.Fatalf("pair = %+v", p)
+	}
+	if final.Progress.Quarantined != 0 {
+		t.Fatalf("progress = %+v", final.Progress)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("pair executions = %d, want 1 (no retry of permanent errors)", got)
+	}
+}
+
+// TestRetryDisabledByDefault: the zero config keeps the old behavior —
+// one attempt, plain error, nothing quarantined — so existing callers
+// and scenarios see no new timing.
+func TestRetryDisabledByDefault(t *testing.T) {
+	var calls atomic.Int64
+	remove := chaos.Register(chaos.PointJobPair, func(ctx context.Context) error {
+		calls.Add(1)
+		return errors.New("chaos: transient blip")
+	})
+	defer remove()
+
+	c := New(engine.New(engine.Config{}), Config{Workers: 1})
+	defer c.Close()
+	names, policies := testPolicies(t, 2)
+	snap, err := c.Submit(Spec{Kind: KindCrossCompare, Names: names, Policies: policies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, c, snap.ID)
+	p := final.Pairs[0]
+	if p.Status != PairError || p.Attempts != 1 || p.Quarantined {
+		t.Fatalf("pair = %+v", p)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("pair executions = %d, want 1 with retries off", got)
+	}
+}
+
+// TestCancelDuringBackoffWindow: canceling a job whose pair is waiting
+// out a retry backoff settles it as skipped promptly — the retry timer
+// loses to the context.
+func TestCancelDuringBackoffWindow(t *testing.T) {
+	fault, _ := flakyFault(1 << 30)
+	remove := chaos.Register(chaos.PointJobPair, fault)
+	defer remove()
+
+	c := New(engine.New(engine.Config{}), Config{
+		Workers: 1, RetryMax: 10, RetryBase: time.Hour, // park the retry far in the future
+	})
+	defer c.Close()
+	names, policies := testPolicies(t, 2)
+	snap, err := c.Submit(Spec{Kind: KindCrossCompare, Names: names, Policies: policies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first attempt to fail into the backoff window.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s, err := c.Get(snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Pairs[0].Attempts >= 1 && s.Pairs[0].Status == PairPending {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pair never entered backoff: %+v", s.Pairs[0])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Cancel(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, c, snap.ID)
+	if final.State != StateCanceled || final.Progress.Skipped != 1 {
+		t.Fatalf("final = %v %+v", final.State, final.Progress)
+	}
+}

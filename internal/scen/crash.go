@@ -1,0 +1,299 @@
+package scen
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"diversefw/internal/api"
+	"diversefw/internal/jobs"
+)
+
+// The crash-restart runner trades the in-process server for a real
+// fwserved subprocess: an in-process "crash" can at best approximate a
+// kill (goroutines cannot be SIGKILLed, so a half-dead coordinator
+// would keep appending to the journal), while a subprocess dies the way
+// production dies. The subprocess is built once per process from the
+// checked-out tree, so the binary under test is always this commit.
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+func fwservedBinary() (string, error) {
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fwscen-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "fwserved")
+		cmd := exec.Command("go", "build", "-o", bin, "diversefw/cmd/fwserved")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("scen: building fwserved: %v: %s", err, out)
+			return
+		}
+		builtBin = bin
+	})
+	return builtBin, buildErr
+}
+
+// startCrashServer launches fwserved on an ephemeral port, journaling
+// to journalDir with fsync=always — every settle the runner observes in
+// the journal is already durable, so the kill can never race one into
+// oblivion. Returns the process and the address it logs.
+func startCrashServer(bin, journalDir string, workers int) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-jobs-journal", journalDir,
+		"-jobs-fsync", "always",
+		"-jobs-workers", strconv.Itoa(workers),
+		"-log-format", "json",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		// Keep draining stderr past the listening line so the server
+		// never blocks on a full pipe.
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, "", errors.New("scen: fwserved subprocess never logged listening")
+	}
+}
+
+// runPhaseOps executes scheduled ops with the standard worker fan-out,
+// writing classifications into outcomes by Seq.
+func runPhaseOps(baseURL string, sc Scenario, ops []Sample, w int, outcomes []outcome) {
+	if len(ops) == 0 {
+		return
+	}
+	if w > len(ops) {
+		w = len(ops)
+	}
+	if w < 1 {
+		w = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			for k := worker; k < len(ops); k += w {
+				s := ops[k]
+				outcomes[s.Seq] = executeOp(client, baseURL, sc, s)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// submitJobOnly fires one crosscompare submission without waiting for
+// the job — the whole point is to leave work in flight for the kill.
+// Returns the job ID, or "" if the submission itself failed.
+func submitJobOnly(client *http.Client, baseURL string, s Sample) (outcome, string) {
+	o := outcome{phase: s.Phase}
+	req := api.JobSubmitRequest{Schema: "five", Kind: "crosscompare"}
+	for i, seed := range s.JobSeeds {
+		req.Policies = append(req.Policies, api.NamedPolicy{
+			Name:   fmt.Sprintf("p%d", i+1),
+			Policy: api.PolicyInput{Text: policyText(seed, s.Rules)},
+		})
+	}
+	start := time.Now()
+	status, body, err := postJSON(client, baseURL+"/v1/jobs", req)
+	o.latencyMs = sinceMs(start)
+	if err != nil || status != http.StatusAccepted {
+		classifyHTTP(&o, status, body, err)
+		return o, ""
+	}
+	var snap api.JobStatusResponse
+	if json.Unmarshal(body, &snap) != nil || snap.ID == "" {
+		o.invalid = true
+		return o, ""
+	}
+	o.ok = true
+	return o, snap.ID
+}
+
+// fetchRecoveredJobs reads the restarted server's healthz recovery
+// block.
+func fetchRecoveredJobs(baseURL string) (int, error) {
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Recovery *jobs.RecoveryReport `json:"recovery"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return 0, err
+	}
+	if health.Recovery == nil {
+		return 0, errors.New("scen: restarted server reported no recovery block")
+	}
+	return health.Recovery.JobsRecovered, nil
+}
+
+// runCrashScenario is the crash-restart lifecycle: warmup against a
+// journaled fwserved subprocess, submit the inject jobs without
+// waiting, SIGKILL once the journal durably holds KillAfterSettles pair
+// settles, restart on the same journal, require every submitted job to
+// reach a terminal state, run the recover phase against the restarted
+// server, and scan the whole journal — both lives — for duplicated
+// settles.
+func runCrashScenario(sc Scenario, outDir string, run int, loadScale float64, samples []Sample) (RunResult, error) {
+	bin, err := fwservedBinary()
+	if err != nil {
+		return RunResult{}, err
+	}
+	journalDir := filepath.Join(outDir, "journal")
+	// A stale journal from an earlier invocation of this run directory
+	// would resurrect foreign jobs into the recovery counters.
+	if err := os.RemoveAll(journalDir); err != nil {
+		return RunResult{}, err
+	}
+	if err := os.MkdirAll(journalDir, 0o755); err != nil {
+		return RunResult{}, err
+	}
+	workers := sc.Server.JobsWorkers
+	if workers < 1 {
+		workers = 2
+	}
+	cmd1, addr, err := startCrashServer(bin, journalDir, workers)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer func() {
+		cmd1.Process.Kill()
+		cmd1.Wait()
+	}()
+	base := "http://" + addr
+
+	started := time.Now()
+	outcomes := make([]outcome, len(samples))
+	byPhase := map[string][]Sample{}
+	for _, s := range samples {
+		byPhase[s.Phase] = append(byPhase[s.Phase], s)
+	}
+
+	runPhaseOps(base, sc, byPhase[PhaseWarmup], 2, outcomes)
+
+	injectOps := byPhase[PhaseInject]
+	ids := make([]string, len(injectOps))
+	w := sc.Load.Workers
+	if w > len(injectOps) {
+		w = len(injectOps)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			for k := worker; k < len(injectOps); k += w {
+				s := injectOps[k]
+				outcomes[s.Seq], ids[k] = submitJobOnly(client, base, s)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	killAfter := sc.Inject.KillAfterSettles
+	if killAfter < 1 {
+		killAfter = 1
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		refs, err := jobs.ScanSettles(journalDir)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if len(refs) >= killAfter {
+			break
+		}
+		if time.Now().After(deadline) {
+			return RunResult{}, fmt.Errorf("scen: %s: journal never reached %d settles", sc.Name, killAfter)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd1.Process.Kill(); err != nil {
+		return RunResult{}, err
+	}
+	cmd1.Wait()
+
+	cmd2, addr2, err := startCrashServer(bin, journalDir, workers)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	base2 := "http://" + addr2
+
+	recovered, err := fetchRecoveredJobs(base2)
+	if err != nil {
+		return RunResult{}, err
+	}
+	dur := &DurabilityMetrics{RecoveredJobs: recovered}
+	client := &http.Client{Timeout: 60 * time.Second}
+	for _, id := range ids {
+		if id == "" {
+			continue // the failed submission is already an inject error
+		}
+		if _, err := pollJob(client, base2, id); err != nil {
+			dur.JobsNonterminal++
+		}
+	}
+
+	runPhaseOps(base2, sc, byPhase[PhaseRecover], 2, outcomes)
+
+	refs, err := jobs.ScanSettles(journalDir)
+	if err != nil {
+		return RunResult{}, err
+	}
+	seen := make(map[jobs.SettleRef]int, len(refs))
+	for _, r := range refs {
+		seen[r]++
+		if seen[r] > 1 {
+			dur.DuplicateSettles++
+		}
+	}
+	return assembleResult(sc, outDir, run, loadScale, started, outcomes, base2, dur)
+}

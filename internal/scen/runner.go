@@ -67,6 +67,21 @@ type RuntimeSample struct {
 	HeapBytes  float64 `json:"heap_bytes"`
 }
 
+// DurabilityMetrics are the whole-run counters a crash-restart
+// scenario measures across both server lives.
+type DurabilityMetrics struct {
+	// JobsNonterminal is how many submitted jobs never reached a
+	// terminal state after the restart — the headline durability gate,
+	// pinned to zero.
+	JobsNonterminal int `json:"jobs_nonterminal"`
+	// DuplicateSettles counts (job, pair) settles journaled more than
+	// once across the crash: any value above zero means restored pairs
+	// were recomputed instead of served from the journal.
+	DuplicateSettles int `json:"duplicate_settles"`
+	// RecoveredJobs is the restarted server's healthz jobsRecovered.
+	RecoveredJobs int `json:"recovered_jobs"`
+}
+
 // RunResult is one scenario run, serialized to result.json.
 type RunResult struct {
 	Schema     string                  `json:"schema"`
@@ -78,6 +93,7 @@ type RunResult struct {
 	Phases     map[string]PhaseMetrics `json:"phases"`
 	SLO        *slo.Report             `json:"slo,omitempty"`
 	Runtime    RuntimeSample           `json:"runtime"`
+	Durability *DurabilityMetrics      `json:"durability,omitempty"`
 	Assertions []AssertionResult       `json:"assertions"`
 	Passed     bool                    `json:"passed"`
 }
@@ -117,6 +133,9 @@ func RunScenario(sc Scenario, outDir string, run int, loadScale float64) (RunRes
 	if err := os.WriteFile(filepath.Join(outDir, "raw_samples.jsonl"), raw.Bytes(), 0o644); err != nil {
 		return RunResult{}, err
 	}
+	if sc.Inject.CrashRestart {
+		return runCrashScenario(sc, outDir, run, loadScale, samples)
+	}
 
 	eng := engine.New(engine.Config{Limits: guard.Limits{
 		MaxFDDNodes:   int64(sc.Server.MaxFDDNodes),
@@ -126,10 +145,18 @@ func RunScenario(sc Scenario, outDir string, run int, loadScale float64) (RunRes
 	if workers < 1 {
 		workers = 2
 	}
+	jobsCfg := jobs.Config{Workers: workers}
+	if sc.Server.JobsJournal {
+		st, err := jobs.OpenJournal(filepath.Join(outDir, "journal"), jobs.JournalOptions{Fsync: jobs.FsyncAlways})
+		if err != nil {
+			return RunResult{}, err
+		}
+		jobsCfg.Store = st // closed by the coordinator on srv.Close
+	}
 	opts := []api.Option{
 		api.WithEngine(eng),
 		api.WithMetrics(metrics.NewRegistry()),
-		api.WithJobs(jobs.Config{Workers: workers}),
+		api.WithJobs(jobsCfg),
 	}
 	if sc.Server.MaxInflight > 0 {
 		opts = append(opts, api.WithAdmission(admission.Config{
@@ -192,6 +219,15 @@ func RunScenario(sc Scenario, outDir string, run int, loadScale float64) (RunRes
 		}
 	}
 
+	return assembleResult(sc, outDir, run, loadScale, started, outcomes, ts.URL, nil)
+}
+
+// assembleResult folds outcomes into phase metrics, scrapes the (still
+// running) server's SLO and runtime state, evaluates assertions, and
+// writes result.json. Both the in-process path and the crash-restart
+// path end here; the latter passes its measured durability counters.
+func assembleResult(sc Scenario, outDir string, run int, loadScale float64, started time.Time,
+	outcomes []outcome, baseURL string, dur *DurabilityMetrics) (RunResult, error) {
 	result := RunResult{
 		Schema:     resultSchema,
 		Scenario:   sc.Name,
@@ -200,16 +236,16 @@ func RunScenario(sc Scenario, outDir string, run int, loadScale float64) (RunRes
 		LoadScale:  loadScale,
 		DurationMs: float64(time.Since(started).Microseconds()) / 1000,
 		Phases:     map[string]PhaseMetrics{},
+		Durability: dur,
 	}
-	all := aggregate(outcomes, "")
-	result.Phases[PhaseAll] = all
+	result.Phases[PhaseAll] = aggregate(outcomes, "")
 	for _, phase := range []string{PhaseWarmup, PhaseInject, PhaseRecover} {
-		if len(byPhase[phase]) > 0 {
-			result.Phases[phase] = aggregate(outcomes, phase)
+		if pm := aggregate(outcomes, phase); pm.Count > 0 {
+			result.Phases[phase] = pm
 		}
 	}
-	result.SLO = fetchSLO(ts.URL)
-	result.Runtime = fetchRuntime(ts.URL)
+	result.SLO = fetchSLO(baseURL)
+	result.Runtime = fetchRuntime(baseURL)
 
 	result.Passed = true
 	for _, a := range sc.Assertions {
@@ -507,6 +543,19 @@ func assertionValue(r RunResult, a Assertion) (float64, error) {
 			}
 		}
 		return 0, fmt.Errorf("objective %q not in SLO report", name)
+	}
+	if durabilityMetricNames[a.Metric] {
+		if r.Durability == nil {
+			return 0, errors.New("no durability metrics: run was not crash-restart")
+		}
+		switch a.Metric {
+		case "jobs_nonterminal":
+			return float64(r.Durability.JobsNonterminal), nil
+		case "duplicate_settles":
+			return float64(r.Durability.DuplicateSettles), nil
+		case "recovered_jobs":
+			return float64(r.Durability.RecoveredJobs), nil
+		}
 	}
 	pm, ok := r.Phases[a.Phase]
 	if !ok {

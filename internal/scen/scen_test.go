@@ -117,7 +117,7 @@ func TestShippedScenariosValid(t *testing.T) {
 	}
 	want := map[string]bool{
 		"overload": true, "cache-cold-storm": true, "adversarial": true,
-		"chaos-flake": true, "drain-under-load": true,
+		"chaos-flake": true, "drain-under-load": true, "crash-recovery": true,
 	}
 	for _, sc := range scs {
 		delete(want, sc.Name)
@@ -174,6 +174,22 @@ func TestValidateRejects(t *testing.T) {
 		{"slo on phase", func(s *Scenario) {
 			s.Assertions = []Assertion{{Phase: PhaseInject, Metric: "slo:diff-errors", Op: "eq"}}
 		}, "slo:"},
+		{"crash with diff op", func(s *Scenario) {
+			s.Inject.CrashRestart = true
+		}, `load.op "jobs"`},
+		{"crash with faults", func(s *Scenario) {
+			s.Load.Op = "jobs"
+			s.Inject.CrashRestart = true
+			s.Inject.Faults = []FaultSpec{{Point: "jobs.pair", Kind: "error"}}
+		}, "process-local"},
+		{"durability without crash", func(s *Scenario) {
+			s.Assertions = []Assertion{{Phase: PhaseAll, Metric: "duplicate_settles", Op: "eq"}}
+		}, "crashRestart"},
+		{"durability on phase", func(s *Scenario) {
+			s.Load.Op = "jobs"
+			s.Inject.CrashRestart = true
+			s.Assertions = []Assertion{{Phase: PhaseInject, Metric: "jobs_nonterminal", Op: "eq"}}
+		}, "both server lives"},
 	}
 	for _, tc := range cases {
 		sc := tiny()
@@ -186,6 +202,55 @@ func TestValidateRejects(t *testing.T) {
 	good := tiny()
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestJournalFaultDegradesDurabilityOnly: with an in-process journaled
+// store and every journal write failing, jobs must still all succeed —
+// journal faults degrade durability counters, never job outcomes.
+func TestJournalFaultDegradesDurabilityOnly(t *testing.T) {
+	sc := tiny()
+	sc.Name = "journal-chaos"
+	sc.Server.JobsJournal = true
+	sc.Load.Op = "jobs"
+	sc.Inject.Faults = []FaultSpec{{Point: "jobs.journal.write", Kind: "error", EveryN: 1}}
+	res, err := RunScenario(sc, filepath.Join(t.TempDir(), "out"), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("journal write chaos leaked into job outcomes: %+v", res.Assertions)
+	}
+}
+
+// TestCrashScenarioRun drives the subprocess crash-restart runner end
+// to end on a small workload: kill a journaled fwserved mid-job,
+// restart it, and the durability counters must come back clean.
+func TestCrashScenarioRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs subprocess servers")
+	}
+	sc := Scenario{
+		Name:   "crash-tiny",
+		Seed:   19,
+		Load:   LoadSpec{Workers: 2, WarmupOps: 1, InjectOps: 2, RecoverOps: 1, Op: "jobs", Rules: 120, JobPolicies: 4},
+		Inject: InjectSpec{CrashRestart: true},
+		Assertions: []Assertion{
+			{Phase: PhaseAll, Metric: "invalid_responses", Op: "eq", Value: 0},
+			{Phase: PhaseAll, Metric: "jobs_nonterminal", Op: "eq", Value: 0},
+			{Phase: PhaseAll, Metric: "duplicate_settles", Op: "eq", Value: 0},
+			{Phase: PhaseAll, Metric: "recovered_jobs", Op: "ge", Value: 1},
+		},
+	}
+	res, err := RunScenario(sc, filepath.Join(t.TempDir(), "out"), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Durability == nil {
+		t.Fatal("crash run produced no durability metrics")
+	}
+	if !res.Passed {
+		t.Fatalf("crash scenario failed: %+v", res.Assertions)
 	}
 }
 

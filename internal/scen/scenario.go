@@ -50,6 +50,11 @@ type ServerSpec struct {
 	MaxPerClient        int `json:"maxPerClient,omitempty"`
 	MaxFDDNodes         int `json:"maxFddNodes,omitempty"`
 	JobsWorkers         int `json:"jobsWorkers,omitempty"`
+	// JobsJournal backs the jobs store with a crash-safe journal in the
+	// run's output directory (fsync=always), making the jobs.journal.*
+	// chaos points meaningful: journal faults must degrade durability
+	// counters only, never job outcomes.
+	JobsJournal bool `json:"jobsJournal,omitempty"`
 }
 
 // LoadSpec is the three-phase load profile. Warmup and recover run with
@@ -98,13 +103,31 @@ type InjectSpec struct {
 	// DrainAfterOps calls BeginDrain once that many inject ops have
 	// settled; every later /v1/* request sheds with 503.
 	DrainAfterOps int `json:"drainAfterOps,omitempty"`
+	// CrashRestart runs the scenario against a real fwserved subprocess
+	// backed by a jobs journal: inject-phase jobs are submitted without
+	// waiting, the process is SIGKILLed once the journal holds
+	// KillAfterSettles pair settles, and a second process is started on
+	// the same journal directory. Every submitted job must then reach a
+	// terminal state; the jobs_nonterminal, duplicate_settles, and
+	// recovered_jobs metrics expose the result to assertions. Requires
+	// load.op "jobs"; incompatible with faults (the chaos registry is
+	// process-local and cannot reach the subprocess), adversarialRules,
+	// and drainAfterOps.
+	CrashRestart bool `json:"crashRestart,omitempty"`
+	// KillAfterSettles is how many durably journaled pair settles to
+	// wait for before the SIGKILL (default 1). Keep it well under the
+	// smallest possible inject-phase pair count so the threshold is
+	// reachable at every load scale.
+	KillAfterSettles int `json:"killAfterSettles,omitempty"`
 }
 
 // Assertion is one gate on a phase's aggregate metrics. Metric is one
 // of: count, ok_rate, error_rate, shed_rate, invalid_responses, p50_ms,
 // p95_ms, p99_ms, rate:<envelope code>, or slo:<objective name> (status
 // rank: ok=0 warn=1 burning=2; phase must be "all" since the SLO store
-// spans the whole run).
+// spans the whole run). Crash-restart scenarios additionally expose the
+// whole-run durability counters jobs_nonterminal, duplicate_settles,
+// and recovered_jobs (phase "all" only).
 type Assertion struct {
 	Phase  string  `json:"phase"`
 	Metric string  `json:"metric"`
@@ -180,11 +203,21 @@ var validPoints = map[string]bool{
 	"engine.cache_insert.report":  true,
 	"shape.walk":                  true,
 	"jobs.pair":                   true,
+	"jobs.journal.write":          true,
+	"jobs.journal.fsync":          true,
 }
 
 var validMetricNames = map[string]bool{
 	"count": true, "ok_rate": true, "error_rate": true, "shed_rate": true,
 	"invalid_responses": true, "p50_ms": true, "p95_ms": true, "p99_ms": true,
+}
+
+// durabilityMetricNames are whole-run counters produced only by
+// crash-restart scenarios (they are measured across both server lives).
+var durabilityMetricNames = map[string]bool{
+	"jobs_nonterminal":  true,
+	"duplicate_settles": true,
+	"recovered_jobs":    true,
 }
 
 // Validate rejects scenarios the runner could misinterpret.
@@ -231,6 +264,23 @@ func (sc *Scenario) Validate() error {
 	if sc.Inject.DrainAfterOps < 0 || sc.Inject.DrainAfterOps > sc.Load.InjectOps {
 		return fmt.Errorf("scen: %s: drainAfterOps out of range", sc.Name)
 	}
+	if sc.Inject.KillAfterSettles < 0 {
+		return fmt.Errorf("scen: %s: killAfterSettles must be >= 0", sc.Name)
+	}
+	if sc.Inject.CrashRestart {
+		if sc.Load.Op != "jobs" {
+			return fmt.Errorf("scen: %s: crashRestart requires load.op \"jobs\"", sc.Name)
+		}
+		if sc.Load.InjectOps < 1 {
+			return fmt.Errorf("scen: %s: crashRestart needs at least one inject op to kill mid-flight", sc.Name)
+		}
+		if len(sc.Inject.Faults) > 0 {
+			return fmt.Errorf("scen: %s: crashRestart cannot combine with faults: the chaos registry is process-local and never reaches the subprocess", sc.Name)
+		}
+		if sc.Inject.AdversarialRules > 0 || sc.Inject.DrainAfterOps > 0 {
+			return fmt.Errorf("scen: %s: crashRestart cannot combine with adversarialRules or drainAfterOps", sc.Name)
+		}
+	}
 	if len(sc.Assertions) == 0 {
 		return fmt.Errorf("scen: %s: a scenario with no assertions gates nothing", sc.Name)
 	}
@@ -240,12 +290,20 @@ func (sc *Scenario) Validate() error {
 		default:
 			return fmt.Errorf("scen: %s: assertion %d: phase %q", sc.Name, i, a.Phase)
 		}
-		if !validMetricNames[a.Metric] &&
+		if !validMetricNames[a.Metric] && !durabilityMetricNames[a.Metric] &&
 			!strings.HasPrefix(a.Metric, "rate:") && !strings.HasPrefix(a.Metric, "slo:") {
 			return fmt.Errorf("scen: %s: assertion %d: unknown metric %q", sc.Name, i, a.Metric)
 		}
 		if strings.HasPrefix(a.Metric, "slo:") && a.Phase != PhaseAll {
 			return fmt.Errorf("scen: %s: assertion %d: slo:* metrics span the run; use phase %q", sc.Name, i, PhaseAll)
+		}
+		if durabilityMetricNames[a.Metric] {
+			if !sc.Inject.CrashRestart {
+				return fmt.Errorf("scen: %s: assertion %d: metric %q is only measured by crashRestart scenarios", sc.Name, i, a.Metric)
+			}
+			if a.Phase != PhaseAll {
+				return fmt.Errorf("scen: %s: assertion %d: durability metrics span both server lives; use phase %q", sc.Name, i, PhaseAll)
+			}
 		}
 		switch a.Op {
 		case "le", "lt", "ge", "gt", "eq":

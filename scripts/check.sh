@@ -47,6 +47,19 @@ go test -run=NONE -fuzz=FuzzNftables -fuzztime=1x ./internal/frontend/
 go test -run=NONE -fuzz=FuzzSecgroup -fuzztime=1x ./internal/frontend/
 go test -run=NONE -fuzz=FuzzImport -fuzztime=1x ./internal/iptables/
 
+# The journal replayer faces arbitrary bytes after a crash (torn tails,
+# bit rot, garbage), so its corpus — seeded with the testdata/journal
+# corruption fixtures — re-runs through the never-panic/always-report
+# property on every gate too.
+go test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=1x ./internal/jobs/
+
+# The crash-restart test SIGKILLs a journaled server mid-job and
+# asserts the restarted process resumes without recomputing or
+# double-settling pairs. It reruns uncached under the race detector:
+# it is the end-to-end proof of the durable store and a cached "ok"
+# from a previous binary proves nothing about this one.
+go test -race -count=1 -run 'TestCrashRestartResumesWithoutDuplicateSettles' ./cmd/fwserved/
+
 # The incremental-recompilation differential also reruns uncached under
 # the race detector: hundreds of randomized policy/edit-script pairs
 # asserting that resuming a checkpointed builder is graph-isomorphic to
@@ -74,7 +87,7 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 if [ "${SKIP_BENCH_GATE:-}" != "1" ]; then
     go run ./cmd/fwbench -json -out "$tmpdir/bench" \
-        -baseline results/BENCH_7.json -gate 12 \
+        -baseline results/BENCH_8.json -gate 12 \
         -gatephases construct,compare,impact_incremental_tail,crosscompare_16x_sharded_4_workers
 fi
 
@@ -88,6 +101,6 @@ fi
 # Skippable for doc-only loops (SKIP_SCEN_GATE=1) — CI always runs it.
 if [ "${SKIP_SCEN_GATE:-}" != "1" ]; then
     go run ./cmd/fwscen -fast -out "$tmpdir/scen" \
-        -baseline results/BENCH_7.json
+        -baseline results/BENCH_8.json
     cp "$tmpdir/scen/provenance.json" results/provenance.json
 fi
